@@ -1,0 +1,73 @@
+// §4.5 prose experiment: test with injected arrival rate error.
+//
+// The slider raises the execution frequency of the SafeSpeed runnables
+// above the fault hypothesis (more aliveness indications per period than
+// expected); the ARM Result plot accumulates the detections.
+#include <fstream>
+#include <iostream>
+
+#include "inject/faults.hpp"
+#include "inject/injector.hpp"
+#include "sim/engine.hpp"
+#include "util/trace.hpp"
+#include "validator/central_node.hpp"
+#include "validator/controldesk.hpp"
+
+using namespace easis;
+
+int main() {
+  sim::Engine engine;
+  validator::CentralNodeConfig config;
+  config.with_fmf = false;
+  validator::CentralNode node(engine, config);
+
+  // Slider: at t=2 s the task period shrinks to 1/5 (10 ms -> 2 ms):
+  // ~20 arrivals per 40 ms window against a hypothesis maximum of 5.
+  inject::ErrorInjector injector(engine);
+  injector.add(inject::make_period_scale(
+      node.kernel(), node.safespeed_alarm(), node.safespeed_period_ticks(),
+      0.2, sim::SimTime(2'000'000), sim::Duration::seconds(3)));
+  injector.arm();
+
+  util::TraceRecorder recorder;
+  validator::ControlDesk desk(engine, recorder, sim::Duration::millis(10));
+  desk.watch_runnable(node.watchdog(), node.safespeed().get_sensor_value(),
+                      "GetSensorValue");
+
+  int arrival_errors = 0;
+  sim::SimTime first_detection;
+  node.watchdog().add_error_listener([&](const wdg::ErrorReport& report) {
+    if (report.type == wdg::ErrorType::kArrivalRate) {
+      if (arrival_errors == 0) first_detection = report.time;
+      ++arrival_errors;
+    }
+  });
+
+  node.start();
+  desk.start(sim::Duration::seconds(8));
+  engine.run_until(sim::SimTime(8'000'000));
+
+  std::cout << "=== Arrival rate error test (paper §4.5) ===\n"
+            << "slider active 2.0 s .. 5.0 s (period x0.2)\n\n";
+  for (const char* signal :
+       {"GetSensorValue.ARC", "GetSensorValue.CCAR",
+        "GetSensorValue.ARM Result"}) {
+    recorder.render_ascii(std::cout, signal, 0, 8'000'000, 76, 7);
+    std::cout << '\n';
+  }
+
+  std::ofstream csv("exp_arrival_rate.csv");
+  recorder.write_csv(csv, 10'000);
+  std::cout << "raw series written to exp_arrival_rate.csv\n\n";
+
+  std::cout << "--- paper vs measured ---\n"
+            << "paper: within one period there are more aliveness "
+               "indications than expected; ARM Result rises\n"
+            << "measured: first arrival-rate detection at "
+            << first_detection.as_millis() << " ms, " << arrival_errors
+            << " detections during the fault window\n";
+  const bool shape_ok =
+      arrival_errors > 0 && first_detection > sim::SimTime(2'000'000);
+  std::cout << "shape check: " << (shape_ok ? "PASS" : "FAIL") << "\n";
+  return shape_ok ? 0 : 1;
+}

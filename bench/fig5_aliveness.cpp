@@ -1,0 +1,81 @@
+// Figure 5 reproduction: test with injected aliveness error.
+//
+// Paper setup: SafeSpeed runs on the central node; a ControlDesk slider
+// (time scalar) stretches the execution frequency of the runnables until
+// aliveness indications become too infrequent; plots (10 ms time base)
+// show the aliveness counter (AC), the cycle counter (CCA) and the
+// accumulating "AM Result" (number of detected aliveness errors).
+//
+// This binary regenerates those series: it prints ASCII step plots in the
+// paper's plot order and writes fig5_aliveness.csv with the raw samples.
+#include <fstream>
+#include <iostream>
+
+#include "inject/faults.hpp"
+#include "inject/injector.hpp"
+#include "sim/engine.hpp"
+#include "util/trace.hpp"
+#include "validator/central_node.hpp"
+#include "validator/controldesk.hpp"
+
+using namespace easis;
+
+int main() {
+  sim::Engine engine;
+  validator::CentralNodeConfig config;
+  config.with_fmf = false;  // observe the raw detections, as the paper does
+  validator::CentralNode node(engine, config);
+
+  // The slider: at t=2 s the SafeSpeed activation period is stretched 8x
+  // (10 ms -> 80 ms); the fault hypothesis expects >= 3 heartbeats per
+  // 40 ms window. Reverted at t=5 s.
+  inject::ErrorInjector injector(engine);
+  injector.add(inject::make_period_scale(
+      node.kernel(), node.safespeed_alarm(), node.safespeed_period_ticks(),
+      8.0, sim::SimTime(2'000'000), sim::Duration::seconds(3)));
+  injector.arm();
+
+  util::TraceRecorder recorder;
+  validator::ControlDesk desk(engine, recorder, sim::Duration::millis(10));
+  const RunnableId monitored = node.safespeed().get_sensor_value();
+  desk.watch_runnable(node.watchdog(), monitored, "GetSensorValue");
+
+  int aliveness_errors = 0;
+  sim::SimTime first_detection;
+  node.watchdog().add_error_listener([&](const wdg::ErrorReport& report) {
+    if (report.type == wdg::ErrorType::kAliveness) {
+      if (aliveness_errors == 0) first_detection = report.time;
+      ++aliveness_errors;
+    }
+  });
+
+  node.start();
+  desk.start(sim::Duration::seconds(8));
+  engine.run_until(sim::SimTime(8'000'000));
+
+  std::cout << "=== Figure 5: test with injected aliveness error ===\n"
+            << "slider active 2.0 s .. 5.0 s (period x8)\n\n";
+  for (const char* signal :
+       {"GetSensorValue.AC", "GetSensorValue.CCA",
+        "GetSensorValue.AM Result"}) {
+    recorder.render_ascii(std::cout, signal, 0, 8'000'000, 76, 7);
+    std::cout << '\n';
+  }
+
+  std::ofstream csv("fig5_aliveness.csv");
+  recorder.write_csv(csv, 10'000);
+  std::cout << "raw series written to fig5_aliveness.csv\n\n";
+
+  std::cout << "--- paper vs measured ---\n"
+            << "paper: AM Result rises after the slider reduces the "
+               "execution frequency; counters reset each cycle\n"
+            << "measured: first aliveness detection at "
+            << first_detection.as_millis() << " ms ("
+            << first_detection.as_millis() - 2000.0
+            << " ms after injection), " << aliveness_errors
+            << " aliveness errors during the fault window\n";
+  const bool shape_ok = aliveness_errors > 0 &&
+                        first_detection > sim::SimTime(2'000'000);
+  std::cout << "shape check: " << (shape_ok ? "PASS" : "FAIL") << "\n";
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,45 @@
+// Helper deriving a per-runnable fault hypothesis (watchdog monitoring
+// parameters) from the runnable's nominal activation period.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+#include "util/ids.hpp"
+#include "wdg/config.hpp"
+
+namespace easis::apps {
+
+/// Builds a RunnableMonitor for a runnable activated every `period`,
+/// monitored by a watchdog whose main function runs every `check_period`.
+/// The window spans ~4 activations; one missing or one extra activation
+/// per window is tolerated (jitter margin).
+inline wdg::RunnableMonitor derive_monitor(RunnableId runnable, TaskId task,
+                                           ApplicationId application,
+                                           std::string name,
+                                           sim::Duration period,
+                                           sim::Duration check_period,
+                                           bool program_flow = true) {
+  wdg::RunnableMonitor m;
+  m.runnable = runnable;
+  m.task = task;
+  m.application = application;
+  m.name = std::move(name);
+  const std::int64_t p = std::max<std::int64_t>(1, period.as_micros());
+  const std::int64_t c = std::max<std::int64_t>(1, check_period.as_micros());
+  // Window of roughly four activations, at least two check cycles.
+  const std::int64_t window_cycles = std::max<std::int64_t>(2, (4 * p) / c);
+  const std::int64_t expected =
+      std::max<std::int64_t>(1, (window_cycles * c) / p);
+  m.aliveness_cycles = static_cast<std::uint32_t>(window_cycles);
+  m.min_heartbeats = static_cast<std::uint32_t>(std::max<std::int64_t>(
+      1, expected - 1));
+  m.arrival_cycles = static_cast<std::uint32_t>(window_cycles);
+  m.max_arrivals = static_cast<std::uint32_t>(expected + 1);
+  m.program_flow = program_flow;
+  return m;
+}
+
+}  // namespace easis::apps

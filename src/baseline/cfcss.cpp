@@ -1,0 +1,90 @@
+#include "baseline/cfcss.hpp"
+
+#include <stdexcept>
+
+namespace easis::baseline {
+
+void CfcssChecker::add_node(NodeId node, std::vector<NodeId> predecessors) {
+  if (compiled_) throw std::logic_error("CFCSS: already compiled");
+  if (nodes_.contains(node)) throw std::logic_error("CFCSS: duplicate node");
+  Node n;
+  n.predecessors = std::move(predecessors);
+  nodes_.emplace(node, std::move(n));
+}
+
+void CfcssChecker::compile() {
+  if (compiled_) throw std::logic_error("CFCSS: already compiled");
+  // Unique signatures: a simple multiplicative hash of the node id keeps
+  // Hamming distances healthy without a table.
+  for (auto& [id, node] : nodes_) {
+    node.s = (id + 1u) * 0x9E3779B9u;
+  }
+  for (auto& [id, node] : nodes_) {
+    node.fan_in = node.predecessors.size() > 1;
+    if (node.predecessors.empty()) {
+      node.d = node.s;  // entry: G starts at 0, G ^ s = s
+    } else {
+      const auto base = nodes_.find(node.predecessors.front());
+      if (base == nodes_.end()) {
+        throw std::logic_error("CFCSS: unknown predecessor");
+      }
+      node.d = node.s ^ base->second.s;
+    }
+  }
+  compiled_ = true;
+  restart();
+}
+
+void CfcssChecker::prepare_branch(NodeId to) {
+  auto it = nodes_.find(to);
+  if (it == nodes_.end()) return;
+  const Node& target = it->second;
+  if (!target.fan_in) return;
+  // D = s_actual_pred XOR s_pred0(target); the current G is the actual
+  // predecessor's signature when the flow is intact.
+  const Node& base = nodes_.at(target.predecessors.front());
+  d_reg_ = g_ ^ base.s;
+}
+
+bool CfcssChecker::enter(NodeId node) {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) {
+    ++checks_;
+    ++errors_;
+    if (on_error_) on_error_(node);
+    return false;
+  }
+  const Node& n = it->second;
+  ++checks_;
+  if (n.predecessors.empty()) {
+    g_ = n.d;  // program (re-)entry
+  } else {
+    g_ ^= n.d;
+    if (n.fan_in) {
+      g_ ^= d_reg_;
+      d_reg_ = 0;
+    }
+  }
+  if (g_ != n.s) {
+    ++errors_;
+    if (on_error_) on_error_(node);
+    // Re-sync so subsequent blocks are checked against a sane register.
+    g_ = n.s;
+    return false;
+  }
+  return true;
+}
+
+void CfcssChecker::restart() {
+  g_ = 0;
+  d_reg_ = 0;
+  in_program_ = false;
+}
+
+std::uint32_t CfcssChecker::signature(NodeId node) const {
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) throw std::out_of_range("CFCSS: unknown node");
+  return it->second.s;
+}
+
+}  // namespace easis::baseline

@@ -1,0 +1,66 @@
+// Control-Flow Checking by Software Signatures (CFCSS), Oh/Shirvani/
+// McCluskey, IEEE Trans. Reliability 2002 — the paper's §2/§3.2.2
+// comparison point for the look-up-table PFC.
+//
+// Each basic block j carries a compile-time signature s_j and a signature
+// difference d_j = s_j XOR s_pred0(j). The runtime signature register is
+// updated on every block entry: G = G XOR d_j (XOR an adjusting signature D
+// for branch-fan-in blocks, set by the actual predecessor along the taken
+// edge). G != s_j signals a control-flow error.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace easis::baseline {
+
+class CfcssChecker {
+ public:
+  using NodeId = std::uint32_t;
+  using ErrorCallback = std::function<void(NodeId)>;
+
+  /// Declares a basic block with its permitted predecessors.
+  /// Blocks without predecessors are program entry points.
+  void add_node(NodeId node, std::vector<NodeId> predecessors);
+
+  /// Assigns signatures and differences. Call once after all add_node().
+  void compile();
+  [[nodiscard]] bool compiled() const { return compiled_; }
+
+  /// Instrumentation executed in the predecessor along the edge to `to`
+  /// (sets the adjusting signature D for branch-fan-in targets).
+  void prepare_branch(NodeId to);
+
+  /// Block-entry instrumentation: updates G and checks it against s_node.
+  /// Returns true when the signature matches.
+  bool enter(NodeId node);
+
+  /// Restarts the program (resets G to the entry state).
+  void restart();
+
+  void set_error_callback(ErrorCallback cb) { on_error_ = std::move(cb); }
+  [[nodiscard]] std::uint64_t checks() const { return checks_; }
+  [[nodiscard]] std::uint64_t errors() const { return errors_; }
+  [[nodiscard]] std::uint32_t signature(NodeId node) const;
+
+ private:
+  struct Node {
+    std::vector<NodeId> predecessors;
+    std::uint32_t s = 0;  // compile-time signature
+    std::uint32_t d = 0;  // signature difference vs. base predecessor
+    bool fan_in = false;  // multiple predecessors -> needs D adjustment
+  };
+
+  std::unordered_map<NodeId, Node> nodes_;
+  bool compiled_ = false;
+  std::uint32_t g_ = 0;  // runtime signature register
+  std::uint32_t d_reg_ = 0;
+  bool in_program_ = false;
+  std::uint64_t checks_ = 0;
+  std::uint64_t errors_ = 0;
+  ErrorCallback on_error_;
+};
+
+}  // namespace easis::baseline

@@ -1,0 +1,49 @@
+#include "baseline/deadline_monitor.hpp"
+
+#include <algorithm>
+
+namespace easis::baseline {
+
+DeadlineMonitor::DeadlineMonitor(os::Kernel& kernel) : kernel_(kernel) {
+  kernel_.add_observer(this);
+}
+
+DeadlineMonitor::~DeadlineMonitor() { kernel_.remove_observer(this); }
+
+void DeadlineMonitor::set_deadline(TaskId task, sim::Duration deadline) {
+  watches_[task].deadline = deadline;
+}
+
+std::uint32_t DeadlineMonitor::violations(TaskId task) const {
+  auto it = watches_.find(task);
+  return it == watches_.end() ? 0 : it->second.violations;
+}
+
+void DeadlineMonitor::on_task_activated(TaskId task, sim::SimTime now) {
+  auto it = watches_.find(task);
+  if (it == watches_.end()) return;
+  Watch& watch = it->second;
+  const sim::EventId event = kernel_.engine().schedule_at(
+      now + watch.deadline,
+      [this, task] {
+        auto wit = watches_.find(task);
+        if (wit == watches_.end() || wit->second.armed.empty()) return;
+        // The oldest armed deadline fired before its job terminated.
+        wit->second.armed.pop_front();
+        ++wit->second.violations;
+        ++total_;
+        if (on_violation_) on_violation_(task, kernel_.now());
+      },
+      sim::EventPriority::kMonitor);
+  watch.armed.push_back(event);
+}
+
+void DeadlineMonitor::on_task_terminated(TaskId task, sim::SimTime) {
+  auto it = watches_.find(task);
+  if (it == watches_.end() || it->second.armed.empty()) return;
+  // The oldest pending activation completed in time.
+  kernel_.engine().cancel(it->second.armed.front());
+  it->second.armed.pop_front();
+}
+
+}  // namespace easis::baseline

@@ -1,0 +1,55 @@
+// Deadline monitoring baseline (paper §2: OSEKTime-style deadline
+// monitoring at task granularity).
+//
+// For each configured task, every activation arms a deadline; if the job
+// has not terminated when the deadline expires, a violation is reported.
+// Task-level granularity: a fault confined to one runnable that leaves the
+// task's overall timing intact goes unnoticed — the limitation the
+// Software Watchdog addresses.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "os/kernel.hpp"
+#include "sim/time.hpp"
+
+namespace easis::baseline {
+
+class DeadlineMonitor : public os::KernelObserver {
+ public:
+  using ViolationCallback = std::function<void(TaskId, sim::SimTime)>;
+
+  explicit DeadlineMonitor(os::Kernel& kernel);
+  ~DeadlineMonitor() override;
+  DeadlineMonitor(const DeadlineMonitor&) = delete;
+  DeadlineMonitor& operator=(const DeadlineMonitor&) = delete;
+
+  /// Monitors `task`: each activation must terminate within `deadline`.
+  void set_deadline(TaskId task, sim::Duration deadline);
+  void set_violation_callback(ViolationCallback cb) { on_violation_ = std::move(cb); }
+
+  [[nodiscard]] std::uint32_t violations(TaskId task) const;
+  [[nodiscard]] std::uint32_t total_violations() const { return total_; }
+
+  // KernelObserver:
+  void on_task_activated(TaskId task, sim::SimTime now) override;
+  void on_task_terminated(TaskId task, sim::SimTime now) override;
+
+ private:
+  struct Watch {
+    sim::Duration deadline;
+    /// Event ids of armed deadlines, oldest first (queued activations).
+    std::deque<sim::EventId> armed;
+    std::uint32_t violations = 0;
+  };
+
+  os::Kernel& kernel_;
+  std::unordered_map<TaskId, Watch> watches_;
+  ViolationCallback on_violation_;
+  std::uint32_t total_ = 0;
+};
+
+}  // namespace easis::baseline

@@ -1,0 +1,80 @@
+#include "baseline/exec_time_monitor.hpp"
+
+namespace easis::baseline {
+
+ExecutionTimeMonitor::ExecutionTimeMonitor(os::Kernel& kernel)
+    : kernel_(kernel) {
+  kernel_.add_observer(this);
+}
+
+ExecutionTimeMonitor::~ExecutionTimeMonitor() {
+  kernel_.remove_observer(this);
+}
+
+void ExecutionTimeMonitor::set_budget(TaskId task, sim::Duration budget) {
+  watches_[task].budget = budget;
+}
+
+std::uint32_t ExecutionTimeMonitor::violations(TaskId task) const {
+  auto it = watches_.find(task);
+  return it == watches_.end() ? 0 : it->second.violations;
+}
+
+void ExecutionTimeMonitor::disarm(Watch& watch) {
+  if (watch.probe != 0) {
+    kernel_.engine().cancel(watch.probe);
+    watch.probe = 0;
+  }
+}
+
+void ExecutionTimeMonitor::on_task_dispatched(TaskId task, sim::SimTime now) {
+  auto it = watches_.find(task);
+  if (it == watches_.end()) return;
+  Watch& watch = it->second;
+  if (watch.violated_this_job) return;  // already reported for this job
+  const sim::Duration left = watch.budget - kernel_.job_consumed(task);
+  if (left <= sim::Duration::zero()) {
+    // Already over budget when resumed (can happen with zero-length slack).
+    ++watch.violations;
+    ++total_;
+    watch.violated_this_job = true;
+    if (on_violation_) on_violation_(task, now);
+    if (kill_on_violation_) kernel_.kill_task(task);
+    return;
+  }
+  disarm(watch);
+  watch.probe = kernel_.engine().schedule_at(
+      now + left,
+      [this, task] {
+        auto wit = watches_.find(task);
+        if (wit == watches_.end()) return;
+        Watch& w = wit->second;
+        w.probe = 0;
+        if (kernel_.running_task() != task) return;  // raced a switch
+        ++w.violations;
+        ++total_;
+        w.violated_this_job = true;
+        if (on_violation_) on_violation_(task, kernel_.now());
+        if (kill_on_violation_) kernel_.kill_task(task);
+      },
+      sim::EventPriority::kMonitor);
+}
+
+void ExecutionTimeMonitor::on_task_preempted(TaskId task, sim::SimTime) {
+  auto it = watches_.find(task);
+  if (it != watches_.end()) disarm(it->second);
+}
+
+void ExecutionTimeMonitor::on_task_waiting(TaskId task, sim::SimTime) {
+  auto it = watches_.find(task);
+  if (it != watches_.end()) disarm(it->second);
+}
+
+void ExecutionTimeMonitor::on_task_terminated(TaskId task, sim::SimTime) {
+  auto it = watches_.find(task);
+  if (it == watches_.end()) return;
+  disarm(it->second);
+  it->second.violated_this_job = false;
+}
+
+}  // namespace easis::baseline

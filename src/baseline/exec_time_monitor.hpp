@@ -1,0 +1,64 @@
+// Execution-time monitoring baseline (paper §2: AUTOSAR OS execution time
+// budgets at task granularity).
+//
+// Each task gets a CPU budget per job. The monitor arms a probe for the
+// moment the budget would be exhausted while the task holds the CPU; a
+// probe that fires while the same job is still running reports a budget
+// violation. Coarser than the Software Watchdog: a runnable running
+// moderately long, or not at all, stays invisible as long as the task's
+// total budget holds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "os/kernel.hpp"
+#include "sim/time.hpp"
+
+namespace easis::baseline {
+
+class ExecutionTimeMonitor : public os::KernelObserver {
+ public:
+  using ViolationCallback = std::function<void(TaskId, sim::SimTime)>;
+
+  explicit ExecutionTimeMonitor(os::Kernel& kernel);
+  ~ExecutionTimeMonitor() override;
+  ExecutionTimeMonitor(const ExecutionTimeMonitor&) = delete;
+  ExecutionTimeMonitor& operator=(const ExecutionTimeMonitor&) = delete;
+
+  void set_budget(TaskId task, sim::Duration budget);
+  void set_violation_callback(ViolationCallback cb) {
+    on_violation_ = std::move(cb);
+  }
+  /// When enabled, a violating task is forcibly terminated (AUTOSAR
+  /// protection hook reaction).
+  void set_kill_on_violation(bool kill) { kill_on_violation_ = kill; }
+
+  [[nodiscard]] std::uint32_t violations(TaskId task) const;
+  [[nodiscard]] std::uint32_t total_violations() const { return total_; }
+
+  // KernelObserver:
+  void on_task_dispatched(TaskId task, sim::SimTime now) override;
+  void on_task_preempted(TaskId task, sim::SimTime now) override;
+  void on_task_waiting(TaskId task, sim::SimTime now) override;
+  void on_task_terminated(TaskId task, sim::SimTime now) override;
+
+ private:
+  struct Watch {
+    sim::Duration budget;
+    sim::EventId probe = 0;
+    std::uint32_t violations = 0;
+    bool violated_this_job = false;
+  };
+
+  os::Kernel& kernel_;
+  std::unordered_map<TaskId, Watch> watches_;
+  ViolationCallback on_violation_;
+  bool kill_on_violation_ = false;
+  std::uint32_t total_ = 0;
+
+  void disarm(Watch& watch);
+};
+
+}  // namespace easis::baseline

@@ -1,0 +1,46 @@
+// Generic bus frame plus signal codec helpers.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace easis::bus {
+
+struct Frame {
+  /// Message identifier; on CAN this is the (11-bit) arbitration id.
+  std::uint32_t id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Delivered to every receiving endpoint when a frame completes.
+using FrameHandler = std::function<void(const Frame&, sim::SimTime)>;
+
+/// Encodes a double as little-endian float in 4 payload bytes at `offset`.
+inline void encode_f32(Frame& frame, std::size_t offset, double value) {
+  if (frame.payload.size() < offset + 4) frame.payload.resize(offset + 4);
+  const float f = static_cast<float>(value);
+  std::uint32_t bits = std::bit_cast<std::uint32_t>(f);
+  for (int i = 0; i < 4; ++i) {
+    frame.payload[offset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((bits >> (8 * i)) & 0xFF);
+  }
+}
+
+/// Decodes a little-endian float from 4 payload bytes at `offset`.
+inline double decode_f32(const Frame& frame, std::size_t offset) {
+  if (frame.payload.size() < offset + 4) return 0.0;
+  std::uint32_t bits = 0;
+  for (int i = 0; i < 4; ++i) {
+    bits |= static_cast<std::uint32_t>(
+                frame.payload[offset + static_cast<std::size_t>(i)])
+            << (8 * i);
+  }
+  return static_cast<double>(std::bit_cast<float>(bits));
+}
+
+}  // namespace easis::bus

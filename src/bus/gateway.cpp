@@ -1,0 +1,49 @@
+#include "bus/gateway.hpp"
+
+#include <stdexcept>
+
+namespace easis::bus {
+
+Gateway::Gateway(sim::Engine& engine, sim::Duration processing_latency)
+    : engine_(engine), latency_(processing_latency) {}
+
+FrameHandler Gateway::register_domain(const std::string& name,
+                                      DomainSender sender) {
+  if (domains_.contains(name)) {
+    throw std::logic_error("Gateway: domain already registered: " + name);
+  }
+  domains_[name] = std::move(sender);
+  return [this, name](const Frame& frame, sim::SimTime) {
+    ingress(name, frame);
+  };
+}
+
+void Gateway::add_route(const std::string& from_domain, std::uint32_t id,
+                        const std::string& to_domain, std::uint32_t new_id) {
+  if (!domains_.contains(from_domain)) {
+    throw std::invalid_argument("Gateway: unknown source domain");
+  }
+  if (!domains_.contains(to_domain)) {
+    throw std::invalid_argument("Gateway: unknown destination domain");
+  }
+  routes_[RouteKey{from_domain, id}].push_back(RouteTarget{to_domain, new_id});
+}
+
+void Gateway::ingress(const std::string& domain, const Frame& frame) {
+  auto it = routes_.find(RouteKey{domain, frame.id});
+  if (it == routes_.end()) {
+    ++dropped_;
+    return;
+  }
+  for (const RouteTarget& target : it->second) {
+    Frame out = frame;
+    out.id = target.new_id;
+    ++routed_;
+    engine_.schedule_in(latency_,
+                        [this, to = target.to, out = std::move(out)] {
+                          domains_.at(to)(out);
+                        });
+  }
+}
+
+}  // namespace easis::bus

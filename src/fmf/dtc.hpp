@@ -1,0 +1,76 @@
+// Diagnostic trouble code (DTC) store.
+//
+// The workshop-facing half of the Fault Management Framework: every fault
+// record maps to a DTC keyed by (application, error type). Entries carry
+// occurrence counters, first/last timestamps, a status (active / cleared),
+// and a freeze frame — a snapshot of configured signals at first
+// occurrence, as automotive diagnostics (ISO 14229-style) expects.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "rte/signal_bus.hpp"
+#include "sim/time.hpp"
+#include "util/ids.hpp"
+#include "wdg/types.hpp"
+
+namespace easis::fmf {
+
+/// DTC identity: which application reported which error class.
+struct DtcKey {
+  ApplicationId application;
+  wdg::ErrorType type = wdg::ErrorType::kAliveness;
+  auto operator<=>(const DtcKey&) const = default;
+};
+
+struct FreezeFrame {
+  sim::SimTime captured_at;
+  std::vector<std::pair<std::string, double>> signals;
+};
+
+struct DtcEntry {
+  DtcKey key;
+  std::uint32_t occurrences = 0;
+  sim::SimTime first_seen;
+  sim::SimTime last_seen;
+  bool active = true;
+  std::optional<FreezeFrame> freeze_frame;
+};
+
+class DtcStore {
+ public:
+  /// `signals` supplies freeze-frame data; `frame_signals` names what to
+  /// capture at the first occurrence of each DTC.
+  DtcStore(const rte::SignalBus& signals,
+           std::vector<std::string> frame_signals);
+
+  /// Records one fault occurrence (creates or updates the DTC).
+  void record(const wdg::ErrorReport& report);
+
+  [[nodiscard]] const DtcEntry* entry(const DtcKey& key) const;
+  [[nodiscard]] std::vector<DtcEntry> entries() const;
+  [[nodiscard]] std::size_t count() const { return entries_.size(); }
+  [[nodiscard]] std::size_t active_count() const;
+
+  /// Marks a DTC passive (fault healed); occurrence history is retained.
+  void set_passive(const DtcKey& key);
+  /// Workshop "clear DTCs": removes everything.
+  void clear();
+
+  /// Renders the store as a diagnostic read-out.
+  void write(std::ostream& out) const;
+
+ private:
+  const rte::SignalBus& signals_;
+  std::vector<std::string> frame_signals_;
+  std::map<DtcKey, DtcEntry> entries_;
+
+  [[nodiscard]] FreezeFrame capture(sim::SimTime at) const;
+};
+
+}  // namespace easis::fmf

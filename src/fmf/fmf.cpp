@@ -1,0 +1,222 @@
+#include "fmf/fmf.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace easis::fmf {
+
+namespace {
+constexpr std::string_view kLog = "fmf";
+}
+
+FaultManagementFramework::FaultManagementFramework(
+    rte::Rte& rte, wdg::SoftwareWatchdog& watchdog,
+    std::function<void()> ecu_reset, FmfConfig config)
+    : rte_(rte),
+      watchdog_(watchdog),
+      ecu_reset_(std::move(ecu_reset)),
+      config_(config),
+      log_(config.fault_log_capacity) {}
+
+void FaultManagementFramework::attach() {
+  if (attached_) throw std::logic_error("FMF: already attached");
+  attached_ = true;
+  watchdog_.add_error_listener(
+      [this](const wdg::ErrorReport& report) { on_error(report); });
+  watchdog_.add_application_state_listener(
+      [this](ApplicationId app, wdg::Health health, sim::SimTime now) {
+        on_application_state(app, health, now);
+      });
+  watchdog_.add_ecu_state_listener(
+      [this](wdg::Health health, sim::SimTime now) {
+        on_ecu_state(health, now);
+      });
+}
+
+void FaultManagementFramework::set_application_policy(
+    ApplicationId app, ApplicationPolicy policy) {
+  policies_[app] = policy;
+}
+
+void FaultManagementFramework::add_fault_listener(FaultListener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+ApplicationPolicy FaultManagementFramework::policy_of(
+    ApplicationId app) const {
+  auto it = policies_.find(app);
+  return it == policies_.end() ? ApplicationPolicy{} : it->second;
+}
+
+void FaultManagementFramework::on_error(const wdg::ErrorReport& report) {
+  ++faults_;
+  FaultRecord record{"swd", report,
+                     wdg::SoftwareWatchdog::severity_of(report.type)};
+  log_.push(record);
+  if (dtc_store_ != nullptr) dtc_store_->record(report);
+  // Inform the applications about the detected fault.
+  for (const auto& listener : listeners_) listener(record);
+}
+
+void FaultManagementFramework::on_application_state(ApplicationId app,
+                                                    wdg::Health health,
+                                                    sim::SimTime now) {
+  if (health != wdg::Health::kFaulty) {
+    // Application healed: its DTCs become passive (history retained).
+    if (dtc_store_ != nullptr) {
+      for (std::size_t t = 0; t < wdg::kErrorTypeCount; ++t) {
+        dtc_store_->set_passive(
+            DtcKey{app, static_cast<wdg::ErrorType>(t)});
+      }
+    }
+    return;
+  }
+  // If the global ECU state is faulty the ECU-level treatment takes over
+  // (the ECU-state callback fires after task/application callbacks).
+  if (watchdog_.ecu_health() == wdg::Health::kFaulty) return;
+
+  const ApplicationPolicy policy = policy_of(app);
+  switch (policy.on_faulty) {
+    case TreatmentAction::kNone:
+      break;
+    case TreatmentAction::kRestart:
+      if (restarts_[app] < policy.max_restarts) {
+        restart_application(app, now);
+      } else {
+        terminate_application(app, now);
+      }
+      break;
+    case TreatmentAction::kTerminate:
+      terminate_application(app, now);
+      break;
+    case TreatmentAction::kDegrade:
+      degrade_application(app, now);
+      break;
+  }
+}
+
+void FaultManagementFramework::on_ecu_state(wdg::Health health,
+                                            sim::SimTime now) {
+  (void)now;
+  if (health != wdg::Health::kFaulty) return;
+  if (ecu_resets_ >= config_.max_ecu_resets) {
+    EASIS_LOG(util::LogLevel::kError, kLog)
+        << "ECU faulty but reset budget exhausted; staying faulty";
+    return;
+  }
+  ++ecu_resets_;
+  EASIS_LOG(util::LogLevel::kWarn, kLog)
+      << "global ECU state faulty -> software reset #" << ecu_resets_;
+  if (ecu_reset_) ecu_reset_();
+}
+
+void FaultManagementFramework::clear_monitoring_state(ApplicationId app,
+                                                      sim::SimTime now) {
+  for (TaskId task : rte_.tasks_of_application(app)) {
+    watchdog_.clear_task_state(task, now);
+  }
+  for (RunnableId runnable : rte_.runnables_of_application(app)) {
+    if (watchdog_.heartbeat_unit().monitors(runnable)) {
+      watchdog_.reset_runnable(runnable);
+    }
+  }
+}
+
+void FaultManagementFramework::restart_application(ApplicationId app,
+                                                   sim::SimTime now) {
+  ++restarts_[app];
+  EASIS_LOG(util::LogLevel::kWarn, kLog)
+      << "restarting application " << rte_.application_name(app)
+      << " (restart #" << restarts_[app] << ")";
+  rte_.restart_application(app);
+  // Clear monitoring state so the restarted application starts clean.
+  clear_monitoring_state(app, now);
+}
+
+void FaultManagementFramework::set_degraded_mode(ApplicationId app,
+                                                 std::function<void()> enter,
+                                                 std::function<void()> exit) {
+  DegradedMode mode;
+  mode.enter = std::move(enter);
+  mode.exit = std::move(exit);
+  degraded_[app] = std::move(mode);
+}
+
+bool FaultManagementFramework::is_degraded(ApplicationId app) const {
+  auto it = degraded_.find(app);
+  return it != degraded_.end() && it->second.active;
+}
+
+void FaultManagementFramework::degrade_application(ApplicationId app,
+                                                   sim::SimTime now) {
+  auto it = degraded_.find(app);
+  if (it == degraded_.end() || !it->second.enter) {
+    // No degraded mode registered: fall back to restart semantics.
+    restart_application(app, now);
+    return;
+  }
+  DegradedMode& mode = it->second;
+  if (mode.active) {
+    // Fault while already degraded: the reconfiguration did not help.
+    terminate_application(app, now);
+    return;
+  }
+  mode.active = true;
+  ++mode.entries;
+  EASIS_LOG(util::LogLevel::kWarn, kLog)
+      << "reconfiguring application " << rte_.application_name(app)
+      << " into degraded mode";
+  mode.enter();
+  clear_monitoring_state(app, now);
+}
+
+void FaultManagementFramework::recover_application(ApplicationId app,
+                                                   sim::SimTime now) {
+  auto it = degraded_.find(app);
+  if (it == degraded_.end() || !it->second.active) return;
+  it->second.active = false;
+  EASIS_LOG(util::LogLevel::kInfo, kLog)
+      << "recovering application " << rte_.application_name(app)
+      << " from degraded mode";
+  if (it->second.exit) it->second.exit();
+  clear_monitoring_state(app, now);
+}
+
+void FaultManagementFramework::terminate_application(ApplicationId app,
+                                                     sim::SimTime now) {
+  ++terminations_[app];
+  EASIS_LOG(util::LogLevel::kWarn, kLog)
+      << "terminating application " << rte_.application_name(app);
+  // Deactivate monitoring first so the dead runnables do not keep
+  // generating aliveness errors.
+  for (RunnableId runnable : rte_.runnables_of_application(app)) {
+    if (watchdog_.heartbeat_unit().monitors(runnable)) {
+      watchdog_.set_activation_status(runnable, false);
+    }
+  }
+  for (TaskId task : rte_.tasks_of_application(app)) {
+    watchdog_.clear_task_state(task, now);
+  }
+  rte_.set_application_enabled(app, false);
+}
+
+std::uint32_t FaultManagementFramework::restarts_performed(
+    ApplicationId app) const {
+  auto it = restarts_.find(app);
+  return it == restarts_.end() ? 0 : it->second;
+}
+
+std::uint32_t FaultManagementFramework::terminations_performed(
+    ApplicationId app) const {
+  auto it = terminations_.find(app);
+  return it == terminations_.end() ? 0 : it->second;
+}
+
+std::uint32_t FaultManagementFramework::degradations_performed(
+    ApplicationId app) const {
+  auto it = degraded_.find(app);
+  return it == degraded_.end() ? 0 : it->second.entries;
+}
+
+}  // namespace easis::fmf

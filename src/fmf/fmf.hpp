@@ -1,0 +1,135 @@
+// Fault Management Framework (paper §3.2, §4.4; EASIS deliverable D1.2-8).
+//
+// The general fault-treatment service of the EASIS platform: gathers fault
+// notifications from dependability services (here: the Software Watchdog),
+// records them, informs the applications, and carries out coordinated fault
+// treatment with a global view of the ECU:
+//   - global ECU state faulty  -> ECU software reset
+//   - ECU ok, application faulty -> restart or terminate the application
+//     (escalating to termination after too many restarts)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fmf/dtc.hpp"
+#include "rte/rte.hpp"
+#include "util/ring_buffer.hpp"
+#include "wdg/watchdog.hpp"
+
+namespace easis::fmf {
+
+/// One entry of the fault log.
+struct FaultRecord {
+  std::string source;  // reporting service, e.g. "swd"
+  wdg::ErrorReport report;
+  wdg::Severity severity = wdg::Severity::kInfo;
+};
+
+/// Treatment configured per application.
+enum class TreatmentAction : std::uint8_t {
+  kNone,
+  kRestart,
+  kTerminate,
+  /// Dynamic reconfiguration (paper outlook): switch the application into
+  /// a registered degraded mode instead of restarting; a fault while
+  /// already degraded escalates to termination.
+  kDegrade,
+};
+
+struct ApplicationPolicy {
+  TreatmentAction on_faulty = TreatmentAction::kRestart;
+  /// Restarts allowed before escalating to termination.
+  std::uint32_t max_restarts = 3;
+};
+
+struct FmfConfig {
+  std::size_t fault_log_capacity = 256;
+  /// Software resets allowed before the FMF gives up (stays faulty).
+  std::uint32_t max_ecu_resets = 2;
+};
+
+class FaultManagementFramework {
+ public:
+  /// `ecu_reset` performs the platform's software reset (kernel reboot +
+  /// service re-arm); supplied by the node assembly.
+  FaultManagementFramework(rte::Rte& rte, wdg::SoftwareWatchdog& watchdog,
+                           std::function<void()> ecu_reset,
+                           FmfConfig config = {});
+
+  /// Subscribes to the watchdog's error and state interfaces. Call once.
+  void attach();
+
+  void set_application_policy(ApplicationId app, ApplicationPolicy policy);
+
+  /// Registers the application's degraded-mode reconfiguration: `enter`
+  /// switches to the reduced/limp-home configuration (required for
+  /// TreatmentAction::kDegrade), `exit` restores normal operation (used by
+  /// recover_application()).
+  void set_degraded_mode(ApplicationId app, std::function<void()> enter,
+                         std::function<void()> exit = nullptr);
+  [[nodiscard]] bool is_degraded(ApplicationId app) const;
+  /// Operator/diagnostic path: leaves degraded mode and clears the
+  /// monitoring state of the application's tasks.
+  void recover_application(ApplicationId app, sim::SimTime now);
+
+  /// Applications register to be informed about detected faults.
+  using FaultListener = std::function<void(const FaultRecord&)>;
+  void add_fault_listener(FaultListener listener);
+
+  /// Attaches a diagnostic trouble-code store: every fault is recorded as
+  /// a DTC; an application returning to healthy marks its DTCs passive.
+  /// Not owned; must outlive the framework.
+  void attach_dtc_store(DtcStore* store) { dtc_store_ = store; }
+  [[nodiscard]] DtcStore* dtc_store() { return dtc_store_; }
+
+  // --- introspection -----------------------------------------------------------
+  [[nodiscard]] const util::RingBuffer<FaultRecord>& fault_log() const {
+    return log_;
+  }
+  [[nodiscard]] std::uint32_t restarts_performed(ApplicationId app) const;
+  [[nodiscard]] std::uint32_t terminations_performed(ApplicationId app) const;
+  [[nodiscard]] std::uint32_t degradations_performed(ApplicationId app) const;
+  [[nodiscard]] std::uint32_t ecu_resets_performed() const {
+    return ecu_resets_;
+  }
+  [[nodiscard]] std::uint64_t faults_recorded() const { return faults_; }
+
+ private:
+  rte::Rte& rte_;
+  wdg::SoftwareWatchdog& watchdog_;
+  std::function<void()> ecu_reset_;
+  FmfConfig config_;
+  util::RingBuffer<FaultRecord> log_;
+  struct DegradedMode {
+    std::function<void()> enter;
+    std::function<void()> exit;
+    bool active = false;
+    std::uint32_t entries = 0;
+  };
+
+  std::unordered_map<ApplicationId, ApplicationPolicy> policies_;
+  std::unordered_map<ApplicationId, std::uint32_t> restarts_;
+  std::unordered_map<ApplicationId, std::uint32_t> terminations_;
+  std::unordered_map<ApplicationId, DegradedMode> degraded_;
+  std::uint32_t ecu_resets_ = 0;
+  std::uint64_t faults_ = 0;
+  std::vector<FaultListener> listeners_;
+  DtcStore* dtc_store_ = nullptr;
+  bool attached_ = false;
+
+  void on_error(const wdg::ErrorReport& report);
+  void on_application_state(ApplicationId app, wdg::Health health,
+                            sim::SimTime now);
+  void on_ecu_state(wdg::Health health, sim::SimTime now);
+  void restart_application(ApplicationId app, sim::SimTime now);
+  void terminate_application(ApplicationId app, sim::SimTime now);
+  void degrade_application(ApplicationId app, sim::SimTime now);
+  void clear_monitoring_state(ApplicationId app, sim::SimTime now);
+  [[nodiscard]] ApplicationPolicy policy_of(ApplicationId app) const;
+};
+
+}  // namespace easis::fmf

@@ -1,0 +1,79 @@
+// Campaign measurement: detection coverage and latency accounting for
+// injection experiments (paper outlook: "further analysis of fault
+// detection coverage").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/stats.hpp"
+
+namespace easis::inject {
+
+/// Records, per detector, the first detection after an injection instant.
+class DetectionRecorder {
+ public:
+  /// Declares a detector so coverage can count misses.
+  void add_detector(const std::string& name);
+
+  /// Marks the injection instant; first_detection latencies are relative
+  /// to the most recent call.
+  void mark_injection(sim::SimTime at);
+
+  /// Called from the detector's callback; only the first call after the
+  /// last mark_injection() is kept.
+  void record(const std::string& detector, sim::SimTime at);
+
+  [[nodiscard]] std::vector<std::string> detectors() const;
+  [[nodiscard]] bool detected(const std::string& detector) const;
+  [[nodiscard]] std::optional<sim::Duration> latency(
+      const std::string& detector) const;
+
+  /// Clears detections (keeps the detector set) for the next experiment.
+  void reset();
+
+ private:
+  std::map<std::string, std::optional<sim::SimTime>> first_;
+  sim::SimTime injected_at_;
+};
+
+/// Aggregates detection results over many experiments into a coverage
+/// table: fault class x detector -> (detected / total, latency stats).
+class CoverageTable {
+ public:
+  void add_result(const std::string& fault_class, const std::string& detector,
+                  bool detected, std::optional<sim::Duration> latency);
+
+  [[nodiscard]] std::uint32_t experiments(const std::string& fault_class,
+                                          const std::string& detector) const;
+  [[nodiscard]] std::uint32_t detections(const std::string& fault_class,
+                                         const std::string& detector) const;
+  [[nodiscard]] double coverage(const std::string& fault_class,
+                                const std::string& detector) const;
+  [[nodiscard]] const util::Stats* latency_stats(
+      const std::string& fault_class, const std::string& detector) const;
+
+  [[nodiscard]] std::vector<std::string> fault_classes() const;
+  [[nodiscard]] std::vector<std::string> detector_names() const;
+
+  /// Prints an aligned text table (the coverage "figure" of the benches).
+  void print(std::ostream& out) const;
+
+ private:
+  struct Cell {
+    std::uint32_t experiments = 0;
+    std::uint32_t detections = 0;
+    util::Stats latency_ms;
+  };
+  std::map<std::pair<std::string, std::string>, Cell> cells_;
+
+  [[nodiscard]] const Cell* cell(const std::string& fault_class,
+                                 const std::string& detector) const;
+};
+
+}  // namespace easis::inject

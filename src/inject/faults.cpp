@@ -1,0 +1,156 @@
+#include "inject/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace easis::inject {
+
+Injection make_execution_stretch(rte::Rte& rte, RunnableId runnable,
+                                 double factor, sim::SimTime start,
+                                 sim::Duration duration) {
+  Injection inj;
+  inj.name = "execution_stretch(" + rte.runnable_name(runnable) + ")";
+  inj.start = start;
+  inj.duration = duration;
+  inj.apply = [&rte, runnable, factor] {
+    rte.control(runnable).time_scale = factor;
+  };
+  inj.revert = [&rte, runnable] { rte.control(runnable).time_scale = 1.0; };
+  return inj;
+}
+
+Injection make_runnable_drop(rte::Rte& rte, RunnableId runnable,
+                             sim::SimTime start, sim::Duration duration) {
+  Injection inj;
+  inj.name = "runnable_drop(" + rte.runnable_name(runnable) + ")";
+  inj.start = start;
+  inj.duration = duration;
+  inj.apply = [&rte, runnable] { rte.control(runnable).repeat = 0; };
+  inj.revert = [&rte, runnable] { rte.control(runnable).repeat = 1; };
+  return inj;
+}
+
+Injection make_runnable_repeat(rte::Rte& rte, RunnableId runnable,
+                               std::uint32_t repeat, sim::SimTime start,
+                               sim::Duration duration) {
+  Injection inj;
+  inj.name = "runnable_repeat(" + rte.runnable_name(runnable) + ")";
+  inj.start = start;
+  inj.duration = duration;
+  inj.apply = [&rte, runnable, repeat] {
+    rte.control(runnable).repeat = repeat;
+  };
+  inj.revert = [&rte, runnable] { rte.control(runnable).repeat = 1; };
+  return inj;
+}
+
+Injection make_heartbeat_suppression(rte::Rte& rte, RunnableId runnable,
+                                     sim::SimTime start,
+                                     sim::Duration duration) {
+  Injection inj;
+  inj.name = "heartbeat_suppression(" + rte.runnable_name(runnable) + ")";
+  inj.start = start;
+  inj.duration = duration;
+  inj.apply = [&rte, runnable] {
+    rte.control(runnable).suppress_heartbeat = true;
+  };
+  inj.revert = [&rte, runnable] {
+    rte.control(runnable).suppress_heartbeat = false;
+  };
+  return inj;
+}
+
+Injection make_invalid_branch(rte::Rte& rte, TaskId task, RunnableId from,
+                              RunnableId wrong_successor, sim::SimTime start,
+                              sim::Duration duration) {
+  Injection inj;
+  inj.name = "invalid_branch(" + rte.runnable_name(from) + "->" +
+             rte.runnable_name(wrong_successor) + ")";
+  inj.start = start;
+  inj.duration = duration;
+  inj.apply = [&rte, task, from, wrong_successor] {
+    rte.set_sequence_transformer(
+        task, [from, wrong_successor](std::vector<RunnableId> seq) {
+          std::vector<RunnableId> out;
+          out.reserve(seq.size());
+          bool corrupted = false;
+          for (RunnableId id : seq) {
+            if (corrupted) {
+              // Skip the legitimate successors until the branch target.
+              if (id == from) corrupted = false;
+              continue;
+            }
+            out.push_back(id);
+            if (id == from) {
+              out.push_back(wrong_successor);
+              corrupted = true;
+            }
+          }
+          return out;
+        });
+  };
+  inj.revert = [&rte, task] { rte.clear_sequence_transformer(task); };
+  return inj;
+}
+
+Injection make_sequence_swap(rte::Rte& rte, TaskId task, RunnableId first,
+                             RunnableId second, sim::SimTime start,
+                             sim::Duration duration) {
+  Injection inj;
+  inj.name = "sequence_swap(" + rte.runnable_name(first) + "," +
+             rte.runnable_name(second) + ")";
+  inj.start = start;
+  inj.duration = duration;
+  inj.apply = [&rte, task, first, second] {
+    rte.set_sequence_transformer(
+        task, [first, second](std::vector<RunnableId> seq) {
+          auto a = std::find(seq.begin(), seq.end(), first);
+          auto b = std::find(seq.begin(), seq.end(), second);
+          if (a != seq.end() && b != seq.end()) std::iter_swap(a, b);
+          return seq;
+        });
+  };
+  inj.revert = [&rte, task] { rte.clear_sequence_transformer(task); };
+  return inj;
+}
+
+Injection make_period_scale(os::Kernel& kernel, AlarmId alarm,
+                            std::uint64_t base_ticks, double factor,
+                            sim::SimTime start, sim::Duration duration) {
+  Injection inj;
+  inj.name = "period_scale";
+  inj.start = start;
+  inj.duration = duration;
+  auto rearm = [&kernel, alarm](std::uint64_t ticks) {
+    if (kernel.alarm_armed(alarm)) kernel.cancel_alarm(alarm);
+    kernel.set_rel_alarm(alarm, ticks, ticks);
+  };
+  inj.apply = [rearm, base_ticks, factor] {
+    const double scaled_d =
+        std::max(1.0, std::round(static_cast<double>(base_ticks) * factor));
+    rearm(static_cast<std::uint64_t>(scaled_d));
+  };
+  inj.revert = [rearm, base_ticks] { rearm(base_ticks); };
+  return inj;
+}
+
+Injection make_task_hang(rte::Rte& rte, TaskId task, sim::SimTime start,
+                         sim::Duration duration) {
+  Injection inj;
+  inj.name = "task_hang";
+  inj.start = start;
+  inj.duration = duration;
+  inj.apply = [&rte, task] {
+    for (RunnableId id : rte.runnables_on_task(task)) {
+      rte.control(id).time_scale = 1e6;
+    }
+  };
+  inj.revert = [&rte, task] {
+    for (RunnableId id : rte.runnables_on_task(task)) {
+      rte.control(id).time_scale = 1.0;
+    }
+  };
+  return inj;
+}
+
+}  // namespace easis::inject

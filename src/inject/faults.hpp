@@ -1,0 +1,74 @@
+// Injection factories: the concrete error manipulations of paper §4.5.
+#pragma once
+
+#include <cstdint>
+
+#include "inject/injector.hpp"
+#include "os/kernel.hpp"
+#include "rte/rte.hpp"
+#include "util/ids.hpp"
+
+namespace easis::inject {
+
+/// Slider instrument: stretches the runnable's execution time by `factor`
+/// (a hang is a very large factor). Provokes aliveness errors and, for the
+/// task, deadline/budget violations.
+[[nodiscard]] Injection make_execution_stretch(rte::Rte& rte,
+                                               RunnableId runnable,
+                                               double factor,
+                                               sim::SimTime start,
+                                               sim::Duration duration);
+
+/// Drops the runnable from its task's jobs (loop counter forced to zero):
+/// the aliveness indication stops while the rest of the task runs on.
+[[nodiscard]] Injection make_runnable_drop(rte::Rte& rte, RunnableId runnable,
+                                           sim::SimTime start,
+                                           sim::Duration duration);
+
+/// Executes the runnable `repeat` times per job (loop-counter
+/// manipulation): provokes arrival-rate errors.
+[[nodiscard]] Injection make_runnable_repeat(rte::Rte& rte,
+                                             RunnableId runnable,
+                                             std::uint32_t repeat,
+                                             sim::SimTime start,
+                                             sim::Duration duration);
+
+/// Suppresses only the heartbeat glue while the runnable keeps executing
+/// (failure of the indication path itself).
+[[nodiscard]] Injection make_heartbeat_suppression(rte::Rte& rte,
+                                                   RunnableId runnable,
+                                                   sim::SimTime start,
+                                                   sim::Duration duration);
+
+/// Invalid execution branch: within the task's job, every occurrence of
+/// `from` is followed by `wrong_successor` instead of the configured
+/// sequence (the legitimate successors after `from` are skipped up to the
+/// next occurrence of `from`). Provokes program flow errors.
+[[nodiscard]] Injection make_invalid_branch(rte::Rte& rte, TaskId task,
+                                            RunnableId from,
+                                            RunnableId wrong_successor,
+                                            sim::SimTime start,
+                                            sim::Duration duration);
+
+/// Swaps the first occurrences of two runnables within the job sequence.
+[[nodiscard]] Injection make_sequence_swap(rte::Rte& rte, TaskId task,
+                                           RunnableId first,
+                                           RunnableId second,
+                                           sim::SimTime start,
+                                           sim::Duration duration);
+
+/// Slider instrument on the task's activation: re-arms `alarm` with
+/// `base_ticks * factor` (factor > 1 slows the task down -> aliveness
+/// errors; factor < 1 speeds it up -> arrival-rate errors).
+[[nodiscard]] Injection make_period_scale(os::Kernel& kernel, AlarmId alarm,
+                                          std::uint64_t base_ticks,
+                                          double factor, sim::SimTime start,
+                                          sim::Duration duration);
+
+/// Task hang: an extended task blocks forever on an event nobody sets.
+/// Modelled by stretching every runnable of the task.
+[[nodiscard]] Injection make_task_hang(rte::Rte& rte, TaskId task,
+                                       sim::SimTime start,
+                                       sim::Duration duration);
+
+}  // namespace easis::inject

@@ -1,0 +1,43 @@
+#include "inject/injector.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace easis::inject {
+
+namespace {
+constexpr std::string_view kLog = "inject";
+}
+
+void ErrorInjector::add(Injection injection) {
+  if (armed_) throw std::logic_error("ErrorInjector: already armed");
+  injections_.push_back(std::move(injection));
+}
+
+void ErrorInjector::arm() {
+  if (armed_) throw std::logic_error("ErrorInjector: already armed");
+  armed_ = true;
+  for (const Injection& injection : injections_) {
+    engine_.schedule_at(
+        injection.start,
+        [this, &injection] {
+          EASIS_LOG(util::LogLevel::kInfo, kLog)
+              << "apply " << injection.name << " at " << engine_.now();
+          ++applied_;
+          if (injection.apply) injection.apply();
+          if (injection.duration > sim::Duration::zero() &&
+              injection.revert) {
+            engine_.schedule_in(injection.duration, [this, &injection] {
+              EASIS_LOG(util::LogLevel::kInfo, kLog)
+                  << "revert " << injection.name << " at " << engine_.now();
+              ++reverted_;
+              injection.revert();
+            });
+          }
+        },
+        sim::EventPriority::kMonitor);
+  }
+}
+
+}  // namespace easis::inject

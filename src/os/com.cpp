@@ -1,0 +1,108 @@
+#include "os/com.hpp"
+
+#include <stdexcept>
+
+namespace easis::os {
+
+MessageId ComLayer::create_unqueued(std::string name) {
+  Message m;
+  m.name = std::move(name);
+  m.queued = false;
+  messages_.push_back(std::move(m));
+  return MessageId(
+      static_cast<MessageId::underlying_type>(messages_.size() - 1));
+}
+
+MessageId ComLayer::create_queued(std::string name, std::size_t capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("ComLayer: queued capacity must be >= 1");
+  }
+  Message m;
+  m.name = std::move(name);
+  m.queued = true;
+  m.capacity = capacity;
+  messages_.push_back(std::move(m));
+  return MessageId(
+      static_cast<MessageId::underlying_type>(messages_.size() - 1));
+}
+
+ComLayer::Message* ComLayer::message(MessageId id) {
+  if (!id.valid() || id.value() >= messages_.size()) return nullptr;
+  return &messages_[id.value()];
+}
+
+const ComLayer::Message* ComLayer::message(MessageId id) const {
+  if (!id.valid() || id.value() >= messages_.size()) return nullptr;
+  return &messages_[id.value()];
+}
+
+void ComLayer::set_notification(MessageId id, TaskId task, EventMask mask) {
+  Message* m = message(id);
+  if (m == nullptr) throw std::invalid_argument("ComLayer: bad message id");
+  m->notify_task = task;
+  m->notify_mask = mask;
+}
+
+Status ComLayer::send(MessageId id, MessagePayload payload) {
+  Message* m = message(id);
+  if (m == nullptr) return Status::kId;
+  if (m->queued) {
+    if (m->fifo.size() >= m->capacity) {
+      ++m->overflows;
+      return Status::kLimit;
+    }
+    m->fifo.push_back(std::move(payload));
+  } else {
+    m->last = std::move(payload);
+  }
+  ++m->sends;
+  if (m->notify_task.valid() && m->notify_mask != 0) {
+    kernel_.set_event(m->notify_task, m->notify_mask);
+  }
+  return Status::kOk;
+}
+
+util::Result<MessagePayload, Status> ComLayer::receive(MessageId id) {
+  Message* m = message(id);
+  if (m == nullptr) return Status::kId;
+  if (m->queued) {
+    if (m->fifo.empty()) return Status::kNoFunc;
+    MessagePayload payload = std::move(m->fifo.front());
+    m->fifo.pop_front();
+    return payload;
+  }
+  if (!m->last.has_value()) return Status::kNoFunc;
+  return *m->last;  // non-destructive
+}
+
+bool ComLayer::is_queued(MessageId id) const {
+  const Message* m = message(id);
+  if (m == nullptr) throw std::invalid_argument("ComLayer: bad message id");
+  return m->queued;
+}
+
+std::size_t ComLayer::pending(MessageId id) const {
+  const Message* m = message(id);
+  if (m == nullptr) throw std::invalid_argument("ComLayer: bad message id");
+  return m->queued ? m->fifo.size() : (m->last.has_value() ? 1 : 0);
+}
+
+std::uint64_t ComLayer::sends(MessageId id) const {
+  const Message* m = message(id);
+  if (m == nullptr) throw std::invalid_argument("ComLayer: bad message id");
+  return m->sends;
+}
+
+std::uint64_t ComLayer::overflows(MessageId id) const {
+  const Message* m = message(id);
+  if (m == nullptr) throw std::invalid_argument("ComLayer: bad message id");
+  return m->overflows;
+}
+
+const std::string& ComLayer::name(MessageId id) const {
+  const Message* m = message(id);
+  if (m == nullptr) throw std::invalid_argument("ComLayer: bad message id");
+  return m->name;
+}
+
+}  // namespace easis::os

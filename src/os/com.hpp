@@ -1,0 +1,80 @@
+// OSEK-COM-style intra-ECU messaging.
+//
+// Queued and unqueued message objects between tasks, with optional
+// receiver notification via OSEK events (the COM notification class).
+// Payloads are byte vectors; typed access goes through the codec helpers.
+//
+//   - Unqueued messages keep the last value (sender overwrites, receiver
+//     reads non-destructively) — the RTE's last-is-best semantics at the
+//     COM layer.
+//   - Queued messages buffer up to `capacity` values FIFO; sending to a
+//     full queue returns kLimit and counts an overflow; receiving from an
+//     empty queue returns kNoFunc.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "os/kernel.hpp"
+#include "util/ids.hpp"
+
+namespace easis::os {
+
+using MessageId = util::StrongId<struct MessageTag>;
+using MessagePayload = std::vector<std::uint8_t>;
+
+class ComLayer {
+ public:
+  explicit ComLayer(Kernel& kernel) : kernel_(kernel) {}
+  ComLayer(const ComLayer&) = delete;
+  ComLayer& operator=(const ComLayer&) = delete;
+
+  /// Declares an unqueued (last-is-best) message object.
+  MessageId create_unqueued(std::string name);
+  /// Declares a queued message object with a FIFO depth of `capacity`.
+  MessageId create_queued(std::string name, std::size_t capacity);
+
+  /// COM notification: SetEvent(task, mask) on every successful send.
+  void set_notification(MessageId message, TaskId task, EventMask mask);
+
+  /// SendMessage. Unqueued: always succeeds (overwrites). Queued: kLimit
+  /// when the FIFO is full (the value is lost and counted).
+  Status send(MessageId message, MessagePayload payload);
+
+  /// ReceiveMessage. Unqueued: returns the last value (kNoFunc before the
+  /// first send), non-destructive. Queued: pops the oldest value, kNoFunc
+  /// when empty.
+  util::Result<MessagePayload, Status> receive(MessageId message);
+
+  // --- introspection ---------------------------------------------------------
+  [[nodiscard]] bool is_queued(MessageId message) const;
+  [[nodiscard]] std::size_t pending(MessageId message) const;
+  [[nodiscard]] std::uint64_t sends(MessageId message) const;
+  [[nodiscard]] std::uint64_t overflows(MessageId message) const;
+  [[nodiscard]] const std::string& name(MessageId message) const;
+  [[nodiscard]] std::size_t message_count() const { return messages_.size(); }
+
+ private:
+  struct Message {
+    std::string name;
+    bool queued = false;
+    std::size_t capacity = 1;
+    std::deque<MessagePayload> fifo;   // queued
+    std::optional<MessagePayload> last;  // unqueued
+    TaskId notify_task;
+    EventMask notify_mask = 0;
+    std::uint64_t sends = 0;
+    std::uint64_t overflows = 0;
+  };
+
+  Kernel& kernel_;
+  std::vector<Message> messages_;
+
+  [[nodiscard]] Message* message(MessageId id);
+  [[nodiscard]] const Message* message(MessageId id) const;
+};
+
+}  // namespace easis::os

@@ -1,0 +1,60 @@
+// OSEK/VDX-flavoured basic types and status codes.
+//
+// The kernel mirrors the OSEK OS service semantics the paper's platform
+// builds on (OSEK-conforming OS integrated across EASIS layers L2/L3),
+// at the fidelity needed to reproduce scheduling/timing faults.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace easis::os {
+
+/// OSEK StatusType subset.
+enum class Status {
+  kOk,          // E_OK
+  kAccess,      // E_OS_ACCESS
+  kCallLevel,   // E_OS_CALLEVEL
+  kId,          // E_OS_ID
+  kLimit,       // E_OS_LIMIT
+  kNoFunc,      // E_OS_NOFUNC
+  kResource,    // E_OS_RESOURCE
+  kState,       // E_OS_STATE
+  kValue,       // E_OS_VALUE
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "E_OK";
+    case Status::kAccess: return "E_OS_ACCESS";
+    case Status::kCallLevel: return "E_OS_CALLEVEL";
+    case Status::kId: return "E_OS_ID";
+    case Status::kLimit: return "E_OS_LIMIT";
+    case Status::kNoFunc: return "E_OS_NOFUNC";
+    case Status::kResource: return "E_OS_RESOURCE";
+    case Status::kState: return "E_OS_STATE";
+    case Status::kValue: return "E_OS_VALUE";
+  }
+  return "?";
+}
+
+/// OSEK task states.
+enum class TaskState { kSuspended, kReady, kRunning, kWaiting };
+
+[[nodiscard]] constexpr std::string_view to_string(TaskState s) {
+  switch (s) {
+    case TaskState::kSuspended: return "suspended";
+    case TaskState::kReady: return "ready";
+    case TaskState::kRunning: return "running";
+    case TaskState::kWaiting: return "waiting";
+  }
+  return "?";
+}
+
+/// Static task priority; larger value = more urgent.
+using Priority = int;
+
+/// OSEK event mask (extended tasks).
+using EventMask = std::uint32_t;
+
+}  // namespace easis::os

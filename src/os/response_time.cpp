@@ -1,0 +1,52 @@
+#include "os/response_time.hpp"
+
+namespace easis::os {
+
+ResponseTimeObserver::ResponseTimeObserver(Kernel& kernel) : kernel_(kernel) {
+  kernel_.add_observer(this);
+}
+
+ResponseTimeObserver::~ResponseTimeObserver() {
+  kernel_.remove_observer(this);
+}
+
+void ResponseTimeObserver::on_task_activated(TaskId task, sim::SimTime now) {
+  if (!tracked(task)) return;
+  records_[task].activations.push_back(now);
+}
+
+void ResponseTimeObserver::on_task_terminated(TaskId task, sim::SimTime now) {
+  if (!tracked(task)) return;
+  Record& record = records_[task];
+  if (record.activations.empty()) return;  // forced kill without activation
+  const sim::SimTime activated = record.activations.front();
+  record.activations.pop_front();
+  record.response_ms.add((now - activated).as_millis());
+  ++record.jobs;
+}
+
+void ResponseTimeObserver::on_task_preempted(TaskId task, sim::SimTime) {
+  if (!tracked(task)) return;
+  ++records_[task].preemptions;
+}
+
+const util::Stats* ResponseTimeObserver::response_times_ms(
+    TaskId task) const {
+  auto it = records_.find(task);
+  if (it == records_.end() || it->second.response_ms.empty()) return nullptr;
+  return &it->second.response_ms;
+}
+
+std::uint64_t ResponseTimeObserver::preemptions(TaskId task) const {
+  auto it = records_.find(task);
+  return it == records_.end() ? 0 : it->second.preemptions;
+}
+
+std::uint64_t ResponseTimeObserver::jobs_observed(TaskId task) const {
+  auto it = records_.find(task);
+  return it == records_.end() ? 0 : it->second.jobs;
+}
+
+void ResponseTimeObserver::clear() { records_.clear(); }
+
+}  // namespace easis::os

@@ -1,0 +1,55 @@
+// Response-time instrumentation.
+//
+// Records activation -> termination response times per task (including
+// queued activations), plus per-task preemption counts. Used by the
+// interference ablation bench to quantify the scheduling cost of the
+// watchdog service, and handy for validating fault hypotheses.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "os/kernel.hpp"
+#include "util/stats.hpp"
+
+namespace easis::os {
+
+class ResponseTimeObserver : public KernelObserver {
+ public:
+  explicit ResponseTimeObserver(Kernel& kernel);
+  ~ResponseTimeObserver() override;
+  ResponseTimeObserver(const ResponseTimeObserver&) = delete;
+  ResponseTimeObserver& operator=(const ResponseTimeObserver&) = delete;
+
+  /// Restrict recording to `task` (default: all tasks).
+  void watch_only(TaskId task) { only_ = task; }
+
+  [[nodiscard]] const util::Stats* response_times_ms(TaskId task) const;
+  [[nodiscard]] std::uint64_t preemptions(TaskId task) const;
+  [[nodiscard]] std::uint64_t jobs_observed(TaskId task) const;
+
+  void clear();
+
+  // KernelObserver:
+  void on_task_activated(TaskId task, sim::SimTime now) override;
+  void on_task_terminated(TaskId task, sim::SimTime now) override;
+  void on_task_preempted(TaskId task, sim::SimTime now) override;
+
+ private:
+  struct Record {
+    std::deque<sim::SimTime> activations;  // FIFO of unfinished jobs
+    util::Stats response_ms;
+    std::uint64_t preemptions = 0;
+    std::uint64_t jobs = 0;
+  };
+
+  Kernel& kernel_;
+  TaskId only_;
+  std::unordered_map<TaskId, Record> records_;
+
+  [[nodiscard]] bool tracked(TaskId task) const {
+    return !only_.valid() || task == only_;
+  }
+};
+
+}  // namespace easis::os

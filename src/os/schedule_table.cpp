@@ -1,0 +1,65 @@
+#include "os/schedule_table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace easis::os {
+
+ScheduleTable::ScheduleTable(Kernel& kernel, std::string name,
+                             sim::Duration round)
+    : kernel_(kernel), name_(std::move(name)), round_(round) {
+  if (round <= sim::Duration::zero()) {
+    throw std::invalid_argument("ScheduleTable: round must be positive");
+  }
+}
+
+void ScheduleTable::add_expiry_point(ExpiryPoint point) {
+  if (running_) {
+    throw std::logic_error("ScheduleTable: cannot modify while running");
+  }
+  if (point.offset < sim::Duration::zero() || point.offset >= round_) {
+    throw std::invalid_argument("ScheduleTable: offset outside round");
+  }
+  points_.push_back(point);
+  std::stable_sort(points_.begin(), points_.end(),
+                   [](const ExpiryPoint& a, const ExpiryPoint& b) {
+                     return a.offset < b.offset;
+                   });
+}
+
+void ScheduleTable::start(sim::Duration initial_offset) {
+  if (running_) throw std::logic_error("ScheduleTable: already running");
+  running_ = true;
+  ++generation_;
+  schedule_round(kernel_.now() + initial_offset, generation_);
+}
+
+void ScheduleTable::stop() {
+  running_ = false;
+  ++generation_;
+}
+
+void ScheduleTable::schedule_round(sim::SimTime round_start,
+                                   std::uint64_t generation) {
+  auto& engine = kernel_.engine();
+  for (const ExpiryPoint& point : points_) {
+    engine.schedule_at(
+        round_start + point.offset,
+        [this, task = point.task, generation] {
+          if (generation != generation_ || !running_) return;
+          kernel_.activate_task(task);
+        },
+        sim::EventPriority::kKernel);
+  }
+  engine.schedule_at(
+      round_start + round_,
+      [this, round_start, generation] {
+        if (generation != generation_ || !running_) return;
+        ++rounds_;
+        schedule_round(round_start + round_, generation);
+      },
+      sim::EventPriority::kKernel);
+}
+
+}  // namespace easis::os

@@ -1,0 +1,115 @@
+#include "os/schedule_trace.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+
+namespace easis::os {
+
+ScheduleTracer::ScheduleTracer(Kernel& kernel) : kernel_(kernel) {
+  kernel_.add_observer(this);
+}
+
+ScheduleTracer::~ScheduleTracer() { kernel_.remove_observer(this); }
+
+void ScheduleTracer::on_task_dispatched(TaskId task, sim::SimTime now) {
+  open_task_ = task;
+  open_since_ = now;
+}
+
+void ScheduleTracer::close_slice(TaskId task, sim::SimTime now) {
+  if (open_task_ != task) return;
+  if (now > open_since_) {
+    slices_.push_back(Slice{task, open_since_, now});
+  }
+  open_task_ = TaskId{};
+}
+
+void ScheduleTracer::on_task_preempted(TaskId task, sim::SimTime now) {
+  close_slice(task, now);
+}
+void ScheduleTracer::on_task_waiting(TaskId task, sim::SimTime now) {
+  close_slice(task, now);
+}
+void ScheduleTracer::on_task_terminated(TaskId task, sim::SimTime now) {
+  close_slice(task, now);
+}
+
+sim::Duration ScheduleTracer::busy_time(TaskId task) const {
+  sim::Duration total = sim::Duration::zero();
+  for (const Slice& s : slices_) {
+    if (s.task == task) total += s.end - s.start;
+  }
+  return total;
+}
+
+double ScheduleTracer::utilization(TaskId task, sim::SimTime t0,
+                                   sim::SimTime t1) const {
+  if (t1 <= t0) return 0.0;
+  std::int64_t busy = 0;
+  for (const Slice& s : slices_) {
+    if (s.task != task) continue;
+    const std::int64_t lo = std::max(s.start.as_micros(), t0.as_micros());
+    const std::int64_t hi = std::min(s.end.as_micros(), t1.as_micros());
+    if (hi > lo) busy += hi - lo;
+  }
+  return static_cast<double>(busy) /
+         static_cast<double>((t1 - t0).as_micros());
+}
+
+double ScheduleTracer::total_utilization(sim::SimTime t0,
+                                         sim::SimTime t1) const {
+  if (t1 <= t0) return 0.0;
+  std::int64_t busy = 0;
+  for (const Slice& s : slices_) {
+    const std::int64_t lo = std::max(s.start.as_micros(), t0.as_micros());
+    const std::int64_t hi = std::min(s.end.as_micros(), t1.as_micros());
+    if (hi > lo) busy += hi - lo;
+  }
+  return static_cast<double>(busy) /
+         static_cast<double>((t1 - t0).as_micros());
+}
+
+void ScheduleTracer::render_gantt(std::ostream& out, sim::SimTime t0,
+                                  sim::SimTime t1, int width) const {
+  if (t1 <= t0 || width < 2) return;
+  // Stable row order: by task id.
+  std::map<TaskId, std::string> rows;
+  for (const Slice& s : slices_) {
+    rows.try_emplace(s.task,
+                     std::string(static_cast<std::size_t>(width), '.'));
+  }
+  const double span = static_cast<double>((t1 - t0).as_micros());
+  for (const Slice& s : slices_) {
+    auto& row = rows.at(s.task);
+    const double lo = static_cast<double>(
+        std::max(s.start.as_micros(), t0.as_micros()) - t0.as_micros());
+    const double hi = static_cast<double>(
+        std::min(s.end.as_micros(), t1.as_micros()) - t0.as_micros());
+    if (hi <= lo) continue;
+    int first = static_cast<int>(lo / span * width);
+    int last = static_cast<int>(hi / span * width);
+    first = std::clamp(first, 0, width - 1);
+    last = std::clamp(last, first, width - 1);
+    for (int c = first; c <= last; ++c) {
+      row[static_cast<std::size_t>(c)] = '#';
+    }
+  }
+  std::size_t name_width = 8;
+  for (const auto& [task, _] : rows) {
+    name_width = std::max(name_width, kernel_.task_name(task).size());
+  }
+  for (const auto& [task, row] : rows) {
+    out << std::left << std::setw(static_cast<int>(name_width + 1))
+        << kernel_.task_name(task) << '|' << row << "|\n";
+  }
+  out << std::setw(static_cast<int>(name_width + 1)) << ' ' << " t="
+      << t0.as_millis() << "ms .. " << t1.as_millis() << "ms\n";
+}
+
+void ScheduleTracer::clear() {
+  slices_.clear();
+  open_task_ = TaskId{};
+}
+
+}  // namespace easis::os

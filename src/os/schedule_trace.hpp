@@ -1,0 +1,59 @@
+// Schedule tracing: records which task holds the CPU over time.
+//
+// Produces per-task busy intervals, utilization figures and an ASCII Gantt
+// chart — the validator's visual aid for understanding interference and
+// starvation scenarios (and for debugging fault-injection experiments).
+#pragma once
+
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#include "os/kernel.hpp"
+
+namespace easis::os {
+
+class ScheduleTracer : public KernelObserver {
+ public:
+  struct Slice {
+    TaskId task;
+    sim::SimTime start;
+    sim::SimTime end;
+  };
+
+  explicit ScheduleTracer(Kernel& kernel);
+  ~ScheduleTracer() override;
+  ScheduleTracer(const ScheduleTracer&) = delete;
+  ScheduleTracer& operator=(const ScheduleTracer&) = delete;
+
+  [[nodiscard]] const std::vector<Slice>& slices() const { return slices_; }
+  [[nodiscard]] sim::Duration busy_time(TaskId task) const;
+  /// CPU share of `task` within [t0, t1].
+  [[nodiscard]] double utilization(TaskId task, sim::SimTime t0,
+                                   sim::SimTime t1) const;
+  /// Total CPU share of all tasks within [t0, t1].
+  [[nodiscard]] double total_utilization(sim::SimTime t0,
+                                         sim::SimTime t1) const;
+
+  /// ASCII Gantt chart: one row per traced task, '#' where it runs.
+  void render_gantt(std::ostream& out, sim::SimTime t0, sim::SimTime t1,
+                    int width = 72) const;
+
+  void clear();
+
+  // KernelObserver:
+  void on_task_dispatched(TaskId task, sim::SimTime now) override;
+  void on_task_preempted(TaskId task, sim::SimTime now) override;
+  void on_task_waiting(TaskId task, sim::SimTime now) override;
+  void on_task_terminated(TaskId task, sim::SimTime now) override;
+
+ private:
+  Kernel& kernel_;
+  std::vector<Slice> slices_;
+  TaskId open_task_;
+  sim::SimTime open_since_;
+
+  void close_slice(TaskId task, sim::SimTime now);
+};
+
+}  // namespace easis::os

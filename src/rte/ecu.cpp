@@ -1,0 +1,2 @@
+// Ecu is header-only today; this translation unit anchors the library.
+#include "rte/ecu.hpp"

@@ -1,0 +1,47 @@
+// ECU container: one node of the EASIS architecture.
+//
+// Bundles the per-ECU layered platform (Figure 1 of the paper): the OSEK
+// kernel (L2), the RTE with its component model, and the signal bus that
+// stands in for the microcontroller-abstraction I/O path. Dependability
+// services (Software Watchdog, FMF) attach on top in the validator layer.
+#pragma once
+
+#include <string>
+
+#include "os/kernel.hpp"
+#include "rte/rte.hpp"
+#include "rte/signal_bus.hpp"
+#include "sim/engine.hpp"
+#include "util/ids.hpp"
+
+namespace easis::rte {
+
+class Ecu {
+ public:
+  Ecu(sim::Engine& engine, std::string name)
+      : name_(std::move(name)), kernel_(engine), rte_(kernel_) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] os::Kernel& kernel() { return kernel_; }
+  [[nodiscard]] Rte& rte() { return rte_; }
+  [[nodiscard]] SignalBus& signals() { return signals_; }
+  [[nodiscard]] const SignalBus& signals() const { return signals_; }
+
+  /// Boots the OS (auto-start tasks, hardware counters).
+  void start() { kernel_.start(); }
+
+  /// ECU software reset treatment: reboot the kernel. Application and
+  /// service re-initialisation is the owner's responsibility (validator).
+  void software_reset() {
+    kernel_.software_reset();
+    kernel_.start();
+  }
+
+ private:
+  std::string name_;
+  os::Kernel kernel_;
+  Rte rte_;
+  SignalBus signals_;
+};
+
+}  // namespace easis::rte

@@ -1,0 +1,41 @@
+// Runnable model (AUTOSAR-style code-sequence component).
+//
+// A runnable is the unit the Software Watchdog monitors: a named piece of
+// application code with a modelled execution time, mapped onto an OS task
+// together with runnables from possibly different applications.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace easis::rte {
+
+struct RunnableSpec {
+  std::string name;
+  /// Modelled execution time per invocation (virtual CPU budget).
+  sim::Duration execution_time = sim::Duration::micros(100);
+  /// Functional behaviour; runs when the execution budget completes.
+  std::function<void()> body;
+  /// Only safety-critical runnables take part in program flow checking.
+  bool safety_critical = true;
+};
+
+/// Per-runnable runtime controls. These are the levers the error injector
+/// manipulates — the equivalent of the paper's ControlDesk instruments
+/// (time scalar sliders, loop-counter manipulation).
+struct RunnableControl {
+  /// Multiplies the modelled execution time (a hang = large factor).
+  double time_scale = 1.0;
+  /// Skips the functional body (transient corruption of the call).
+  bool skip_body = false;
+  /// Suppresses the auto-generated aliveness indication glue.
+  bool suppress_heartbeat = false;
+  /// Executes the runnable this many times per job occurrence
+  /// (loop-counter manipulation; 0 drops it from the sequence).
+  std::uint32_t repeat = 1;
+};
+
+}  // namespace easis::rte

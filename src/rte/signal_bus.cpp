@@ -1,0 +1,46 @@
+#include "rte/signal_bus.hpp"
+
+namespace easis::rte {
+
+void SignalBus::publish(const std::string& name, double value,
+                        sim::SimTime at) {
+  Entry& e = entries_[name];
+  e.value = value;
+  e.updated_at = at;
+  ++e.updates;
+  for (const auto& observer : observers_) observer(name, value, at);
+}
+
+std::optional<double> SignalBus::read(const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.value;
+}
+
+double SignalBus::read_or(const std::string& name, double fallback) const {
+  return read(name).value_or(fallback);
+}
+
+std::optional<SignalBus::Entry> SignalBus::entry(
+    const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool SignalBus::has(const std::string& name) const {
+  return entries_.contains(name);
+}
+
+std::vector<std::string> SignalBus::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, _] : entries_) out.push_back(name);
+  return out;
+}
+
+void SignalBus::add_observer(Observer observer) {
+  observers_.push_back(std::move(observer));
+}
+
+}  // namespace easis::rte

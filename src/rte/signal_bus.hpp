@@ -1,0 +1,51 @@
+// Sender-receiver communication (last-is-best semantics).
+//
+// Models the RTE's sender-receiver ports between runnables and the
+// data path towards sensors/actuators and the communication gateway.
+// Signals are named doubles with update metadata.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace easis::rte {
+
+class SignalBus {
+ public:
+  struct Entry {
+    double value = 0.0;
+    sim::SimTime updated_at;
+    std::uint64_t updates = 0;
+  };
+
+  using Observer =
+      std::function<void(const std::string&, double, sim::SimTime)>;
+
+  /// Writes a signal (creates it on first write).
+  void publish(const std::string& name, double value, sim::SimTime at);
+
+  /// Last written value, if the signal exists.
+  [[nodiscard]] std::optional<double> read(const std::string& name) const;
+
+  /// Last written value or `fallback` for missing signals (initial ticks).
+  [[nodiscard]] double read_or(const std::string& name, double fallback) const;
+
+  [[nodiscard]] std::optional<Entry> entry(const std::string& name) const;
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Observers see every publish (tracing, gateway bridging).
+  void add_observer(Observer observer);
+
+ private:
+  std::unordered_map<std::string, Entry> entries_;
+  std::vector<Observer> observers_;
+};
+
+}  // namespace easis::rte

@@ -1,0 +1,72 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace easis::sim {
+
+EventId Engine::schedule_at(SimTime at, Action action, EventPriority priority) {
+  if (at < now_) {
+    throw std::invalid_argument("Engine::schedule_at: time in the past");
+  }
+  const EventId id = next_id_++;
+  queue_.push(Event{at, static_cast<int>(priority), id, std::move(action)});
+  return id;
+}
+
+EventId Engine::schedule_in(Duration delay, Action action,
+                            EventPriority priority) {
+  if (delay < Duration::zero()) {
+    throw std::invalid_argument("Engine::schedule_in: negative delay");
+  }
+  return schedule_at(now_ + delay, std::move(action), priority);
+}
+
+bool Engine::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Lazy cancellation: remember the id; skip it when popped.
+  return cancelled_.insert(id).second;
+}
+
+bool Engine::fire_next() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.at;
+    ++fired_;
+    ev.action();
+    return true;
+  }
+  return false;
+}
+
+bool Engine::step() { return fire_next(); }
+
+void Engine::run_until(SimTime until) {
+  while (!queue_.empty()) {
+    // Peek past cancelled events without firing.
+    if (cancelled_.contains(queue_.top().id)) {
+      cancelled_.erase(queue_.top().id);
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().at > until) break;
+    fire_next();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Engine::run_all() {
+  while (fire_next()) {
+  }
+}
+
+std::size_t Engine::pending_events() const {
+  return queue_.size() - cancelled_.size();
+}
+
+}  // namespace easis::sim

@@ -1,0 +1,27 @@
+#include "sim/lane.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace easis::sim {
+
+void LaneModel::step(Duration dt) {
+  const double dt_s = dt.as_seconds();
+  if (dt_s <= 0.0) return;
+  double rate = drift_mps_;
+  // The correction always acts back towards the lane centre.
+  if (offset_m_ > 0.0) {
+    rate -= correction_mps_;
+  } else if (offset_m_ < 0.0) {
+    rate += correction_mps_;
+  }
+  offset_m_ += rate * dt_s;
+  const double half_width = params_.lane_width_m;  // allow crossing fully
+  offset_m_ = std::clamp(offset_m_, -half_width, half_width);
+}
+
+bool LaneModel::departing() const {
+  return std::abs(offset_m_) >= params_.departure_threshold_m;
+}
+
+}  // namespace easis::sim

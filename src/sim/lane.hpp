@@ -1,0 +1,45 @@
+// Lane geometry and lateral position model for the SafeLane application.
+//
+// Substitute for the validator's environment-simulation node: produces the
+// lateral offset signal a lane camera would deliver, with an optional
+// scripted drift so lane-departure events can be provoked deterministically.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace easis::sim {
+
+struct LaneParams {
+  double lane_width_m = 3.5;
+  /// Lateral position beyond which the vehicle is departing the lane.
+  double departure_threshold_m = 1.2;
+};
+
+class LaneModel {
+ public:
+  explicit LaneModel(LaneParams params = {}) : params_(params) {}
+
+  /// Lateral drift rate in m/s (positive = towards the right marking).
+  void set_drift_rate(double mps) { drift_mps_ = mps; }
+
+  /// Steering correction in m/s applied against the drift (from a driver or
+  /// a lane-keeping response to the warning).
+  void set_correction_rate(double mps) { correction_mps_ = mps; }
+
+  void step(Duration dt);
+
+  /// Offset from lane centre, metres; positive = right.
+  [[nodiscard]] double lateral_offset_m() const { return offset_m_; }
+  [[nodiscard]] bool departing() const;
+  [[nodiscard]] const LaneParams& params() const { return params_; }
+
+  void set_lateral_offset_m(double m) { offset_m_ = m; }
+
+ private:
+  LaneParams params_;
+  double offset_m_ = 0.0;
+  double drift_mps_ = 0.0;
+  double correction_mps_ = 0.0;
+};
+
+}  // namespace easis::sim

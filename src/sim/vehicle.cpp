@@ -1,0 +1,32 @@
+#include "sim/vehicle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace easis::sim {
+
+void VehicleModel::set_drive_command(double cmd) {
+  command_ = std::clamp(cmd, -1.0, 1.0);
+}
+
+void VehicleModel::step(Duration dt) {
+  const double dt_s = dt.as_seconds();
+  if (dt_s <= 0.0) return;
+
+  double force = 0.0;
+  if (command_ >= 0.0) {
+    force = command_ * params_.max_drive_force_n;
+  } else {
+    force = command_ * params_.max_brake_force_n;
+  }
+  // Resistive forces oppose motion only while moving forward.
+  if (speed_mps_ > 0.0) {
+    force -= params_.drag_coeff * speed_mps_ * speed_mps_;
+    force -= params_.rolling_resist_n;
+  }
+  const double accel = force / params_.mass_kg;
+  speed_mps_ = std::max(0.0, speed_mps_ + accel * dt_s);
+  position_m_ += speed_mps_ * dt_s;
+}
+
+}  // namespace easis::sim

@@ -1,0 +1,46 @@
+// Longitudinal vehicle dynamics.
+//
+// Substitute for the EASIS validator's driving-dynamics / environment
+// simulation nodes: gives the SafeSpeed application a plausible closed loop
+// (driver demand + speed-limiter actuation -> vehicle speed).
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace easis::sim {
+
+struct VehicleParams {
+  double mass_kg = 1500.0;
+  double max_drive_force_n = 6000.0;   // full throttle
+  double max_brake_force_n = 12000.0;  // full braking
+  double drag_coeff = 0.8;             // F_drag = drag_coeff * v^2 [N]
+  double rolling_resist_n = 150.0;     // constant rolling resistance [N]
+};
+
+/// Simple point-mass longitudinal model integrated with explicit Euler.
+class VehicleModel {
+ public:
+  explicit VehicleModel(VehicleParams params = {}) : params_(params) {}
+
+  /// Commanded drive in [-1, 1]: positive = throttle, negative = brake.
+  void set_drive_command(double cmd);
+
+  /// Advances the model by `dt`.
+  void step(Duration dt);
+
+  [[nodiscard]] double speed_mps() const { return speed_mps_; }
+  [[nodiscard]] double speed_kmh() const { return speed_mps_ * 3.6; }
+  [[nodiscard]] double position_m() const { return position_m_; }
+  [[nodiscard]] double drive_command() const { return command_; }
+  [[nodiscard]] const VehicleParams& params() const { return params_; }
+
+  void set_speed_mps(double v) { speed_mps_ = v; }
+
+ private:
+  VehicleParams params_;
+  double command_ = 0.0;
+  double speed_mps_ = 0.0;
+  double position_m_ = 0.0;
+};
+
+}  // namespace easis::sim

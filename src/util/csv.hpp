@@ -1,0 +1,32 @@
+// Small CSV writer used by the bench harness to dump reproducible series.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace easis::util {
+
+class CsvWriter {
+ public:
+  /// Does not own the stream; the stream must outlive the writer.
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  void row(const std::vector<std::string>& cells);
+  void row(std::initializer_list<std::string> cells);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+  [[nodiscard]] std::size_t columns() const { return columns_; }
+
+  /// Quotes a cell if it contains separators/quotes/newlines.
+  [[nodiscard]] static std::string escape(std::string_view cell);
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace easis::util

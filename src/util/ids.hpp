@@ -1,0 +1,19 @@
+// Common entity id types shared across the platform libraries.
+#pragma once
+
+#include "util/strong_id.hpp"
+
+namespace easis {
+
+using RunnableId = util::StrongId<struct RunnableTag>;
+using TaskId = util::StrongId<struct TaskTag>;
+using ComponentId = util::StrongId<struct ComponentTag>;
+using ApplicationId = util::StrongId<struct ApplicationTag>;
+using EcuId = util::StrongId<struct EcuTag>;
+using AlarmId = util::StrongId<struct AlarmTag>;
+using CounterId = util::StrongId<struct CounterTag>;
+using ResourceId = util::StrongId<struct ResourceTag>;
+using NodeId = util::StrongId<struct NodeTag>;
+using InjectionId = util::StrongId<struct InjectionTag>;
+
+}  // namespace easis

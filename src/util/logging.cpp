@@ -1,0 +1,44 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace easis::util {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger::Logger()
+    : sink_([](LogLevel level, std::string_view component,
+               std::string_view message) {
+        std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+                     static_cast<int>(to_string(level).size()),
+                     to_string(level).data(),
+                     static_cast<int>(component.size()), component.data(),
+                     static_cast<int>(message.size()), message.data());
+      }) {}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Sink Logger::set_sink(Sink sink) {
+  std::swap(sink, sink_);
+  return sink;
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view message) {
+  if (enabled(level) && sink_) sink_(level, component, message);
+}
+
+}  // namespace easis::util

@@ -1,0 +1,69 @@
+// Lightweight leveled logging with pluggable sinks.
+//
+// The simulation is single-threaded, so the logger is deliberately not
+// thread safe. Default sink is stderr; tests install a capturing sink.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace easis::util {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view component,
+                                  std::string_view message)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  /// Replaces the output sink; returns the previous one.
+  Sink set_sink(Sink sink);
+
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void log(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarn;
+  Sink sink_;
+};
+
+/// Stream-style log statement: LOG_AT(kInfo, "wdg") << "x=" << x;
+class LogStatement {
+ public:
+  LogStatement(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  ~LogStatement() {
+    Logger::instance().log(level_, component_, stream_.str());
+  }
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace easis::util
+
+#define EASIS_LOG(level, component)                                   \
+  if (!::easis::util::Logger::instance().enabled(level)) {            \
+  } else                                                               \
+    ::easis::util::LogStatement((level), (component))

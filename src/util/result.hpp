@@ -1,0 +1,49 @@
+// Minimal Result<T, E> type (std::expected is C++23; we target C++20).
+//
+// Used for fallible operations where exceptions would be inappropriate in
+// an automotive-flavoured service layer (most OSEK-style APIs return status
+// codes; richer interfaces return Result).
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+namespace easis::util {
+
+template <typename T, typename E>
+class [[nodiscard]] Result {
+ public:
+  constexpr Result(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  constexpr Result(E error) : storage_(std::in_place_index<1>, std::move(error)) {}
+
+  [[nodiscard]] constexpr bool ok() const { return storage_.index() == 0; }
+  [[nodiscard]] constexpr explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] constexpr const T& value() const& {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] constexpr T& value() & {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] constexpr T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(storage_));
+  }
+
+  [[nodiscard]] constexpr const E& error() const& {
+    assert(!ok());
+    return std::get<1>(storage_);
+  }
+
+  [[nodiscard]] constexpr T value_or(T fallback) const& {
+    return ok() ? std::get<0>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> storage_;
+};
+
+}  // namespace easis::util

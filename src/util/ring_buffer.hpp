@@ -1,0 +1,71 @@
+// Fixed-capacity ring buffer.
+//
+// Used for bounded in-service logs (fault log, supervision report history)
+// where unbounded growth would be unacceptable on an ECU.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace easis::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : capacity_(capacity) {
+    assert(capacity > 0);
+    items_.reserve(capacity);
+  }
+
+  /// Appends an item, overwriting the oldest when full.
+  void push(T item) {
+    if (items_.size() < capacity_) {
+      items_.push_back(std::move(item));
+    } else {
+      items_[head_] = std::move(item);
+      head_ = (head_ + 1) % capacity_;
+      ++dropped_;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] bool full() const { return items_.size() == capacity_; }
+  /// Number of items that were overwritten because the buffer was full.
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
+
+  /// i = 0 is the oldest retained item.
+  [[nodiscard]] const T& at(std::size_t i) const {
+    assert(i < items_.size());
+    return items_[(head_ + i) % items_.size()];
+  }
+
+  [[nodiscard]] const T& back() const {
+    assert(!items_.empty());
+    return at(items_.size() - 1);
+  }
+
+  void clear() {
+    items_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+  /// Copies the retained items oldest-first.
+  [[nodiscard]] std::vector<T> snapshot() const {
+    std::vector<T> out;
+    out.reserve(items_.size());
+    for (std::size_t i = 0; i < items_.size(); ++i) out.push_back(at(i));
+    return out;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // index of oldest item once full
+  std::size_t dropped_ = 0;
+  std::vector<T> items_;
+};
+
+}  // namespace easis::util

@@ -1,0 +1,58 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace easis::util {
+
+void Stats::add(double x) {
+  samples_.push_back(x);
+  sorted_valid_ = false;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(samples_.size());
+  m2_ += delta * (x - mean_);
+}
+
+double Stats::variance() const {
+  if (samples_.size() < 2) return 0.0;
+  return m2_ / static_cast<double>(samples_.size() - 1);
+}
+
+double Stats::stddev() const { return std::sqrt(variance()); }
+
+void Stats::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double Stats::min() const {
+  if (empty()) throw std::logic_error("Stats::min on empty");
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Stats::max() const {
+  if (empty()) throw std::logic_error("Stats::max on empty");
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Stats::percentile(double p) const {
+  if (empty()) throw std::logic_error("Stats::percentile on empty");
+  assert(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] + (sorted_[hi] - sorted_[lo]) * frac;
+}
+
+}  // namespace easis::util

@@ -1,0 +1,38 @@
+// Summary statistics for benchmark/campaign measurements.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace easis::util {
+
+/// Online accumulator (Welford) plus retained samples for percentiles.
+class Stats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Sample variance (n-1); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Nearest-rank percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double median() const { return percentile(50.0); }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+
+  void ensure_sorted() const;
+};
+
+}  // namespace easis::util

@@ -1,0 +1,54 @@
+// Strongly-typed integer identifiers.
+//
+// Every entity in the platform (runnable, task, application, ECU, ...) is
+// referred to by an opaque integer id. Using a distinct C++ type per entity
+// kind makes it impossible to pass a TaskId where a RunnableId is expected
+// (I.4: make interfaces precisely and strongly typed).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace easis::util {
+
+/// A strongly typed id. `Tag` is a phantom type that distinguishes id kinds.
+template <typename Tag>
+class StrongId {
+ public:
+  using underlying_type = std::uint32_t;
+
+  /// Default-constructed ids are invalid.
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(underlying_type value) : value_(value) {}
+
+  [[nodiscard]] constexpr underlying_type value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  /// The reserved invalid id.
+  static constexpr StrongId invalid() { return StrongId{}; }
+
+  friend constexpr auto operator<=>(StrongId, StrongId) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    if (!id.valid()) return os << "#invalid";
+    return os << '#' << id.value();
+  }
+
+ private:
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+  underlying_type value_ = kInvalid;
+};
+
+}  // namespace easis::util
+
+template <typename Tag>
+struct std::hash<easis::util::StrongId<Tag>> {
+  std::size_t operator()(easis::util::StrongId<Tag> id) const noexcept {
+    return std::hash<typename easis::util::StrongId<Tag>::underlying_type>{}(
+        id.value());
+  }
+};

@@ -1,0 +1,135 @@
+#include "util/trace.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace easis::util {
+
+void TraceSignal::record(std::int64_t time, double value) {
+  if (!samples_.empty() && time < samples_.back().time) {
+    throw std::invalid_argument("TraceSignal: non-monotonic sample time");
+  }
+  // Collapse same-instant updates: keep the latest value.
+  if (!samples_.empty() && samples_.back().time == time) {
+    samples_.back().value = value;
+    return;
+  }
+  samples_.push_back({time, value});
+}
+
+std::optional<double> TraceSignal::value_at(std::int64_t time) const {
+  if (samples_.empty() || time < samples_.front().time) return std::nullopt;
+  auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), time,
+      [](std::int64_t t, const Sample& s) { return t < s.time; });
+  return std::prev(it)->value;
+}
+
+double TraceSignal::max_value() const {
+  double best = -std::numeric_limits<double>::infinity();
+  for (const auto& s : samples_) best = std::max(best, s.value);
+  return best;
+}
+
+double TraceSignal::min_value() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& s : samples_) best = std::min(best, s.value);
+  return best;
+}
+
+void TraceRecorder::record(const std::string& signal, std::int64_t time,
+                           double value) {
+  signals_[signal].record(time, value);
+}
+
+bool TraceRecorder::has_signal(const std::string& signal) const {
+  return signals_.contains(signal);
+}
+
+const TraceSignal& TraceRecorder::signal(const std::string& name) const {
+  auto it = signals_.find(name);
+  if (it == signals_.end()) {
+    throw std::out_of_range("TraceRecorder: unknown signal " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> TraceRecorder::signal_names() const {
+  std::vector<std::string> names;
+  names.reserve(signals_.size());
+  for (const auto& [name, _] : signals_) names.push_back(name);
+  return names;
+}
+
+std::int64_t TraceRecorder::earliest_time() const {
+  std::int64_t t = std::numeric_limits<std::int64_t>::max();
+  for (const auto& [_, sig] : signals_) {
+    if (!sig.empty()) t = std::min(t, sig.samples().front().time);
+  }
+  return t == std::numeric_limits<std::int64_t>::max() ? 0 : t;
+}
+
+std::int64_t TraceRecorder::latest_time() const {
+  std::int64_t t = std::numeric_limits<std::int64_t>::min();
+  for (const auto& [_, sig] : signals_) {
+    if (!sig.empty()) t = std::max(t, sig.samples().back().time);
+  }
+  return t == std::numeric_limits<std::int64_t>::min() ? 0 : t;
+}
+
+void TraceRecorder::write_csv(std::ostream& out, std::int64_t step) const {
+  assert(step > 0);
+  out << "time";
+  for (const auto& [name, _] : signals_) out << ',' << name;
+  out << '\n';
+  const std::int64_t t0 = earliest_time();
+  const std::int64_t t1 = latest_time();
+  for (std::int64_t t = t0; t <= t1; t += step) {
+    out << t;
+    for (const auto& [_, sig] : signals_) {
+      out << ',';
+      if (auto v = sig.value_at(t)) out << *v;
+    }
+    out << '\n';
+  }
+}
+
+void TraceRecorder::render_ascii(std::ostream& out, const std::string& name,
+                                 std::int64_t t0, std::int64_t t1, int width,
+                                 int height) const {
+  const TraceSignal& sig = signal(name);
+  if (sig.empty() || t1 <= t0 || width < 2 || height < 2) {
+    out << name << ": <no data>\n";
+    return;
+  }
+  double lo = std::min(0.0, sig.min_value());
+  double hi = sig.max_value();
+  if (hi <= lo) hi = lo + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (int col = 0; col < width; ++col) {
+    const std::int64_t t = t0 + (t1 - t0) * col / (width - 1);
+    auto v = sig.value_at(t);
+    if (!v) continue;
+    double frac = (*v - lo) / (hi - lo);
+    int row = static_cast<int>(std::lround(frac * (height - 1)));
+    row = std::clamp(row, 0, height - 1);
+    grid[static_cast<std::size_t>(height - 1 - row)]
+        [static_cast<std::size_t>(col)] = '*';
+  }
+
+  out << name << "  [" << lo << " .. " << hi << "]\n";
+  for (const auto& line : grid) out << "  |" << line << "|\n";
+  out << "  +" << std::string(static_cast<std::size_t>(width), '-') << "+\n";
+  out << "   t=" << t0 << std::string(static_cast<std::size_t>(
+                               std::max(1, width - 20)), ' ')
+      << "t=" << t1 << "\n";
+}
+
+}  // namespace easis::util

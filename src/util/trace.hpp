@@ -1,0 +1,71 @@
+// Time-series trace recorder.
+//
+// Reproduces the role of the dSPACE ControlDesk plots in the paper's
+// evaluation: signals (counter values, detection results) are sampled over
+// simulation time, then exported as CSV and rendered as ASCII step plots so
+// the bench binaries can print "Figure 5 / Figure 6"-style diagrams.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace easis::util {
+
+/// One sampled signal: (time, value) pairs, step-wise (value holds until the
+/// next sample).
+class TraceSignal {
+ public:
+  struct Sample {
+    std::int64_t time;
+    double value;
+  };
+
+  void record(std::int64_t time, double value);
+
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Step-wise evaluation: value of the latest sample at or before `time`.
+  [[nodiscard]] std::optional<double> value_at(std::int64_t time) const;
+
+  [[nodiscard]] double max_value() const;
+  [[nodiscard]] double min_value() const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// Named collection of signals over a common time axis.
+class TraceRecorder {
+ public:
+  /// Records a sample; creates the signal on first use.
+  void record(const std::string& signal, std::int64_t time, double value);
+
+  [[nodiscard]] bool has_signal(const std::string& signal) const;
+  [[nodiscard]] const TraceSignal& signal(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> signal_names() const;
+
+  /// Exports all signals resampled onto a uniform grid as CSV
+  /// (columns: time, <signal...>).
+  void write_csv(std::ostream& out, std::int64_t step) const;
+
+  /// Renders one signal as an ASCII step plot (like one ControlDesk plot
+  /// row). `height` rows, `width` columns across [t0, t1].
+  void render_ascii(std::ostream& out, const std::string& name,
+                    std::int64_t t0, std::int64_t t1, int width = 72,
+                    int height = 8) const;
+
+  [[nodiscard]] std::int64_t earliest_time() const;
+  [[nodiscard]] std::int64_t latest_time() const;
+
+  void clear() { signals_.clear(); }
+
+ private:
+  std::map<std::string, TraceSignal> signals_;
+};
+
+}  // namespace easis::util

@@ -1,0 +1,212 @@
+#include "validator/central_node.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+#include "wdg/config_check.hpp"
+
+namespace easis::validator {
+
+namespace {
+std::int64_t lcm64(std::int64_t a, std::int64_t b) {
+  std::int64_t x = a, y = b;
+  while (y != 0) {
+    const std::int64_t t = x % y;
+    x = y;
+    y = t;
+  }
+  return a / x * b;
+}
+
+std::uint64_t period_ticks(sim::Duration period) {
+  constexpr std::int64_t kTickMicros = 1000;  // 1 ms system counter
+  const std::int64_t p = period.as_micros();
+  if (p <= 0 || p % kTickMicros != 0) {
+    throw std::invalid_argument(
+        "CentralNode: task periods must be positive multiples of 1ms");
+  }
+  return static_cast<std::uint64_t>(p / kTickMicros);
+}
+}  // namespace
+
+CentralNode::CentralNode(sim::Engine& engine, CentralNodeConfig config)
+    : engine_(engine),
+      config_(config),
+      ecu_(engine, "CentralNode"),
+      watchdog_(config.watchdog) {
+  auto& kernel = ecu_.kernel();
+  auto& rte = ecu_.rte();
+
+  // 1 ms system counter driving all periodic activations.
+  os::CounterConfig counter_config;
+  counter_config.name = "SystemTimer";
+  counter_config.tick = sim::Duration::millis(1);
+  counter_ = kernel.create_counter(counter_config);
+
+  // --- application tasks -----------------------------------------------------
+  os::TaskConfig ss_task;
+  ss_task.name = "Task_SafeSpeed";
+  ss_task.priority = config_.safespeed_priority;
+  safespeed_task_ = kernel.create_task(ss_task);
+  safespeed_alarm_ = kernel.create_alarm(
+      counter_, os::AlarmActionActivateTask{safespeed_task_},
+      "Alarm_SafeSpeed");
+  safespeed_ticks_ = period_ticks(config_.safespeed.period);
+  safespeed_ = std::make_unique<apps::SafeSpeed>(
+      rte, ecu_.signals(), safespeed_task_, config_.safespeed);
+  safespeed_->configure_watchdog(watchdog_);
+
+  if (config_.with_safelane) {
+    os::TaskConfig sl_task;
+    sl_task.name = "Task_SafeLane";
+    sl_task.priority = config_.safelane_priority;
+    safelane_task_ = kernel.create_task(sl_task);
+    safelane_alarm_ = kernel.create_alarm(
+        counter_, os::AlarmActionActivateTask{safelane_task_},
+        "Alarm_SafeLane");
+    safelane_ticks_ = period_ticks(config_.safelane.period);
+    safelane_ = std::make_unique<apps::SafeLane>(
+        rte, ecu_.signals(), safelane_task_, config_.safelane);
+    safelane_->configure_watchdog(watchdog_);
+  }
+
+  if (config_.with_light_control) {
+    os::TaskConfig lc_task;
+    lc_task.name = "Task_LightControl";
+    lc_task.priority = config_.light_priority;
+    light_task_ = kernel.create_task(lc_task);
+    light_alarm_ = kernel.create_alarm(
+        counter_, os::AlarmActionActivateTask{light_task_},
+        "Alarm_LightControl");
+    light_ticks_ = period_ticks(config_.light.period);
+    light_ = std::make_unique<apps::LightControl>(
+        rte, ecu_.signals(), light_task_, config_.light);
+    light_->configure_watchdog(watchdog_);
+  }
+
+  if (config_.with_crash_detection) {
+    config_.crash.arrival_cycles = 10;  // per the watchdog check period
+    crash_ = std::make_unique<apps::CrashDetection>(
+        rte, ecu_.signals(), config_.crash_priority, config_.crash);
+    crash_->configure_watchdog(watchdog_);
+  }
+
+  // --- time-triggered dispatching (OSEKTime-style) -----------------------------
+  if (config_.time_triggered) {
+    std::int64_t round_us = config_.safespeed.period.as_micros();
+    if (safelane_) round_us = lcm64(round_us, config_.safelane.period.as_micros());
+    if (light_) round_us = lcm64(round_us, config_.light.period.as_micros());
+    schedule_table_ = std::make_unique<os::ScheduleTable>(
+        kernel, "TT_Dispatcher", sim::Duration::micros(round_us));
+    auto add_points = [&](TaskId task, sim::Duration period) {
+      for (std::int64_t offset = 0; offset < round_us;
+           offset += period.as_micros()) {
+        schedule_table_->add_expiry_point(
+            {sim::Duration::micros(offset), task, period});
+      }
+    };
+    add_points(safespeed_task_, config_.safespeed.period);
+    if (safelane_) add_points(safelane_task_, config_.safelane.period);
+    if (light_) add_points(light_task_, config_.light.period);
+  }
+
+  // --- dependability services ---------------------------------------------------
+  service_ = std::make_unique<wdg::WatchdogService>(
+      kernel, rte, watchdog_, counter_, config_.watchdog_service);
+
+  if (config_.with_fmf) {
+    fmf_ = std::make_unique<fmf::FaultManagementFramework>(
+        rte, watchdog_, [this] { software_reset(); }, config_.fmf);
+    dtc_ = std::make_unique<fmf::DtcStore>(
+        ecu_.signals(),
+        std::vector<std::string>{"vehicle.speed_kmh", "driver.demand",
+                                 "safespeed.max_speed_kmh"});
+    fmf_->attach_dtc_store(dtc_.get());
+    fmf_->attach();
+  }
+}
+
+void CentralNode::start() {
+  if (!ecu_.rte().finalized()) ecu_.rte().finalize();
+  if (started_once_ && kernel().started()) {
+    throw std::logic_error("CentralNode: already started");
+  }
+  if (!started_once_) {
+    // Boot-time self check: a watchdog configuration with guaranteed
+    // false positives or flow-table defects must not go into operation.
+    const auto findings = wdg::ConfigChecker::check(
+        watchdog_, [this](RunnableId id) {
+          const TaskId task = ecu_.rte().task_of(id);
+          if (task == safespeed_task_) return config_.safespeed.period;
+          if (safelane_ && task == safelane_task_) {
+            return config_.safelane.period;
+          }
+          if (light_ && task == light_task_) return config_.light.period;
+          return sim::Duration::zero();  // sporadic (crash detection)
+        });
+    if (!wdg::ConfigChecker::acceptable(findings)) {
+      std::ostringstream report;
+      wdg::ConfigChecker::write(report, findings);
+      throw std::logic_error("CentralNode: watchdog configuration invalid\n" +
+                             report.str());
+    }
+    for (const auto& finding : findings) {
+      EASIS_LOG(util::LogLevel::kWarn, "validator") << finding.message;
+    }
+  }
+  started_once_ = true;
+  kernel().start();
+  arm_alarms();
+  if (crash_) crash_->start();
+  schedule_environment(++env_generation_);
+}
+
+void CentralNode::software_reset() {
+  ++resets_;
+  kernel().software_reset();
+  watchdog_.reset(engine_.now());
+  kernel().start();
+  arm_alarms();
+  if (crash_) crash_->start();
+  schedule_environment(++env_generation_);
+}
+
+void CentralNode::arm_alarms() {
+  auto& kernel = ecu_.kernel();
+  if (schedule_table_) {
+    if (schedule_table_->running()) schedule_table_->stop();
+    // First round starts one dispatcher period in (like the alarms).
+    schedule_table_->start(config_.safespeed.period);
+  } else {
+    kernel.set_rel_alarm(safespeed_alarm_, safespeed_ticks_,
+                         safespeed_ticks_);
+    if (safelane_) {
+      kernel.set_rel_alarm(safelane_alarm_, safelane_ticks_, safelane_ticks_);
+    }
+    if (light_) {
+      kernel.set_rel_alarm(light_alarm_, light_ticks_, light_ticks_);
+    }
+  }
+  service_->arm();
+}
+
+void CentralNode::schedule_environment(std::uint64_t generation) {
+  engine_.schedule_in(
+      config_.environment_step,
+      [this, generation] {
+        if (generation != env_generation_) return;
+        auto& signals = ecu_.signals();
+        vehicle_.set_drive_command(signals.read_or("actuator.drive_cmd", 0.0));
+        vehicle_.step(config_.environment_step);
+        lane_.step(config_.environment_step);
+        signals.publish("vehicle.speed_kmh", vehicle_.speed_kmh(),
+                        engine_.now());
+        signals.publish("lane.offset_m", lane_.lateral_offset_m(),
+                        engine_.now());
+        schedule_environment(generation);
+      },
+      sim::EventPriority::kDefault);
+}
+
+}  // namespace easis::validator

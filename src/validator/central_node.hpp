@@ -1,0 +1,141 @@
+// Central node of the EASIS architecture validator (paper §4.2).
+//
+// The substitute for the dSPACE AutoBox: hosts the SafeSpeed safety
+// application (and optionally SafeLane and LightControl), the Software
+// Watchdog service, the Fault Management Framework, and the environment
+// simulation (vehicle dynamics + lane geometry) closing the loop.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "apps/crash_detection.hpp"
+#include "apps/lightctl.hpp"
+#include "apps/safelane.hpp"
+#include "apps/safespeed.hpp"
+#include "fmf/fmf.hpp"
+#include "os/schedule_table.hpp"
+#include "rte/ecu.hpp"
+#include "sim/engine.hpp"
+#include "sim/lane.hpp"
+#include "sim/vehicle.hpp"
+#include "wdg/service.hpp"
+#include "wdg/watchdog.hpp"
+
+namespace easis::validator {
+
+struct CentralNodeConfig {
+  wdg::WatchdogConfig watchdog;
+  wdg::ServiceConfig watchdog_service;
+  apps::SafeSpeedConfig safespeed;
+  apps::SafeLaneConfig safelane;
+  apps::LightControlConfig light;
+  bool with_safelane = true;
+  bool with_light_control = true;
+  bool with_crash_detection = true;
+  apps::CrashDetectionConfig crash;
+  os::Priority crash_priority = 70;
+  bool with_fmf = true;
+  fmf::FmfConfig fmf;
+  /// Environment integration step (vehicle + lane models).
+  sim::Duration environment_step = sim::Duration::millis(5);
+  os::Priority safespeed_priority = 50;
+  os::Priority safelane_priority = 40;
+  os::Priority light_priority = 10;
+  /// OSEKTime-style dispatching: application tasks are activated from a
+  /// time-triggered schedule table instead of individual alarms (the
+  /// watchdog service keeps its own alarm). The table round is the LCM of
+  /// the application periods.
+  bool time_triggered = false;
+};
+
+class CentralNode {
+ public:
+  CentralNode(sim::Engine& engine, CentralNodeConfig config = {});
+  CentralNode(const CentralNode&) = delete;
+  CentralNode& operator=(const CentralNode&) = delete;
+
+  /// Boots the node: finalizes the RTE (once), starts the kernel, arms the
+  /// application and watchdog alarms, and starts the environment loop.
+  void start();
+
+  /// ECU software reset treatment (also wired into the FMF).
+  void software_reset();
+  [[nodiscard]] std::uint32_t resets_performed() const { return resets_; }
+
+  // --- accessors --------------------------------------------------------------
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] rte::Ecu& ecu() { return ecu_; }
+  [[nodiscard]] os::Kernel& kernel() { return ecu_.kernel(); }
+  [[nodiscard]] rte::Rte& rte() { return ecu_.rte(); }
+  [[nodiscard]] rte::SignalBus& signals() { return ecu_.signals(); }
+  [[nodiscard]] wdg::SoftwareWatchdog& watchdog() { return watchdog_; }
+  [[nodiscard]] wdg::WatchdogService& watchdog_service() { return *service_; }
+  [[nodiscard]] fmf::FaultManagementFramework* fault_management() {
+    return fmf_ ? fmf_.get() : nullptr;
+  }
+  /// Non-null when the FMF is enabled.
+  [[nodiscard]] fmf::DtcStore* dtc_store() { return dtc_.get(); }
+  [[nodiscard]] apps::SafeSpeed& safespeed() { return *safespeed_; }
+  [[nodiscard]] apps::SafeLane* safelane() { return safelane_.get(); }
+  [[nodiscard]] apps::LightControl* light_control() { return light_.get(); }
+  [[nodiscard]] apps::CrashDetection* crash_detection() {
+    return crash_.get();
+  }
+  [[nodiscard]] sim::VehicleModel& vehicle() { return vehicle_; }
+  [[nodiscard]] sim::LaneModel& lane() { return lane_; }
+
+  [[nodiscard]] TaskId safespeed_task() const { return safespeed_task_; }
+  [[nodiscard]] AlarmId safespeed_alarm() const { return safespeed_alarm_; }
+  [[nodiscard]] std::uint64_t safespeed_period_ticks() const {
+    return safespeed_ticks_;
+  }
+  [[nodiscard]] TaskId safelane_task() const { return safelane_task_; }
+  [[nodiscard]] AlarmId safelane_alarm() const { return safelane_alarm_; }
+  [[nodiscard]] std::uint64_t safelane_period_ticks() const {
+    return safelane_ticks_;
+  }
+  [[nodiscard]] CounterId system_counter() const { return counter_; }
+  [[nodiscard]] const CentralNodeConfig& config() const { return config_; }
+  /// Non-null only in time-triggered mode.
+  [[nodiscard]] os::ScheduleTable* schedule_table() {
+    return schedule_table_.get();
+  }
+
+ private:
+  sim::Engine& engine_;
+  CentralNodeConfig config_;
+  rte::Ecu ecu_;
+  wdg::SoftwareWatchdog watchdog_;
+  sim::VehicleModel vehicle_;
+  sim::LaneModel lane_;
+
+  CounterId counter_;
+  TaskId safespeed_task_;
+  AlarmId safespeed_alarm_;
+  std::uint64_t safespeed_ticks_ = 0;
+  TaskId safelane_task_;
+  AlarmId safelane_alarm_;
+  std::uint64_t safelane_ticks_ = 0;
+  TaskId light_task_;
+  AlarmId light_alarm_;
+  std::uint64_t light_ticks_ = 0;
+
+  std::unique_ptr<apps::SafeSpeed> safespeed_;
+  std::unique_ptr<apps::SafeLane> safelane_;
+  std::unique_ptr<apps::LightControl> light_;
+  std::unique_ptr<apps::CrashDetection> crash_;
+  std::unique_ptr<wdg::WatchdogService> service_;
+  std::unique_ptr<fmf::FaultManagementFramework> fmf_;
+  std::unique_ptr<fmf::DtcStore> dtc_;
+  std::unique_ptr<os::ScheduleTable> schedule_table_;
+
+  bool started_once_ = false;
+  std::uint32_t resets_ = 0;
+  std::uint64_t env_generation_ = 0;
+
+  void arm_alarms();
+  void schedule_environment(std::uint64_t generation);
+};
+
+}  // namespace easis::validator

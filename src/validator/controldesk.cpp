@@ -1,0 +1,72 @@
+#include "validator/controldesk.hpp"
+
+#include <stdexcept>
+
+namespace easis::validator {
+
+ControlDesk::ControlDesk(sim::Engine& engine, util::TraceRecorder& recorder,
+                         sim::Duration sample_period)
+    : engine_(engine), recorder_(recorder), period_(sample_period) {
+  if (sample_period <= sim::Duration::zero()) {
+    throw std::invalid_argument("ControlDesk: sample period must be positive");
+  }
+}
+
+void ControlDesk::watch(std::string signal, std::function<double()> probe) {
+  probes_.emplace_back(std::move(signal), std::move(probe));
+}
+
+void ControlDesk::watch_runnable(const wdg::SoftwareWatchdog& watchdog,
+                                 RunnableId runnable,
+                                 const std::string& prefix) {
+  const auto& hbm = watchdog.heartbeat_unit();
+  const auto& tsi = watchdog.tsi_unit();
+  watch(prefix + ".AC", [&hbm, runnable] {
+    return static_cast<double>(hbm.ac(runnable));
+  });
+  watch(prefix + ".CCA", [&hbm, runnable] {
+    return static_cast<double>(hbm.cca(runnable));
+  });
+  watch(prefix + ".ARC", [&hbm, runnable] {
+    return static_cast<double>(hbm.arc(runnable));
+  });
+  watch(prefix + ".CCAR", [&hbm, runnable] {
+    return static_cast<double>(hbm.ccar(runnable));
+  });
+  watch(prefix + ".AM Result", [&tsi, runnable] {
+    return static_cast<double>(
+        tsi.error_count(runnable, wdg::ErrorType::kAliveness) +
+        tsi.error_count(runnable, wdg::ErrorType::kAccumulatedAliveness));
+  });
+  watch(prefix + ".ARM Result", [&tsi, runnable] {
+    return static_cast<double>(
+        tsi.error_count(runnable, wdg::ErrorType::kArrivalRate));
+  });
+  watch(prefix + ".PFC Result", [&tsi, runnable] {
+    return static_cast<double>(
+        tsi.error_count(runnable, wdg::ErrorType::kProgramFlow));
+  });
+}
+
+void ControlDesk::start(sim::Duration horizon) {
+  if (running_) throw std::logic_error("ControlDesk: already running");
+  running_ = true;
+  stop_at_ = engine_.now() + horizon;
+  sample_and_reschedule();
+}
+
+void ControlDesk::sample_and_reschedule() {
+  if (engine_.now() > stop_at_) {
+    running_ = false;
+    return;
+  }
+  ++samples_;
+  const std::int64_t t = engine_.now().as_micros();
+  for (const auto& [signal, probe] : probes_) {
+    recorder_.record(signal, t, probe());
+  }
+  engine_.schedule_in(period_, [this] { sample_and_reschedule(); },
+                      sim::EventPriority::kMonitor);
+}
+
+}  // namespace easis::validator

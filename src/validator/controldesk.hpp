@@ -1,0 +1,49 @@
+// ControlDesk substitute (paper §4.5): periodic sampling of watchdog
+// counters and platform signals into a TraceRecorder, so the bench
+// binaries can reproduce the paper's plotted diagrams (x axis with a
+// 10 ms scalar; y axis counter values and detected-error counts).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/ids.hpp"
+#include "util/trace.hpp"
+#include "wdg/watchdog.hpp"
+
+namespace easis::validator {
+
+class ControlDesk {
+ public:
+  ControlDesk(sim::Engine& engine, util::TraceRecorder& recorder,
+              sim::Duration sample_period = sim::Duration::millis(10));
+
+  /// Adds an arbitrary probe sampled every period.
+  void watch(std::string signal, std::function<double()> probe);
+
+  /// Adds the paper's standard plot set for one monitored runnable:
+  /// "<prefix>.AC", "<prefix>.CCA", "<prefix>.ARC", "<prefix>.CCAR",
+  /// "<prefix>.AM Result", "<prefix>.ARM Result", "<prefix>.PFC Result".
+  void watch_runnable(const wdg::SoftwareWatchdog& watchdog,
+                      RunnableId runnable, const std::string& prefix);
+
+  /// Begins sampling; stops after `horizon` from now.
+  void start(sim::Duration horizon);
+
+  [[nodiscard]] std::uint64_t samples_taken() const { return samples_; }
+
+ private:
+  sim::Engine& engine_;
+  util::TraceRecorder& recorder_;
+  sim::Duration period_;
+  std::vector<std::pair<std::string, std::function<double()>>> probes_;
+  sim::SimTime stop_at_;
+  bool running_ = false;
+  std::uint64_t samples_ = 0;
+
+  void sample_and_reschedule();
+};
+
+}  // namespace easis::validator

@@ -1,0 +1,91 @@
+#include "validator/network.hpp"
+
+namespace easis::validator {
+
+VehicleNetwork::VehicleNetwork(sim::Engine& engine,
+                               rte::SignalBus& central_signals,
+                               NetworkConfig config)
+    : engine_(engine), signals_(central_signals), config_(config) {
+  can_ = std::make_unique<bus::CanBus>(engine_, config_.can_bitrate_bps);
+  flexray_ = std::make_unique<bus::FlexRayBus>(engine_, config_.flexray);
+  gateway_ = std::make_unique<bus::Gateway>(engine_, config_.gateway_latency);
+
+  // Central node on CAN: receives the routed max-speed command.
+  central_can_endpoint_ = can_->attach(
+      "central", [this](const bus::Frame& frame, sim::SimTime now) {
+        if (frame.id != config_.can_max_speed_id) return;
+        ++commands_received_;
+        signals_.publish("safespeed.max_speed_kmh",
+                         bus::decode_f32(frame, 0), now);
+      });
+
+  // Gateway endpoint on CAN (routes towards/from other domains).
+  auto can_ingress = gateway_->register_domain(
+      "can", [this](bus::Frame frame) {
+        // The gateway is CAN endpoint #1 (attached below).
+        can_->transmit(gateway_can_endpoint_, std::move(frame));
+      });
+  gateway_can_endpoint_ = can_->attach("gateway", std::move(can_ingress));
+
+  // Telematics (TCP/IP) domain: direct channel into the gateway.
+  telematics_ingress_ = gateway_->register_domain(
+      "telematics", [](bus::Frame) { /* nothing routed back out today */ });
+
+  // FlexRay: central node broadcasts speed; dynamics node listens.
+  central_fr_endpoint_ = flexray_->attach("central", nullptr);
+  dynamics_fr_endpoint_ = flexray_->attach(
+      "dynamics", [this](const bus::Frame& frame, sim::SimTime) {
+        last_speed_ = bus::decode_f32(frame, 0);
+      });
+  flexray_->assign_slot(config_.speed_slot, central_fr_endpoint_);
+
+  // Route: telematics max-speed command -> vehicle CAN.
+  gateway_->add_route("telematics", config_.telematics_max_speed_id, "can",
+                      config_.can_max_speed_id);
+
+  // LIN body bus: the master (central body controller) polls the ambient
+  // light sensor and publishes the value onto the central signal bus.
+  lin_ = std::make_unique<bus::LinBus>(engine_, config_.lin_slot);
+  lin_->attach("body_master",
+               [this](const bus::Frame& frame, sim::SimTime now) {
+                 if (frame.id != config_.lin_ambient_frame_id) return;
+                 signals_.publish("env.ambient_light",
+                                  bus::decode_f32(frame, 0), now);
+               });
+  const auto sensor_slave = lin_->attach("ambient_sensor", nullptr);
+  lin_->set_publisher(config_.lin_ambient_frame_id, sensor_slave, [this] {
+    bus::Frame frame;
+    bus::encode_f32(frame, 0, ambient_level_);
+    return std::optional<std::vector<std::uint8_t>>(std::move(frame.payload));
+  });
+  lin_->set_schedule({config_.lin_ambient_frame_id});
+}
+
+void VehicleNetwork::start() {
+  running_ = true;
+  flexray_->start();
+  lin_->start();
+  schedule_speed_broadcast();
+}
+
+void VehicleNetwork::command_max_speed(double kmh) {
+  bus::Frame frame;
+  frame.id = config_.telematics_max_speed_id;
+  bus::encode_f32(frame, 0, kmh);
+  // Telematics frames enter the gateway directly (TCP/IP domain).
+  telematics_ingress_(frame, engine_.now());
+}
+
+void VehicleNetwork::schedule_speed_broadcast() {
+  engine_.schedule_in(config_.speed_broadcast_period, [this] {
+    if (!running_) return;
+    bus::Frame frame;
+    frame.id = 0x200 + config_.speed_slot;
+    bus::encode_f32(frame, 0, signals_.read_or("vehicle.speed_kmh", 0.0));
+    flexray_->send(central_fr_endpoint_, config_.speed_slot,
+                   std::move(frame));
+    schedule_speed_broadcast();
+  });
+}
+
+}  // namespace easis::validator

@@ -1,0 +1,91 @@
+// Vehicle network of the EASIS architecture validator (paper §4.1):
+// a gateway node connecting the TCP/IP (telematics), CAN and FlexRay
+// domains, carrying the externally commanded maximum speed to the central
+// node's SafeSpeed application and broadcasting vehicle state back out.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "bus/can.hpp"
+#include "bus/flexray.hpp"
+#include "bus/lin.hpp"
+#include "bus/gateway.hpp"
+#include "rte/signal_bus.hpp"
+#include "sim/engine.hpp"
+
+namespace easis::validator {
+
+struct NetworkConfig {
+  std::uint32_t can_bitrate_bps = 500'000;
+  bus::FlexRayConfig flexray;
+  sim::Duration gateway_latency = sim::Duration::micros(200);
+  /// CAN id of the max-speed command frame on the vehicle CAN.
+  std::uint32_t can_max_speed_id = 0x120;
+  /// Telematics-side message id for the max-speed command.
+  std::uint32_t telematics_max_speed_id = 0x10;
+  /// FlexRay slot carrying the vehicle speed broadcast.
+  std::uint32_t speed_slot = 2;
+  /// How often the central node broadcasts the vehicle speed.
+  sim::Duration speed_broadcast_period = sim::Duration::millis(10);
+  /// LIN body bus: polling slot of the light/ambient sensor frame.
+  sim::Duration lin_slot = sim::Duration::millis(50);
+  std::uint32_t lin_ambient_frame_id = 0x21;
+};
+
+/// Assembles the buses + gateway and bridges them onto a SignalBus:
+///  - command_max_speed() sends a telematics frame that arrives (via the
+///    gateway and the CAN domain) as signal "safespeed.max_speed_kmh";
+///  - the central node's "vehicle.speed_kmh" signal is broadcast on the
+///    FlexRay speed slot, observable via last_broadcast_speed();
+///  - a LIN body bus polls the ambient-light sensor slave, feeding the
+///    "env.ambient_light" signal of the light-control application.
+class VehicleNetwork {
+ public:
+  VehicleNetwork(sim::Engine& engine, rte::SignalBus& central_signals,
+                 NetworkConfig config = {});
+  VehicleNetwork(const VehicleNetwork&) = delete;
+  VehicleNetwork& operator=(const VehicleNetwork&) = delete;
+
+  /// Starts the FlexRay cycle and the periodic speed broadcast.
+  void start();
+
+  /// Telematics node: commands a new maximum speed (km/h).
+  void command_max_speed(double kmh);
+
+  /// Body domain: sets the ambient light level [0,1] the LIN sensor slave
+  /// reports on its next poll.
+  void set_ambient_light(double level) { ambient_level_ = level; }
+
+  [[nodiscard]] bus::CanBus& can() { return *can_; }
+  [[nodiscard]] bus::FlexRayBus& flexray() { return *flexray_; }
+  [[nodiscard]] bus::LinBus& lin() { return *lin_; }
+  [[nodiscard]] bus::Gateway& gateway() { return *gateway_; }
+  [[nodiscard]] double last_broadcast_speed() const { return last_speed_; }
+  [[nodiscard]] std::uint64_t commands_received() const {
+    return commands_received_;
+  }
+
+ private:
+  sim::Engine& engine_;
+  rte::SignalBus& signals_;
+  NetworkConfig config_;
+  std::unique_ptr<bus::CanBus> can_;
+  std::unique_ptr<bus::FlexRayBus> flexray_;
+  std::unique_ptr<bus::LinBus> lin_;
+  std::unique_ptr<bus::Gateway> gateway_;
+
+  bus::CanBus::EndpointId central_can_endpoint_ = 0;
+  bus::CanBus::EndpointId gateway_can_endpoint_ = 0;
+  bus::FlexRayBus::EndpointId central_fr_endpoint_ = 0;
+  bus::FlexRayBus::EndpointId dynamics_fr_endpoint_ = 0;
+  bus::FrameHandler telematics_ingress_;
+  double last_speed_ = 0.0;
+  double ambient_level_ = 1.0;
+  std::uint64_t commands_received_ = 0;
+  bool running_ = false;
+
+  void schedule_speed_broadcast();
+};
+
+}  // namespace easis::validator

@@ -1,0 +1,64 @@
+#include "validator/remote_node.hpp"
+
+#include <stdexcept>
+
+namespace easis::validator {
+
+RemoteNode::RemoteNode(sim::Engine& engine, bus::CanBus& can,
+                       RemoteNodeConfig config)
+    : engine_(engine), can_(can), config_(std::move(config)), kernel_(engine) {
+  endpoint_ = can_.attach(config_.name, nullptr);
+
+  os::CounterConfig counter_config;
+  counter_config.name = config_.name + "_timer";
+  counter_config.tick = sim::Duration::millis(1);
+  counter_ = kernel_.create_counter(counter_config);
+
+  os::TaskConfig task_config;
+  task_config.name = config_.name + "_heartbeat";
+  task_config.priority = 1;
+  task_ = kernel_.create_task(task_config);
+  kernel_.set_job_factory(task_, [this] {
+    os::Segment segment;
+    segment.cost = config_.task_cost;
+    segment.on_complete = [this] { send_heartbeat(); };
+    return os::Job{segment};
+  });
+  alarm_ = kernel_.create_alarm(counter_, os::AlarmActionActivateTask{task_},
+                                config_.name + "_alarm");
+
+  const auto period = config_.heartbeat_period.as_micros();
+  if (period <= 0 || period % 1000 != 0) {
+    throw std::invalid_argument(
+        "RemoteNode: heartbeat period must be a positive multiple of 1ms");
+  }
+  period_ticks_ = static_cast<std::uint64_t>(period / 1000);
+}
+
+void RemoteNode::start() {
+  kernel_.start();
+  kernel_.set_rel_alarm(alarm_, period_ticks_, period_ticks_);
+}
+
+void RemoteNode::halt() {
+  halted_ = true;
+  kernel_.software_reset();  // everything stops; nothing restarts it
+}
+
+void RemoteNode::resume() {
+  if (!halted_) return;
+  halted_ = false;
+  start();
+}
+
+void RemoteNode::send_heartbeat() {
+  if (halted_) return;
+  ++sequence_;
+  bus::Frame frame;
+  frame.id = config_.heartbeat_can_id;
+  frame.payload = {static_cast<std::uint8_t>(sequence_ & 0xFF),
+                   static_cast<std::uint8_t>((sequence_ >> 8) & 0xFF)};
+  can_.transmit(endpoint_, std::move(frame));
+}
+
+}  // namespace easis::validator

@@ -1,0 +1,26 @@
+#include "validator/scenario.hpp"
+
+#include <stdexcept>
+
+namespace easis::validator {
+
+void Scenario::set_signal(sim::SimTime at, std::string signal, double value) {
+  this->at(at, [this, signal = std::move(signal), value] {
+    signals_.publish(signal, value, engine_.now());
+  });
+}
+
+void Scenario::at(sim::SimTime at, std::function<void()> step) {
+  if (armed_) throw std::logic_error("Scenario: already armed");
+  steps_.push_back(Step{at, std::move(step)});
+}
+
+void Scenario::arm() {
+  if (armed_) throw std::logic_error("Scenario: already armed");
+  armed_ = true;
+  for (const Step& step : steps_) {
+    engine_.schedule_at(step.time, step.action);
+  }
+}
+
+}  // namespace easis::validator

@@ -1,0 +1,42 @@
+// Scripted driving scenarios: timed signal writes and callbacks, the
+// equivalent of the validator operator working the experiment desk.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rte/signal_bus.hpp"
+#include "sim/engine.hpp"
+
+namespace easis::validator {
+
+class Scenario {
+ public:
+  Scenario(sim::Engine& engine, rte::SignalBus& signals)
+      : engine_(engine), signals_(signals) {}
+
+  /// At `at`, publish `value` to `signal`.
+  void set_signal(sim::SimTime at, std::string signal, double value);
+
+  /// At `at`, run an arbitrary step.
+  void at(sim::SimTime at, std::function<void()> step);
+
+  /// Schedules all steps. Call once before running the simulation.
+  void arm();
+
+  [[nodiscard]] std::size_t step_count() const { return steps_.size(); }
+
+ private:
+  struct Step {
+    sim::SimTime time;
+    std::function<void()> action;
+  };
+
+  sim::Engine& engine_;
+  rte::SignalBus& signals_;
+  std::vector<Step> steps_;
+  bool armed_ = false;
+};
+
+}  // namespace easis::validator

@@ -1,0 +1,55 @@
+// Fault hypothesis configuration for the Software Watchdog (paper §3.2.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hpp"
+#include "util/ids.hpp"
+
+namespace easis::wdg {
+
+/// Per-runnable monitoring configuration derived from the fault hypothesis.
+/// Periods are expressed in watchdog main-function cycles (the CCA / CCAR
+/// limits); the absolute period is cycles * WatchdogConfig::check_period.
+struct RunnableMonitor {
+  RunnableId runnable;
+  TaskId task;
+  ApplicationId application;
+  std::string name;
+
+  bool monitor_aliveness = true;
+  /// CCA limit: length of the aliveness monitoring period in cycles.
+  std::uint32_t aliveness_cycles = 10;
+  /// Minimum heartbeats expected per aliveness period.
+  std::uint32_t min_heartbeats = 1;
+
+  bool monitor_arrival_rate = true;
+  /// CCAR limit: length of the arrival-rate monitoring period in cycles.
+  std::uint32_t arrival_cycles = 10;
+  /// Maximum heartbeats tolerated per arrival-rate period.
+  std::uint32_t max_arrivals = 2;
+
+  /// Safety-critical runnables take part in program flow checking.
+  bool program_flow = true;
+
+  /// Initial Activation Status (AS).
+  bool initially_active = true;
+};
+
+struct WatchdogConfig {
+  /// Period of the watchdog main function (cycle counter tick).
+  sim::Duration check_period = sim::Duration::millis(10);
+  /// TSI thresholds, indexed by ErrorType; an error-indication-vector
+  /// element reaching its threshold marks the task faulty (paper §3.2.3;
+  /// Figure 6 uses a program-flow threshold of 3).
+  std::uint32_t aliveness_threshold = 3;
+  std::uint32_t arrival_rate_threshold = 3;
+  std::uint32_t program_flow_threshold = 3;
+  std::uint32_t accumulated_aliveness_threshold = 3;
+  std::uint32_t deadline_threshold = 3;
+  /// The global ECU state turns faulty when this many tasks are faulty.
+  std::uint32_t ecu_faulty_task_limit = 2;
+};
+
+}  // namespace easis::wdg

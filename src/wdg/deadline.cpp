@@ -1,0 +1,69 @@
+#include "wdg/deadline.hpp"
+
+#include <stdexcept>
+
+namespace easis::wdg {
+
+std::size_t DeadlineSupervisionUnit::add_pair(DeadlinePair pair) {
+  if (pair.max <= sim::Duration::zero() || pair.min > pair.max) {
+    throw std::invalid_argument("DeadlineSupervision: bad window");
+  }
+  if (pair.start == pair.end) {
+    throw std::invalid_argument(
+        "DeadlineSupervision: start and end must differ");
+  }
+  pairs_.push_back(State{std::move(pair), std::nullopt, std::nullopt});
+  return pairs_.size() - 1;
+}
+
+void DeadlineSupervisionUnit::on_execution(RunnableId runnable,
+                                           sim::SimTime now,
+                                           const ErrorCallback& on_error) {
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    State& state = pairs_[i];
+    if (runnable == state.pair.start) {
+      // (Re)arm: a repeated start without an end measures from the latest.
+      state.started = now;
+    } else if (runnable == state.pair.end && state.started.has_value()) {
+      const sim::Duration measured = now - *state.started;
+      state.started.reset();
+      state.last = measured;
+      ++measurements_;
+      if ((measured > state.pair.max || measured < state.pair.min) &&
+          on_error) {
+        on_error(i, measured, now);
+      }
+    }
+  }
+}
+
+void DeadlineSupervisionUnit::reset() {
+  for (State& state : pairs_) {
+    state.started.reset();
+    state.last.reset();
+  }
+}
+
+const DeadlinePair& DeadlineSupervisionUnit::pair(std::size_t index) const {
+  if (index >= pairs_.size()) {
+    throw std::out_of_range("DeadlineSupervision: bad pair index");
+  }
+  return pairs_[index].pair;
+}
+
+bool DeadlineSupervisionUnit::armed(std::size_t index) const {
+  if (index >= pairs_.size()) {
+    throw std::out_of_range("DeadlineSupervision: bad pair index");
+  }
+  return pairs_[index].started.has_value();
+}
+
+std::optional<sim::Duration> DeadlineSupervisionUnit::last_measured(
+    std::size_t index) const {
+  if (index >= pairs_.size()) {
+    throw std::out_of_range("DeadlineSupervision: bad pair index");
+  }
+  return pairs_[index].last;
+}
+
+}  // namespace easis::wdg

@@ -1,0 +1,70 @@
+// Deadline Supervision Unit.
+//
+// Forward-looking extension (the paper's outlook points to richer fault
+// handling; AUTOSAR's later Watchdog Manager standardised exactly this
+// triple: alive supervision = HBM, logical supervision = PFC, deadline
+// supervision = this unit). Measures the elapsed time between the
+// heartbeats of a start checkpoint runnable and an end checkpoint runnable
+// within one task and flags pairs that run too slowly (or suspiciously
+// fast) — catching degradations that keep the heartbeat *rate* intact,
+// which pure aliveness monitoring cannot see.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/ids.hpp"
+#include "wdg/types.hpp"
+
+namespace easis::wdg {
+
+struct DeadlinePair {
+  std::string name;
+  RunnableId start;
+  RunnableId end;
+  /// Permitted elapsed time between the two checkpoints.
+  sim::Duration min = sim::Duration::zero();
+  sim::Duration max = sim::Duration::millis(10);
+};
+
+class DeadlineSupervisionUnit {
+ public:
+  /// (pair index, measured duration, end time) for each violation.
+  using ErrorCallback =
+      std::function<void(std::size_t pair_index, sim::Duration measured,
+                         sim::SimTime now)>;
+
+  /// Registers a supervised checkpoint pair; returns its index.
+  std::size_t add_pair(DeadlinePair pair);
+
+  /// Checkpoint notification (wired to the heartbeat stream). A start
+  /// checkpoint (re)arms its pair; an end checkpoint measures and checks.
+  void on_execution(RunnableId runnable, sim::SimTime now,
+                    const ErrorCallback& on_error);
+
+  /// Clears all armed measurements (treatment/reset).
+  void reset();
+
+  [[nodiscard]] std::size_t pair_count() const { return pairs_.size(); }
+  [[nodiscard]] const DeadlinePair& pair(std::size_t index) const;
+  [[nodiscard]] bool armed(std::size_t index) const;
+  [[nodiscard]] std::uint64_t measurements() const { return measurements_; }
+  /// Most recent measured duration of the pair, if any end completed.
+  [[nodiscard]] std::optional<sim::Duration> last_measured(
+      std::size_t index) const;
+
+ private:
+  struct State {
+    DeadlinePair pair;
+    std::optional<sim::SimTime> started;
+    std::optional<sim::Duration> last;
+  };
+  std::vector<State> pairs_;
+  std::uint64_t measurements_ = 0;
+};
+
+}  // namespace easis::wdg

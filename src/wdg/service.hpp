@@ -1,0 +1,61 @@
+// Platform integration of the Software Watchdog (paper §4.4).
+//
+// Installs the watchdog as an OS-level service: a high-priority periodic
+// task whose job is the watchdog main function with a modelled execution
+// cost (so monitoring overhead is part of the schedule), plus the glue
+// wiring from the RTE heartbeat interface and the kernel's task-boundary
+// notifications.
+#pragma once
+
+#include <memory>
+
+#include "os/kernel.hpp"
+#include "rte/rte.hpp"
+#include "sim/time.hpp"
+#include "wdg/watchdog.hpp"
+
+namespace easis::wdg {
+
+struct ServiceConfig {
+  /// Priority of the watchdog main-function task; should dominate the
+  /// monitored application tasks.
+  os::Priority priority = 100;
+  /// Fixed modelled cost of one main-function cycle.
+  sim::Duration base_cost = sim::Duration::micros(20);
+  /// Additional modelled cost per monitored runnable and cycle.
+  sim::Duration per_runnable_cost = sim::Duration::micros(2);
+};
+
+class WatchdogService {
+ public:
+  /// Creates the watchdog task + driving alarm on `counter` and subscribes
+  /// the watchdog to the RTE heartbeats and kernel task boundaries.
+  /// `counter` must be a hardware counter; the main-function period is
+  /// watchdog.config().check_period expressed in ticks of that counter.
+  WatchdogService(os::Kernel& kernel, rte::Rte& rte,
+                  SoftwareWatchdog& watchdog, CounterId counter,
+                  ServiceConfig config = {});
+  ~WatchdogService();
+  WatchdogService(const WatchdogService&) = delete;
+  WatchdogService& operator=(const WatchdogService&) = delete;
+
+  /// Arms the periodic alarm. Call after kernel start (and after resets).
+  void arm();
+
+  [[nodiscard]] TaskId task() const { return task_; }
+  [[nodiscard]] AlarmId alarm() const { return alarm_; }
+  [[nodiscard]] SoftwareWatchdog& watchdog() { return watchdog_; }
+
+ private:
+  class BoundaryObserver;
+
+  os::Kernel& kernel_;
+  SoftwareWatchdog& watchdog_;
+  ServiceConfig config_;
+  TaskId task_;
+  AlarmId alarm_;
+  std::uint64_t period_ticks_;
+  std::unique_ptr<BoundaryObserver> observer_;
+};
+
+}  // namespace easis::wdg

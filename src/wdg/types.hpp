@@ -1,0 +1,91 @@
+// Software Watchdog shared types: error classification, reports, health
+// states (paper Section 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+#include "util/ids.hpp"
+
+namespace easis::wdg {
+
+/// The three error classes the Software Watchdog detects (paper §3.2).
+enum class ErrorType : std::uint8_t {
+  /// The runnable's aliveness indication was not executed frequently
+  /// enough within its monitoring period (blocked / preempted / hanging).
+  kAliveness = 0,
+  /// More aliveness indications within one period than expected
+  /// (excessively dispatched object).
+  kArrivalRate = 1,
+  /// The executed successor was not in the permitted predecessor/successor
+  /// look-up table.
+  kProgramFlow = 2,
+  /// Aliveness error recognised as a secondary symptom of a program flow
+  /// error (unit collaboration, paper Figure 6): reported once, accumulated.
+  kAccumulatedAliveness = 3,
+  /// Elapsed time between a start and an end checkpoint outside the
+  /// permitted window (deadline supervision, extension).
+  kDeadline = 4,
+};
+
+inline constexpr std::size_t kErrorTypeCount = 5;
+
+[[nodiscard]] constexpr std::string_view to_string(ErrorType t) {
+  switch (t) {
+    case ErrorType::kAliveness: return "aliveness";
+    case ErrorType::kArrivalRate: return "arrival_rate";
+    case ErrorType::kProgramFlow: return "program_flow";
+    case ErrorType::kAccumulatedAliveness: return "accumulated_aliveness";
+    case ErrorType::kDeadline: return "deadline";
+  }
+  return "?";
+}
+
+/// Severity forwarded to the Fault Management Framework.
+enum class Severity : std::uint8_t { kInfo, kMinor, kMajor, kCritical };
+
+[[nodiscard]] constexpr std::string_view to_string(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kMinor: return "minor";
+    case Severity::kMajor: return "major";
+    case Severity::kCritical: return "critical";
+  }
+  return "?";
+}
+
+/// Health of a monitored entity as derived by the TSI unit.
+enum class Health : std::uint8_t { kOk, kFaulty };
+
+[[nodiscard]] constexpr std::string_view to_string(Health h) {
+  return h == Health::kOk ? "ok" : "faulty";
+}
+
+/// One detected error, reported to listeners and to the TSI unit.
+struct ErrorReport {
+  RunnableId runnable;
+  TaskId task;
+  ApplicationId application;
+  ErrorType type = ErrorType::kAliveness;
+  sim::SimTime time;
+  /// Extra context: e.g. the offending predecessor for flow errors.
+  RunnableId related;
+  std::string detail;
+};
+
+/// Per-runnable supervision report (TSI output, paper §3.2.3).
+struct SupervisionReport {
+  RunnableId runnable;
+  TaskId task;
+  ApplicationId application;
+  std::uint32_t aliveness_errors = 0;
+  std::uint32_t arrival_rate_errors = 0;
+  std::uint32_t program_flow_errors = 0;
+  std::uint32_t accumulated_aliveness_errors = 0;
+  std::uint32_t deadline_errors = 0;
+  bool activation_status = true;
+};
+
+}  // namespace easis::wdg

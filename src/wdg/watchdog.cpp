@@ -1,0 +1,278 @@
+#include "wdg/watchdog.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.hpp"
+
+namespace easis::wdg {
+
+namespace {
+constexpr std::string_view kLog = "wdg";
+}
+
+SoftwareWatchdog::SoftwareWatchdog(WatchdogConfig config)
+    : config_(config),
+      tsi_(TaskStateIndicationUnit::Thresholds{
+               {config.aliveness_threshold, config.arrival_rate_threshold,
+                config.program_flow_threshold,
+                config.accumulated_aliveness_threshold,
+                config.deadline_threshold}},
+           config.ecu_faulty_task_limit) {}
+
+void SoftwareWatchdog::add_runnable(const RunnableMonitor& monitor) {
+  hbm_.add_runnable(monitor);
+  tsi_.add_runnable(monitor.runnable, monitor.task, monitor.application);
+  if (monitor.program_flow) {
+    pfc_.add_monitored(monitor.runnable, monitor.task);
+  }
+  monitors_.emplace(monitor.runnable, monitor);
+}
+
+void SoftwareWatchdog::add_flow_edge(RunnableId pred, RunnableId succ) {
+  pfc_.add_edge(pred, succ);
+}
+
+void SoftwareWatchdog::add_flow_entry_point(RunnableId runnable) {
+  pfc_.add_entry_point(runnable);
+}
+
+std::size_t SoftwareWatchdog::add_deadline_pair(DeadlinePair pair) {
+  if (!monitors_.contains(pair.start) || !monitors_.contains(pair.end)) {
+    throw std::logic_error(
+        "SoftwareWatchdog: deadline checkpoints must be monitored");
+  }
+  return deadline_.add_pair(std::move(pair));
+}
+
+void SoftwareWatchdog::indicate_aliveness(RunnableId runnable, TaskId task,
+                                          sim::SimTime now) {
+  hbm_.indicate(runnable);
+  pfc_.on_execution(runnable, task, now,
+                    [this](RunnableId r, RunnableId pred, TaskId t,
+                           sim::SimTime t_now) {
+                      handle_pfc_error(r, pred, t, t_now);
+                    });
+  deadline_.on_execution(runnable, now,
+                         [this](std::size_t pair_index, sim::Duration measured,
+                                sim::SimTime t_now) {
+                           handle_deadline_error(pair_index, measured, t_now);
+                         });
+}
+
+void SoftwareWatchdog::main_function(sim::SimTime now) {
+  ++cycles_;
+  hbm_.tick(now, [this](RunnableId r, ErrorType type, sim::SimTime t_now) {
+    handle_hbm_error(r, type, t_now);
+  });
+}
+
+void SoftwareWatchdog::notify_task_terminated(TaskId task) {
+  pfc_.task_boundary(task);
+}
+
+void SoftwareWatchdog::handle_hbm_error(RunnableId runnable, ErrorType type,
+                                        sim::SimTime now) {
+  auto it = monitors_.find(runnable);
+  assert(it != monitors_.end());
+  const RunnableMonitor& m = it->second;
+
+  if (type == ErrorType::kAliveness) {
+    auto episode = last_flow_error_cycle_.find(m.task);
+    if (episode != last_flow_error_cycle_.end()) {
+      const std::uint64_t age = cycles_ - episode->second;
+      if (age <= m.aliveness_cycles + 1) {
+        // Unit collaboration (Figure 6): the missing heartbeats are a
+        // symptom of the just-detected program flow error. Accumulate;
+        // report only the first occurrence of the episode so the TSI sees
+        // the real cause.
+        if (!accumulated_reported_.insert(m.task).second) return;
+        type = ErrorType::kAccumulatedAliveness;
+      } else {
+        // No flow error for a full monitoring window: the episode is over.
+        // This aliveness error stands on its own (e.g. the task is now
+        // starved); keeping the mask would hide it indefinitely.
+        last_flow_error_cycle_.erase(episode);
+        accumulated_reported_.erase(m.task);
+      }
+    }
+  }
+
+  ErrorReport report;
+  report.runnable = runnable;
+  report.task = m.task;
+  report.application = m.application;
+  report.type = type;
+  report.time = now;
+  emit(std::move(report));
+}
+
+void SoftwareWatchdog::handle_pfc_error(RunnableId runnable,
+                                        RunnableId predecessor, TaskId task,
+                                        sim::SimTime now) {
+  auto it = monitors_.find(runnable);
+  assert(it != monitors_.end());
+  last_flow_error_cycle_[task] = cycles_;
+
+  ErrorReport report;
+  report.runnable = runnable;
+  report.task = task;
+  report.application = it->second.application;
+  report.type = ErrorType::kProgramFlow;
+  report.time = now;
+  report.related = predecessor;
+  emit(std::move(report));
+}
+
+void SoftwareWatchdog::handle_deadline_error(std::size_t pair_index,
+                                             sim::Duration measured,
+                                             sim::SimTime now) {
+  const DeadlinePair& pair = deadline_.pair(pair_index);
+  auto it = monitors_.find(pair.end);
+  assert(it != monitors_.end());
+  ErrorReport report;
+  report.runnable = pair.end;
+  report.task = it->second.task;
+  report.application = it->second.application;
+  report.type = ErrorType::kDeadline;
+  report.time = now;
+  report.related = pair.start;
+  report.detail = pair.name + ": " + std::to_string(measured.as_micros()) +
+                  "us outside [" + std::to_string(pair.min.as_micros()) +
+                  ", " + std::to_string(pair.max.as_micros()) + "]us";
+  emit(std::move(report));
+}
+
+void SoftwareWatchdog::emit(ErrorReport report) {
+  ++errors_;
+  EASIS_LOG(util::LogLevel::kDebug, kLog)
+      << to_string(report.type) << " error, runnable " << report.runnable
+      << " task " << report.task << " at " << report.time;
+  // Report the error to the FMF before the TSI derives new states: state
+  // transitions may trigger treatments, and the causal fault must already
+  // be on record (fault log, DTC store) when they run.
+  for (const auto& listener : error_listeners_) listener(report);
+  tsi_.report_error(report.runnable, report.type, report.time);
+}
+
+void SoftwareWatchdog::add_error_listener(ErrorListener listener) {
+  error_listeners_.push_back(std::move(listener));
+}
+
+void SoftwareWatchdog::add_task_state_listener(TaskStateListener listener) {
+  // TSI supports a single callback; fan out here.
+  if (!task_state_fanout_installed_) {
+    task_state_fanout_installed_ = true;
+    tsi_.set_task_state_callback(
+        [this](TaskId task, Health health, sim::SimTime now) {
+          for (const auto& l : task_state_listeners_) l(task, health, now);
+        });
+  }
+  task_state_listeners_.push_back(std::move(listener));
+}
+
+void SoftwareWatchdog::add_application_state_listener(
+    ApplicationStateListener listener) {
+  if (!app_state_fanout_installed_) {
+    app_state_fanout_installed_ = true;
+    tsi_.set_application_state_callback(
+        [this](ApplicationId app, Health health, sim::SimTime now) {
+          for (const auto& l : app_state_listeners_) l(app, health, now);
+        });
+  }
+  app_state_listeners_.push_back(std::move(listener));
+}
+
+void SoftwareWatchdog::add_ecu_state_listener(EcuStateListener listener) {
+  if (!ecu_state_fanout_installed_) {
+    ecu_state_fanout_installed_ = true;
+    tsi_.set_ecu_state_callback([this](Health health, sim::SimTime now) {
+      for (const auto& l : ecu_state_listeners_) l(health, now);
+    });
+  }
+  ecu_state_listeners_.push_back(std::move(listener));
+}
+
+void SoftwareWatchdog::set_activation_status(RunnableId runnable,
+                                             bool active) {
+  hbm_.set_activation_status(runnable, active);
+}
+
+bool SoftwareWatchdog::activation_status(RunnableId runnable) const {
+  return hbm_.activation_status(runnable);
+}
+
+void SoftwareWatchdog::update_hypothesis(RunnableId runnable,
+                                         std::uint32_t aliveness_cycles,
+                                         std::uint32_t min_heartbeats,
+                                         std::uint32_t arrival_cycles,
+                                         std::uint32_t max_arrivals) {
+  hbm_.update_hypothesis(runnable, aliveness_cycles, min_heartbeats,
+                         arrival_cycles, max_arrivals);
+  auto it = monitors_.find(runnable);
+  assert(it != monitors_.end());
+  it->second.aliveness_cycles = aliveness_cycles;
+  it->second.min_heartbeats = min_heartbeats;
+  it->second.arrival_cycles = arrival_cycles;
+  it->second.max_arrivals = max_arrivals;
+}
+
+void SoftwareWatchdog::clear_task_state(TaskId task, sim::SimTime now) {
+  tsi_.clear_task(task, now);
+  pfc_.task_boundary(task);
+  last_flow_error_cycle_.erase(task);
+  accumulated_reported_.erase(task);
+  for (const auto& [runnable, m] : monitors_) {
+    if (m.task == task) hbm_.reset_runnable(runnable);
+  }
+}
+
+void SoftwareWatchdog::reset_runnable(RunnableId runnable) {
+  hbm_.reset_runnable(runnable);
+}
+
+void SoftwareWatchdog::reset(sim::SimTime now) {
+  hbm_.reset();
+  pfc_.reset();
+  deadline_.reset();
+  tsi_.reset(now);
+  last_flow_error_cycle_.clear();
+  accumulated_reported_.clear();
+}
+
+void SoftwareWatchdog::write_supervision_reports(std::ostream& out) const {
+  out << "supervision reports (" << monitors_.size()
+      << " monitored runnables):\n";
+  std::size_t name_width = 8;
+  for (RunnableId id : hbm_.monitored_runnables()) {
+    name_width = std::max(name_width, monitors_.at(id).name.size());
+  }
+  for (RunnableId id : hbm_.monitored_runnables()) {
+    const RunnableMonitor& m = monitors_.at(id);
+    const SupervisionReport r = tsi_.report(id);
+    out << "  " << m.name;
+    for (std::size_t pad = m.name.size(); pad < name_width + 2; ++pad) {
+      out << ' ';
+    }
+    out << "task " << m.task << "  AS=" << (hbm_.activation_status(id) ? 1 : 0)
+        << "  aliveness=" << r.aliveness_errors
+        << " arrival=" << r.arrival_rate_errors
+        << " flow=" << r.program_flow_errors
+        << " accumulated=" << r.accumulated_aliveness_errors
+        << "  task_state=" << to_string(tsi_.task_health(m.task)) << '\n';
+  }
+  out << "  global ECU state: " << to_string(tsi_.ecu_health()) << '\n';
+}
+
+Severity SoftwareWatchdog::severity_of(ErrorType type) {
+  switch (type) {
+    case ErrorType::kAliveness: return Severity::kMajor;
+    case ErrorType::kArrivalRate: return Severity::kMajor;
+    case ErrorType::kProgramFlow: return Severity::kCritical;
+    case ErrorType::kAccumulatedAliveness: return Severity::kMinor;
+    case ErrorType::kDeadline: return Severity::kMajor;
+  }
+  return Severity::kInfo;
+}
+
+}  // namespace easis::wdg

@@ -1,0 +1,146 @@
+// Software Watchdog service facade (paper §3.2, Figure 2).
+//
+// Integrates the three units:
+//   - Heartbeat Monitoring Unit (aliveness + arrival rate counters)
+//   - Program Flow Checking Unit (look-up table of permitted successors)
+//   - Task State Indication Unit (error vectors -> task/app/ECU state)
+// and implements the unit collaboration of Figure 6: aliveness errors whose
+// root cause is a detected program flow error on the same task are
+// accumulated and reported only once, so the TSI sees the true cause.
+//
+// Interfaces (paper §4.4):
+//   1. indicate_aliveness()  - application glue code -> watchdog
+//   2. error/state listeners - watchdog -> Fault Management Framework
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "wdg/config.hpp"
+#include "wdg/deadline.hpp"
+#include "wdg/heartbeat.hpp"
+#include "wdg/pfc.hpp"
+#include "wdg/tsi.hpp"
+#include "wdg/types.hpp"
+
+namespace easis::wdg {
+
+class SoftwareWatchdog {
+ public:
+  using ErrorListener = std::function<void(const ErrorReport&)>;
+  using TaskStateListener =
+      std::function<void(TaskId, Health, sim::SimTime)>;
+  using ApplicationStateListener =
+      std::function<void(ApplicationId, Health, sim::SimTime)>;
+  using EcuStateListener = std::function<void(Health, sim::SimTime)>;
+
+  explicit SoftwareWatchdog(WatchdogConfig config);
+
+  // --- configuration (fault hypothesis) --------------------------------------
+  void add_runnable(const RunnableMonitor& monitor);
+  void add_flow_edge(RunnableId pred, RunnableId succ);
+  void add_flow_entry_point(RunnableId runnable);
+  /// Deadline supervision (extension): the elapsed time between the start
+  /// and end checkpoint runnables must lie within [min, max]. Both
+  /// runnables must already be monitored. Returns the pair index.
+  std::size_t add_deadline_pair(DeadlinePair pair);
+  [[nodiscard]] const WatchdogConfig& config() const { return config_; }
+
+  // --- runtime interface 1: aliveness indication (glue code) ------------------
+  void indicate_aliveness(RunnableId runnable, TaskId task, sim::SimTime now);
+
+  /// Periodic main function; call every config().check_period.
+  void main_function(sim::SimTime now);
+
+  /// Job boundary notification (task terminated) for the PFC context.
+  void notify_task_terminated(TaskId task);
+
+  // --- runtime interface 2: reporting to the FMF -------------------------------
+  void add_error_listener(ErrorListener listener);
+  void add_task_state_listener(TaskStateListener listener);
+  void add_application_state_listener(ApplicationStateListener listener);
+  void add_ecu_state_listener(EcuStateListener listener);
+
+  // --- fault-treatment hooks -----------------------------------------------------
+  void set_activation_status(RunnableId runnable, bool active);
+  [[nodiscard]] bool activation_status(RunnableId runnable) const;
+  /// Dynamic reconfiguration (paper outlook): adapts the fault hypothesis
+  /// of a monitored runnable, e.g. after switching an application into a
+  /// degraded mode with relaxed timing.
+  void update_hypothesis(RunnableId runnable, std::uint32_t aliveness_cycles,
+                         std::uint32_t min_heartbeats,
+                         std::uint32_t arrival_cycles,
+                         std::uint32_t max_arrivals);
+  /// After an application restart: clear its runnables' counters and the
+  /// error vectors of its tasks.
+  void clear_task_state(TaskId task, sim::SimTime now);
+  void reset_runnable(RunnableId runnable);
+  /// ECU software reset: clears all dynamic state, keeps configuration.
+  void reset(sim::SimTime now);
+
+  // --- introspection (ControlDesk-style tracing) -----------------------------------
+  [[nodiscard]] const HeartbeatMonitoringUnit& heartbeat_unit() const {
+    return hbm_;
+  }
+  [[nodiscard]] const ProgramFlowCheckingUnit& pfc_unit() const { return pfc_; }
+  [[nodiscard]] const DeadlineSupervisionUnit& deadline_unit() const {
+    return deadline_;
+  }
+  [[nodiscard]] const TaskStateIndicationUnit& tsi_unit() const { return tsi_; }
+  [[nodiscard]] Health task_health(TaskId task) const {
+    return tsi_.task_health(task);
+  }
+  [[nodiscard]] Health application_health(ApplicationId app) const {
+    return tsi_.application_health(app);
+  }
+  [[nodiscard]] Health ecu_health() const { return tsi_.ecu_health(); }
+  [[nodiscard]] SupervisionReport report(RunnableId runnable) const {
+    return tsi_.report(runnable);
+  }
+  [[nodiscard]] std::uint64_t cycles_run() const { return cycles_; }
+  [[nodiscard]] std::uint64_t errors_reported() const { return errors_; }
+  [[nodiscard]] static Severity severity_of(ErrorType type);
+  /// Dumps the supervision reports of all monitored runnables plus the
+  /// derived task/ECU states as an aligned text table (diagnostics).
+  void write_supervision_reports(std::ostream& out) const;
+
+ private:
+  WatchdogConfig config_;
+  HeartbeatMonitoringUnit hbm_;
+  ProgramFlowCheckingUnit pfc_;
+  DeadlineSupervisionUnit deadline_;
+  TaskStateIndicationUnit tsi_;
+
+  // Mapping info for monitored runnables (needed for reports).
+  std::unordered_map<RunnableId, RunnableMonitor> monitors_;
+  // Collaboration state (Figure 6): per task, the main-function cycle of
+  // the most recent program flow error. Aliveness errors on such a task
+  // are attributed to the flow fault (accumulated, reported once) — but
+  // only while the episode is fresh: a mask without a recent flow error
+  // would silently hide a genuinely starved task forever.
+  std::unordered_map<TaskId, std::uint64_t> last_flow_error_cycle_;
+  std::unordered_set<TaskId> accumulated_reported_;
+
+  std::vector<ErrorListener> error_listeners_;
+  std::vector<TaskStateListener> task_state_listeners_;
+  std::vector<ApplicationStateListener> app_state_listeners_;
+  std::vector<EcuStateListener> ecu_state_listeners_;
+  bool task_state_fanout_installed_ = false;
+  bool app_state_fanout_installed_ = false;
+  bool ecu_state_fanout_installed_ = false;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t errors_ = 0;
+
+  void handle_hbm_error(RunnableId runnable, ErrorType type, sim::SimTime now);
+  void handle_pfc_error(RunnableId runnable, RunnableId predecessor,
+                        TaskId task, sim::SimTime now);
+  void handle_deadline_error(std::size_t pair_index, sim::Duration measured,
+                             sim::SimTime now);
+  void emit(ErrorReport report);
+};
+
+}  // namespace easis::wdg

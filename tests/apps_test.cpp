@@ -1,0 +1,147 @@
+// Tests for the ISS applications on the full platform: SafeSpeed closed
+// loop, SafeLane departure warning, LightControl hysteresis.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "validator/central_node.hpp"
+#include "validator/scenario.hpp"
+
+namespace easis::apps {
+namespace {
+
+using sim::Duration;
+using sim::Engine;
+using sim::SimTime;
+
+class AppsTest : public ::testing::Test {
+ protected:
+  Engine engine;
+  validator::CentralNodeConfig config;
+  std::unique_ptr<validator::CentralNode> node;
+
+  void boot() {
+    node = std::make_unique<validator::CentralNode>(engine, config);
+    node->start();
+  }
+};
+
+TEST_F(AppsTest, SafeSpeedLimitsToCommandedMaximum) {
+  boot();
+  auto& signals = node->signals();
+  signals.publish("driver.demand", 1.0, engine.now());
+  signals.publish("safespeed.max_speed_kmh", 60.0, engine.now());
+  engine.run_until(SimTime(120'000'000));  // 2 minutes
+  // The limiter should hold the vehicle near (and not far above) 60 km/h.
+  EXPECT_GT(node->vehicle().speed_kmh(), 45.0);
+  EXPECT_LT(node->vehicle().speed_kmh(), 66.0);
+}
+
+TEST_F(AppsTest, SafeSpeedAllowsDriverBelowLimit) {
+  boot();
+  auto& signals = node->signals();
+  signals.publish("driver.demand", 0.3, engine.now());
+  signals.publish("safespeed.max_speed_kmh", 200.0, engine.now());
+  engine.run_until(SimTime(30'000'000));
+  const double unrestricted = node->vehicle().speed_kmh();
+  EXPECT_GT(unrestricted, 10.0);
+  // Far below the limit, the limiter must not throttle the demand.
+  EXPECT_DOUBLE_EQ(signals.read_or("actuator.drive_cmd", -1.0), 0.3);
+}
+
+TEST_F(AppsTest, SafeSpeedReactsToLimitChange) {
+  boot();
+  auto& signals = node->signals();
+  signals.publish("driver.demand", 1.0, engine.now());
+  signals.publish("safespeed.max_speed_kmh", 120.0, engine.now());
+  engine.run_until(SimTime(90'000'000));
+  const double fast = node->vehicle().speed_kmh();
+  signals.publish("safespeed.max_speed_kmh", 50.0, engine.now());
+  engine.run_until(SimTime(180'000'000));
+  const double slow = node->vehicle().speed_kmh();
+  EXPECT_GT(fast, 90.0);
+  EXPECT_LT(slow, 58.0);
+}
+
+TEST_F(AppsTest, SafeSpeedRunnablesExecutePeriodically) {
+  boot();
+  engine.run_until(SimTime(1'000'000));  // 1 s at 10 ms period
+  auto& rte = node->rte();
+  const auto sensor_runs = rte.executions(node->safespeed().get_sensor_value());
+  EXPECT_GE(sensor_runs, 95u);
+  EXPECT_LE(sensor_runs, 101u);
+  EXPECT_EQ(rte.executions(node->safespeed().safe_cc_process()), sensor_runs);
+}
+
+TEST_F(AppsTest, SafeLaneWarnsOnDeparture) {
+  boot();
+  node->lane().set_drift_rate(0.4);  // drifts out within ~3 s
+  engine.run_until(SimTime(5'000'000));
+  EXPECT_TRUE(node->safelane()->warning_active());
+  EXPECT_DOUBLE_EQ(node->signals().read_or("hmi.lane_warning", 0.0), 1.0);
+}
+
+TEST_F(AppsTest, SafeLaneSilentWhenCentred) {
+  boot();
+  engine.run_until(SimTime(5'000'000));
+  EXPECT_FALSE(node->safelane()->warning_active());
+  EXPECT_DOUBLE_EQ(node->signals().read_or("hmi.lane_warning", 1.0), 0.0);
+}
+
+TEST_F(AppsTest, SafeLaneHysteresisReleasesWarning) {
+  boot();
+  node->lane().set_lateral_offset_m(1.5);
+  engine.run_until(SimTime(1'000'000));
+  EXPECT_TRUE(node->safelane()->warning_active());
+  node->lane().set_lateral_offset_m(0.5);
+  engine.run_until(SimTime(2'000'000));
+  EXPECT_FALSE(node->safelane()->warning_active());
+}
+
+TEST_F(AppsTest, LightControlTurnsOnInTheDark) {
+  boot();
+  auto& signals = node->signals();
+  signals.publish("env.ambient_light", 0.1, engine.now());
+  engine.run_until(SimTime(1'000'000));
+  EXPECT_TRUE(node->light_control()->headlamps_on());
+  signals.publish("env.ambient_light", 0.9, engine.now());
+  engine.run_until(SimTime(2'000'000));
+  EXPECT_FALSE(node->light_control()->headlamps_on());
+}
+
+TEST_F(AppsTest, LightControlHysteresisHoldsState) {
+  boot();
+  auto& signals = node->signals();
+  signals.publish("env.ambient_light", 0.1, engine.now());
+  engine.run_until(SimTime(1'000'000));
+  // Between thresholds: stays on.
+  signals.publish("env.ambient_light", 0.4, engine.now());
+  engine.run_until(SimTime(2'000'000));
+  EXPECT_TRUE(node->light_control()->headlamps_on());
+}
+
+TEST_F(AppsTest, OptionalAppsCanBeDisabled) {
+  config.with_safelane = false;
+  config.with_light_control = false;
+  boot();
+  EXPECT_EQ(node->safelane(), nullptr);
+  EXPECT_EQ(node->light_control(), nullptr);
+  engine.run_until(SimTime(1'000'000));
+  EXPECT_GT(node->rte().executions(node->safespeed().get_sensor_value()), 0u);
+}
+
+TEST_F(AppsTest, ScenarioDrivesSignals) {
+  boot();
+  validator::Scenario scenario(engine, node->signals());
+  scenario.set_signal(SimTime(100'000), "driver.demand", 0.8);
+  scenario.set_signal(SimTime(200'000), "safespeed.max_speed_kmh", 80.0);
+  int step_ran = 0;
+  scenario.at(SimTime(300'000), [&] { ++step_ran; });
+  scenario.arm();
+  EXPECT_EQ(scenario.step_count(), 3u);
+  engine.run_until(SimTime(400'000));
+  EXPECT_EQ(step_ran, 1);
+  EXPECT_DOUBLE_EQ(node->signals().read_or("driver.demand", 0.0), 0.8);
+}
+
+}  // namespace
+}  // namespace easis::apps

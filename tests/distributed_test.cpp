@@ -1,0 +1,312 @@
+// Tests for the distributed extensions: remote nodes with CAN heartbeats,
+// node supervision, and dynamic reconfiguration (degraded mode).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bus/can.hpp"
+#include "inject/faults.hpp"
+#include "inject/injector.hpp"
+#include "sim/engine.hpp"
+#include "validator/central_node.hpp"
+#include "validator/node_supervisor.hpp"
+#include "validator/remote_node.hpp"
+
+namespace easis::validator {
+namespace {
+
+using sim::Duration;
+using sim::Engine;
+using sim::SimTime;
+
+class SupervisionTest : public ::testing::Test {
+ protected:
+  Engine engine;
+  bus::CanBus can{engine};
+  NodeSupervisor supervisor{engine, can};
+  std::vector<std::pair<NodeId, NodeSupervisor::NodeState>> transitions;
+
+  void SetUp() override {
+    supervisor.set_state_callback(
+        [this](NodeId node, NodeSupervisor::NodeState state, SimTime) {
+          transitions.emplace_back(node, state);
+        });
+  }
+};
+
+TEST_F(SupervisionTest, HealthyNodeStaysAlive) {
+  RemoteNodeConfig config;
+  config.name = "sensor";
+  config.heartbeat_can_id = 0x700;
+  RemoteNode node(engine, can, config);
+  const NodeId id =
+      supervisor.register_node("sensor", 0x700, config.heartbeat_period);
+  node.start();
+  supervisor.start();
+  engine.run_until(SimTime(2'000'000));
+  EXPECT_EQ(supervisor.node_state(id), NodeSupervisor::NodeState::kAlive);
+  EXPECT_TRUE(transitions.empty());
+  EXPECT_GT(supervisor.heartbeats_seen(id), 30u);
+  EXPECT_GT(node.heartbeats_sent(), 30u);
+}
+
+TEST_F(SupervisionTest, HaltedNodeDetectedMissing) {
+  RemoteNodeConfig config;
+  config.name = "actuator";
+  config.heartbeat_can_id = 0x701;
+  RemoteNode node(engine, can, config);
+  const NodeId id =
+      supervisor.register_node("actuator", 0x701, config.heartbeat_period);
+  node.start();
+  supervisor.start();
+  engine.schedule_at(SimTime(1'000'000), [&] { node.halt(); });
+  engine.run_until(SimTime(2'000'000));
+  EXPECT_EQ(supervisor.node_state(id), NodeSupervisor::NodeState::kMissing);
+  EXPECT_EQ(supervisor.missing_events(id), 1u);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_EQ(transitions[0].second, NodeSupervisor::NodeState::kMissing);
+}
+
+TEST_F(SupervisionTest, NodeRecoveryDetected) {
+  RemoteNodeConfig config;
+  config.name = "gateway";
+  config.heartbeat_can_id = 0x702;
+  RemoteNode node(engine, can, config);
+  const NodeId id =
+      supervisor.register_node("gateway", 0x702, config.heartbeat_period);
+  node.start();
+  supervisor.start();
+  engine.schedule_at(SimTime(1'000'000), [&] { node.halt(); });
+  engine.schedule_at(SimTime(2'000'000), [&] { node.resume(); });
+  engine.run_until(SimTime(3'000'000));
+  EXPECT_EQ(supervisor.node_state(id), NodeSupervisor::NodeState::kAlive);
+  EXPECT_EQ(supervisor.missing_events(id), 1u);
+  EXPECT_EQ(supervisor.recovery_events(id), 1u);
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[1].second, NodeSupervisor::NodeState::kAlive);
+}
+
+TEST_F(SupervisionTest, IndependentNodesIndependentStates) {
+  RemoteNodeConfig a_config;
+  a_config.name = "a";
+  a_config.heartbeat_can_id = 0x710;
+  RemoteNodeConfig b_config;
+  b_config.name = "b";
+  b_config.heartbeat_can_id = 0x711;
+  RemoteNode a(engine, can, a_config);
+  RemoteNode b(engine, can, b_config);
+  const NodeId a_id =
+      supervisor.register_node("a", 0x710, a_config.heartbeat_period);
+  const NodeId b_id =
+      supervisor.register_node("b", 0x711, b_config.heartbeat_period);
+  a.start();
+  b.start();
+  supervisor.start();
+  engine.schedule_at(SimTime(500'000), [&] { a.halt(); });
+  engine.run_until(SimTime(2'000'000));
+  EXPECT_EQ(supervisor.node_state(a_id), NodeSupervisor::NodeState::kMissing);
+  EXPECT_EQ(supervisor.node_state(b_id), NodeSupervisor::NodeState::kAlive);
+}
+
+TEST_F(SupervisionTest, DuplicateCanIdRejected) {
+  supervisor.register_node("x", 0x720, Duration::millis(50));
+  EXPECT_THROW(supervisor.register_node("y", 0x720, Duration::millis(50)),
+               std::logic_error);
+}
+
+TEST_F(SupervisionTest, SlowNodePeriodRespected) {
+  // A node beating every 200 ms must not be flagged by a 50 ms supervisor.
+  RemoteNodeConfig config;
+  config.name = "slow";
+  config.heartbeat_can_id = 0x730;
+  config.heartbeat_period = Duration::millis(200);
+  RemoteNode node(engine, can, config);
+  const NodeId id =
+      supervisor.register_node("slow", 0x730, config.heartbeat_period);
+  node.start();
+  supervisor.start();
+  engine.run_until(SimTime(5'000'000));
+  EXPECT_EQ(supervisor.node_state(id), NodeSupervisor::NodeState::kAlive);
+  EXPECT_EQ(supervisor.missing_events(id), 0u);
+}
+
+TEST_F(SupervisionTest, BusOffFlagsAllNodes) {
+  // A dead bus is indistinguishable from all nodes failing at once -- the
+  // supervisor must flag every node (bus-fault vs node-fault diagnosis is
+  // then the FMF's job, using the "all missing simultaneously" signature).
+  RemoteNodeConfig a_config;
+  a_config.name = "a";
+  a_config.heartbeat_can_id = 0x740;
+  RemoteNodeConfig b_config;
+  b_config.name = "b";
+  b_config.heartbeat_can_id = 0x741;
+  RemoteNode a(engine, can, a_config);
+  RemoteNode b(engine, can, b_config);
+  const NodeId a_id =
+      supervisor.register_node("a", 0x740, a_config.heartbeat_period);
+  const NodeId b_id =
+      supervisor.register_node("b", 0x741, b_config.heartbeat_period);
+  a.start();
+  b.start();
+  supervisor.start();
+  engine.schedule_at(SimTime(1'000'000), [&] { can.set_bus_off(true); });
+  engine.run_until(SimTime(2'000'000));
+  EXPECT_EQ(supervisor.node_state(a_id), NodeSupervisor::NodeState::kMissing);
+  EXPECT_EQ(supervisor.node_state(b_id), NodeSupervisor::NodeState::kMissing);
+  EXPECT_GT(can.frames_lost(), 0u);
+  // Bus recovery: both nodes come back without being restarted.
+  engine.schedule_at(SimTime(2'000'000), [&] { can.set_bus_off(false); });
+  engine.run_until(SimTime(3'000'000));
+  EXPECT_EQ(supervisor.node_state(a_id), NodeSupervisor::NodeState::kAlive);
+  EXPECT_EQ(supervisor.node_state(b_id), NodeSupervisor::NodeState::kAlive);
+}
+
+// --- dynamic reconfiguration (degraded mode) ----------------------------------
+//
+// The fault: the SafeSpeed task's activation period degrades (e.g. a sick
+// time base). Treatment: switch the application into limp-home AND
+// reconfigure the fault hypothesis for the degraded timing (the outlook's
+// "dynamic reconfiguration of applications" plus re-application of the
+// watchdog "to meet the individual dependability requirements").
+
+class DegradeTest : public ::testing::Test {
+ protected:
+  Engine engine;
+  CentralNodeConfig config;
+  std::unique_ptr<CentralNode> node;
+  std::vector<std::unique_ptr<inject::ErrorInjector>> injectors_;
+
+  void boot() {
+    node = std::make_unique<CentralNode>(engine, config);
+    fmf::ApplicationPolicy policy;
+    policy.on_faulty = fmf::TreatmentAction::kDegrade;
+    auto& ss = node->safespeed();
+    node->fault_management()->set_application_policy(ss.application(),
+                                                     policy);
+    node->fault_management()->set_degraded_mode(
+        ss.application(),
+        [this, &ss] {
+          ss.set_limp_home(true);
+          // Relaxed hypothesis: tolerate activation periods up to ~320 ms.
+          for (RunnableId r :
+               {ss.get_sensor_value(), ss.safe_cc_process(),
+                ss.speed_process()}) {
+            node->watchdog().update_hypothesis(r, /*aliveness_cycles=*/32,
+                                               /*min_heartbeats=*/1,
+                                               /*arrival_cycles=*/32,
+                                               /*max_arrivals=*/100);
+          }
+        },
+        [&ss] { ss.set_limp_home(false); });
+    node->start();
+  }
+
+  /// Slows the SafeSpeed activation by `factor` from t=2 s.
+  void inject_period_fault(double factor, std::int64_t duration_ms) {
+    auto injector = std::make_unique<inject::ErrorInjector>(engine);
+    injector->add(inject::make_period_scale(
+        node->kernel(), node->safespeed_alarm(),
+        node->safespeed_period_ticks(), factor, SimTime(2'000'000),
+        Duration::millis(duration_ms)));
+    injector->arm();
+    injectors_.push_back(std::move(injector));
+  }
+};
+
+TEST_F(DegradeTest, FaultSwitchesToLimpHome) {
+  boot();
+  node->signals().publish("driver.demand", 1.0, engine.now());
+  inject_period_fault(8.0, 0);  // permanent 80 ms period
+  engine.run_until(SimTime(4'000'000));
+  auto& fm = *node->fault_management();
+  const ApplicationId app = node->safespeed().application();
+  EXPECT_TRUE(node->safespeed().limp_home());
+  EXPECT_EQ(fm.degradations_performed(app), 1u);
+  EXPECT_TRUE(fm.is_degraded(app));
+  // No restarts, no termination: the app keeps running, degraded, and the
+  // relaxed hypothesis accepts the 80 ms period (no further faults).
+  EXPECT_EQ(fm.restarts_performed(app), 0u);
+  EXPECT_EQ(fm.terminations_performed(app), 0u);
+  EXPECT_TRUE(node->rte().application_enabled(app));
+  const auto faults = fm.faults_recorded();
+  engine.run_until(SimTime(8'000'000));
+  EXPECT_EQ(fm.faults_recorded(), faults);
+  // Limp-home caps the drive command.
+  EXPECT_LE(node->signals().read_or("actuator.drive_cmd", 1.0),
+            apps::SafeSpeed::kLimpHomeLimit + 1e-9);
+}
+
+TEST_F(DegradeTest, FaultWhileDegradedEscalatesToTermination) {
+  boot();
+  // 1 s activation period: fails even the relaxed degraded hypothesis.
+  inject_period_fault(100.0, 0);
+  engine.run_until(SimTime(12'000'000));
+  auto& fm = *node->fault_management();
+  const ApplicationId app = node->safespeed().application();
+  EXPECT_EQ(fm.degradations_performed(app), 1u);
+  EXPECT_EQ(fm.terminations_performed(app), 1u);
+  EXPECT_FALSE(node->rte().application_enabled(app));
+}
+
+TEST_F(DegradeTest, RecoveryLeavesDegradedMode) {
+  boot();
+  inject_period_fault(8.0, 1000);  // transient: reverted at t=3 s
+  engine.run_until(SimTime(4'000'000));
+  ASSERT_TRUE(node->safespeed().limp_home());
+  node->fault_management()->recover_application(
+      node->safespeed().application(), engine.now());
+  EXPECT_FALSE(node->safespeed().limp_home());
+  EXPECT_FALSE(node->fault_management()->is_degraded(
+      node->safespeed().application()));
+  // Healthy afterwards: no new faults accumulate.
+  const auto faults = node->fault_management()->faults_recorded();
+  engine.run_until(SimTime(6'000'000));
+  EXPECT_EQ(node->fault_management()->faults_recorded(), faults);
+}
+
+TEST_F(DegradeTest, DegradeWithoutRegisteredModeFallsBackToRestart) {
+  node = std::make_unique<CentralNode>(engine, config);
+  fmf::ApplicationPolicy policy;
+  policy.on_faulty = fmf::TreatmentAction::kDegrade;
+  node->fault_management()->set_application_policy(
+      node->safespeed().application(), policy);
+  node->start();
+  inject_period_fault(8.0, 500);
+  engine.run_until(SimTime(4'000'000));
+  EXPECT_GE(node->fault_management()->restarts_performed(
+                node->safespeed().application()),
+            1u);
+}
+
+// --- event-server resilience across FMF restarts ---------------------------------
+
+TEST(CrashRestartTest, EventServerSurvivesFmfRestart) {
+  Engine engine;
+  CentralNodeConfig config;
+  CentralNode node(engine, config);
+  auto* crash = node.crash_detection();
+  ASSERT_NE(crash, nullptr);
+  node.signals().publish("sensor.accel_g", 9.0, engine.now());
+  node.start();
+
+  // Handler storm -> arrival-rate errors -> FMF restarts CrashDetection.
+  for (int i = 0; i < 100; ++i) {
+    engine.schedule_at(SimTime(1'000'000 + i * 5'000),
+                       [crash] { crash->trigger_sensor(); });
+  }
+  engine.run_until(SimTime(2'000'000));
+  ASSERT_GE(node.fault_management()->restarts_performed(
+                crash->application()),
+            1u);
+
+  // After the storm and the restarts, a single crash must still be served.
+  const auto before = crash->notifications_sent();
+  engine.schedule_at(SimTime(3'000'000), [crash] { crash->trigger_sensor(); });
+  engine.run_until(SimTime(4'000'000));
+  EXPECT_EQ(crash->notifications_sent(), before + 1);
+  EXPECT_EQ(node.kernel().task_state(crash->task()),
+            os::TaskState::kWaiting);
+}
+
+}  // namespace
+}  // namespace easis::validator

@@ -1,0 +1,191 @@
+// Unit tests for the Fault Management Framework: fault logging, treatment
+// policies (restart / terminate / escalate), ECU reset coordination.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fmf/fmf.hpp"
+#include "os/kernel.hpp"
+#include "rte/rte.hpp"
+#include "sim/engine.hpp"
+#include "wdg/watchdog.hpp"
+
+namespace easis::fmf {
+namespace {
+
+using sim::Duration;
+using sim::Engine;
+using sim::SimTime;
+
+class FmfTest : public ::testing::Test {
+ protected:
+  Engine engine;
+  os::Kernel kernel{engine};
+  rte::Rte rte{kernel};
+  wdg::SoftwareWatchdog wd{[] {
+    wdg::WatchdogConfig c;
+    c.check_period = Duration::millis(10);
+    c.aliveness_threshold = 2;
+    c.arrival_rate_threshold = 2;
+    c.program_flow_threshold = 2;
+    c.accumulated_aliveness_threshold = 2;
+    c.ecu_faulty_task_limit = 2;
+    return c;
+  }()};
+  int ecu_resets = 0;
+  std::unique_ptr<FaultManagementFramework> fmf;
+
+  ApplicationId app;
+  TaskId task;
+  RunnableId runnable;
+
+  void SetUp() override {
+    app = rte.register_application("App");
+    const ComponentId comp = rte.register_component(app, "C");
+    rte::RunnableSpec spec;
+    spec.name = "R";
+    spec.execution_time = Duration::micros(100);
+    runnable = rte.register_runnable(comp, spec);
+    os::TaskConfig tc;
+    tc.name = "T";
+    tc.priority = 5;
+    task = kernel.create_task(tc);
+    rte.map_runnable(runnable, task);
+
+    wdg::RunnableMonitor m;
+    m.runnable = runnable;
+    m.task = task;
+    m.application = app;
+    m.name = "R";
+    m.aliveness_cycles = 2;
+    m.min_heartbeats = 1;
+    m.arrival_cycles = 2;
+    m.max_arrivals = 10;
+    m.program_flow = false;
+    wd.add_runnable(m);
+
+    fmf = std::make_unique<FaultManagementFramework>(
+        rte, wd, [this] { ++ecu_resets; });
+    fmf->attach();
+  }
+
+  /// Drives enough empty watchdog cycles to cross the aliveness threshold.
+  void provoke_app_fault(int start_tick = 0) {
+    for (int i = 0; i < 4; ++i) {
+      wd.main_function(SimTime((start_tick + i) * 10'000));
+    }
+  }
+};
+
+TEST_F(FmfTest, FaultsAreLoggedWithSeverity) {
+  provoke_app_fault();
+  EXPECT_GE(fmf->faults_recorded(), 2u);
+  const auto& log = fmf->fault_log();
+  ASSERT_FALSE(log.empty());
+  EXPECT_EQ(log.at(0).source, "swd");
+  EXPECT_EQ(log.at(0).severity, wdg::Severity::kMajor);
+  EXPECT_EQ(log.at(0).report.type, wdg::ErrorType::kAliveness);
+}
+
+TEST_F(FmfTest, FaultListenersInformed) {
+  std::vector<FaultRecord> seen;
+  fmf->add_fault_listener([&](const FaultRecord& r) { seen.push_back(r); });
+  provoke_app_fault();
+  EXPECT_GE(seen.size(), 2u);
+}
+
+TEST_F(FmfTest, DefaultPolicyRestartsApplication) {
+  provoke_app_fault();
+  EXPECT_EQ(fmf->restarts_performed(app), 1u);
+  EXPECT_EQ(rte.restart_count(app), 1u);
+  // Monitoring state cleared: the application is healthy again.
+  EXPECT_EQ(wd.task_health(task), wdg::Health::kOk);
+  EXPECT_TRUE(rte.application_enabled(app));
+}
+
+TEST_F(FmfTest, RestartEscalatesToTerminationAfterBudget) {
+  ApplicationPolicy policy;
+  policy.on_faulty = TreatmentAction::kRestart;
+  policy.max_restarts = 2;
+  fmf->set_application_policy(app, policy);
+  provoke_app_fault(0);
+  provoke_app_fault(10);
+  EXPECT_EQ(fmf->restarts_performed(app), 2u);
+  provoke_app_fault(20);
+  EXPECT_EQ(fmf->restarts_performed(app), 2u);
+  EXPECT_EQ(fmf->terminations_performed(app), 1u);
+  EXPECT_FALSE(rte.application_enabled(app));
+}
+
+TEST_F(FmfTest, TerminatePolicyDisablesApplication) {
+  ApplicationPolicy policy;
+  policy.on_faulty = TreatmentAction::kTerminate;
+  fmf->set_application_policy(app, policy);
+  provoke_app_fault();
+  EXPECT_EQ(fmf->terminations_performed(app), 1u);
+  EXPECT_FALSE(rte.application_enabled(app));
+  // Monitoring deactivated: no further faults accumulate.
+  const auto faults_before = fmf->faults_recorded();
+  provoke_app_fault(10);
+  EXPECT_EQ(fmf->faults_recorded(), faults_before);
+}
+
+TEST_F(FmfTest, NonePolicyLeavesApplicationAlone) {
+  ApplicationPolicy policy;
+  policy.on_faulty = TreatmentAction::kNone;
+  fmf->set_application_policy(app, policy);
+  provoke_app_fault();
+  EXPECT_EQ(fmf->restarts_performed(app), 0u);
+  EXPECT_EQ(fmf->terminations_performed(app), 0u);
+  EXPECT_TRUE(rte.application_enabled(app));
+  EXPECT_EQ(wd.task_health(task), wdg::Health::kFaulty);
+}
+
+TEST_F(FmfTest, EcuFaultTriggersSoftwareReset) {
+  // A second monitored task so the ECU limit (2 faulty tasks) is reachable.
+  os::TaskConfig tc;
+  tc.name = "T2";
+  tc.priority = 5;
+  const TaskId task2 = kernel.create_task(tc);
+  wdg::RunnableMonitor m;
+  m.runnable = RunnableId(55);
+  m.task = task2;
+  m.application = app;
+  m.name = "R2";
+  m.aliveness_cycles = 2;
+  m.min_heartbeats = 1;
+  m.arrival_cycles = 2;
+  m.max_arrivals = 10;
+  m.program_flow = false;
+  wd.add_runnable(m);
+
+  ApplicationPolicy policy;
+  policy.on_faulty = TreatmentAction::kNone;  // let both tasks stay faulty
+  fmf->set_application_policy(app, policy);
+  provoke_app_fault();
+  EXPECT_EQ(ecu_resets, 1);
+}
+
+TEST_F(FmfTest, EcuResetBudgetBounded) {
+  FmfConfig config;
+  config.max_ecu_resets = 1;
+  auto bounded = std::make_unique<FaultManagementFramework>(
+      rte, wd, [this] { ++ecu_resets; }, config);
+  // Cannot attach twice to the same watchdog in this test fixture; verify
+  // the budget accessor and configuration instead.
+  EXPECT_EQ(bounded->ecu_resets_performed(), 0u);
+}
+
+TEST_F(FmfTest, AttachTwiceRejected) {
+  EXPECT_THROW(fmf->attach(), std::logic_error);
+}
+
+TEST_F(FmfTest, FaultLogIsBounded) {
+  FmfConfig config;
+  config.fault_log_capacity = 4;
+  FaultManagementFramework small(rte, wd, [] {}, config);
+  EXPECT_EQ(small.fault_log().capacity(), 4u);
+}
+
+}  // namespace
+}  // namespace easis::fmf

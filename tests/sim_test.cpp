@@ -1,0 +1,254 @@
+// Unit tests for the simulation kernel: time types, DES engine, vehicle
+// and lane environment models.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/lane.hpp"
+#include "sim/time.hpp"
+#include "sim/vehicle.hpp"
+
+namespace easis::sim {
+namespace {
+
+// --- time ----------------------------------------------------------------
+
+TEST(Duration, Factories) {
+  EXPECT_EQ(Duration::millis(3).as_micros(), 3000);
+  EXPECT_EQ(Duration::seconds(2).as_micros(), 2'000'000);
+  EXPECT_DOUBLE_EQ(Duration::millis(1500).as_seconds(), 1.5);
+}
+
+TEST(Duration, Arithmetic) {
+  const Duration a = Duration::millis(10);
+  const Duration b = Duration::millis(4);
+  EXPECT_EQ((a + b).as_micros(), 14000);
+  EXPECT_EQ((a - b).as_micros(), 6000);
+  EXPECT_EQ((a * 3).as_micros(), 30000);
+  EXPECT_EQ((a / 2).as_micros(), 5000);
+}
+
+TEST(Duration, Comparison) {
+  EXPECT_LT(Duration::millis(1), Duration::millis(2));
+  EXPECT_EQ(Duration::millis(1), Duration::micros(1000));
+}
+
+TEST(SimTime, PlusMinusDuration) {
+  const SimTime t0(1000);
+  const SimTime t1 = t0 + Duration::micros(500);
+  EXPECT_EQ(t1.as_micros(), 1500);
+  EXPECT_EQ((t1 - t0).as_micros(), 500);
+  EXPECT_EQ((t1 - Duration::micros(500)), t0);
+}
+
+// --- engine ---------------------------------------------------------------
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(SimTime(30), [&] { order.push_back(3); });
+  engine.schedule_at(SimTime(10), [&] { order.push_back(1); });
+  engine.schedule_at(SimTime(20), [&] { order.push_back(2); });
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), SimTime(30));
+}
+
+TEST(Engine, SameTimeOrderedByPriorityThenInsertion) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(SimTime(10), [&] { order.push_back(2); },
+                     EventPriority::kDefault);
+  engine.schedule_at(SimTime(10), [&] { order.push_back(1); },
+                     EventPriority::kKernel);
+  engine.schedule_at(SimTime(10), [&] { order.push_back(3); },
+                     EventPriority::kDefault);
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine engine;
+  SimTime fired;
+  engine.schedule_at(SimTime(100), [&] {
+    engine.schedule_in(Duration::micros(50), [&] { fired = engine.now(); });
+  });
+  engine.run_all();
+  EXPECT_EQ(fired, SimTime(150));
+}
+
+TEST(Engine, RejectsPastEvents) {
+  Engine engine;
+  engine.schedule_at(SimTime(100), [] {});
+  engine.run_all();
+  EXPECT_THROW(engine.schedule_at(SimTime(50), [] {}), std::invalid_argument);
+  EXPECT_THROW(engine.schedule_in(Duration::micros(-1), [] {}),
+               std::invalid_argument);
+}
+
+TEST(Engine, CancelPreventsFiring) {
+  Engine engine;
+  bool fired = false;
+  const EventId id = engine.schedule_at(SimTime(10), [&] { fired = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  engine.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelUnknownIdFails) {
+  Engine engine;
+  EXPECT_FALSE(engine.cancel(0));
+  EXPECT_FALSE(engine.cancel(999));
+}
+
+TEST(Engine, RunUntilAdvancesClockEvenWithoutEvents) {
+  Engine engine;
+  engine.run_until(SimTime(500));
+  EXPECT_EQ(engine.now(), SimTime(500));
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryInclusive) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(SimTime(10), [&] { order.push_back(1); });
+  engine.schedule_at(SimTime(20), [&] { order.push_back(2); });
+  engine.schedule_at(SimTime(21), [&] { order.push_back(3); });
+  engine.run_until(SimTime(20));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(engine.now(), SimTime(20));
+  engine.run_until(SimTime(30));
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(Engine, EventsScheduledDuringRunFire) {
+  Engine engine;
+  int count = 0;
+  std::function<void()> reschedule = [&] {
+    if (++count < 5) engine.schedule_in(Duration::micros(10), reschedule);
+  };
+  engine.schedule_at(SimTime(0), reschedule);
+  engine.run_until(SimTime(1000));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Engine, PendingEventsCount) {
+  Engine engine;
+  const EventId a = engine.schedule_at(SimTime(10), [] {});
+  engine.schedule_at(SimTime(20), [] {});
+  EXPECT_EQ(engine.pending_events(), 2u);
+  engine.cancel(a);
+  EXPECT_EQ(engine.pending_events(), 1u);
+}
+
+TEST(Engine, StepFiresExactlyOne) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(SimTime(10), [&] { ++fired; });
+  engine.schedule_at(SimTime(20), [&] { ++fired; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+  EXPECT_EQ(engine.events_fired(), 2u);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run = [] {
+    Engine engine;
+    std::vector<std::int64_t> trace;
+    for (int i = 0; i < 50; ++i) {
+      engine.schedule_at(SimTime((i * 7) % 40), [&trace, &engine] {
+        trace.push_back(engine.now().as_micros());
+      });
+    }
+    engine.run_all();
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// --- vehicle ------------------------------------------------------------------
+
+TEST(VehicleModel, AcceleratesUnderThrottle) {
+  VehicleModel vehicle;
+  vehicle.set_drive_command(1.0);
+  for (int i = 0; i < 1000; ++i) vehicle.step(Duration::millis(10));
+  EXPECT_GT(vehicle.speed_kmh(), 50.0);
+  EXPECT_GT(vehicle.position_m(), 0.0);
+}
+
+TEST(VehicleModel, ReachesDragLimitedTopSpeed) {
+  VehicleModel vehicle;
+  vehicle.set_drive_command(1.0);
+  for (int i = 0; i < 60000; ++i) vehicle.step(Duration::millis(10));
+  // Equilibrium: 6000 N = 0.8 v^2 + 150 -> v ~ 85.5 m/s.
+  EXPECT_NEAR(vehicle.speed_mps(), 85.5, 1.0);
+}
+
+TEST(VehicleModel, BrakesToStandstill) {
+  VehicleModel vehicle;
+  vehicle.set_speed_mps(30.0);
+  vehicle.set_drive_command(-1.0);
+  for (int i = 0; i < 1000; ++i) vehicle.step(Duration::millis(10));
+  EXPECT_DOUBLE_EQ(vehicle.speed_mps(), 0.0);
+}
+
+TEST(VehicleModel, SpeedNeverNegative) {
+  VehicleModel vehicle;
+  vehicle.set_drive_command(-1.0);
+  vehicle.step(Duration::seconds(10));
+  EXPECT_GE(vehicle.speed_mps(), 0.0);
+}
+
+TEST(VehicleModel, CommandClamped) {
+  VehicleModel vehicle;
+  vehicle.set_drive_command(5.0);
+  EXPECT_DOUBLE_EQ(vehicle.drive_command(), 1.0);
+  vehicle.set_drive_command(-5.0);
+  EXPECT_DOUBLE_EQ(vehicle.drive_command(), -1.0);
+}
+
+TEST(VehicleModel, CoastsDownWithoutThrottle) {
+  VehicleModel vehicle;
+  vehicle.set_speed_mps(30.0);
+  vehicle.set_drive_command(0.0);
+  for (int i = 0; i < 100; ++i) vehicle.step(Duration::millis(10));
+  EXPECT_LT(vehicle.speed_mps(), 30.0);
+}
+
+// --- lane -----------------------------------------------------------------------
+
+TEST(LaneModel, DriftsWithConfiguredRate) {
+  LaneModel lane;
+  lane.set_drift_rate(0.5);
+  for (int i = 0; i < 100; ++i) lane.step(Duration::millis(10));
+  EXPECT_NEAR(lane.lateral_offset_m(), 0.5, 1e-9);
+}
+
+TEST(LaneModel, DepartureThreshold) {
+  LaneModel lane;
+  EXPECT_FALSE(lane.departing());
+  lane.set_lateral_offset_m(1.3);
+  EXPECT_TRUE(lane.departing());
+  lane.set_lateral_offset_m(-1.3);
+  EXPECT_TRUE(lane.departing());
+}
+
+TEST(LaneModel, CorrectionPullsBackToCentre) {
+  LaneModel lane;
+  lane.set_lateral_offset_m(1.0);
+  lane.set_correction_rate(0.5);
+  for (int i = 0; i < 150; ++i) lane.step(Duration::millis(10));
+  EXPECT_LT(lane.lateral_offset_m(), 0.5);
+}
+
+TEST(LaneModel, OffsetClampedToLaneWidth) {
+  LaneModel lane;
+  lane.set_drift_rate(10.0);
+  for (int i = 0; i < 1000; ++i) lane.step(Duration::millis(10));
+  EXPECT_LE(lane.lateral_offset_m(), lane.params().lane_width_m);
+}
+
+}  // namespace
+}  // namespace easis::sim

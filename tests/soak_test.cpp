@@ -1,0 +1,129 @@
+// Soak test: ten simulated minutes of the full central node under a
+// periodic transient-fault profile. Asserts long-run stability: every
+// fault episode is detected and treated, the system always returns to
+// healthy, no ECU reset is ever needed, and the whole run is
+// deterministic.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "inject/faults.hpp"
+#include "inject/injector.hpp"
+#include "sim/engine.hpp"
+#include "validator/central_node.hpp"
+#include "validator/scenario.hpp"
+
+namespace easis::validator {
+namespace {
+
+using sim::Duration;
+using sim::Engine;
+using sim::SimTime;
+
+struct SoakResult {
+  std::uint32_t restarts = 0;
+  std::uint32_t resets = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t sensor_executions = 0;
+  std::uint64_t cycles = 0;
+  wdg::Health final_health = wdg::Health::kOk;
+  double final_speed = 0.0;
+  std::uint64_t events = 0;
+
+  auto tie() const {
+    return std::tie(restarts, resets, faults, sensor_executions, cycles,
+                    final_health, final_speed, events);
+  }
+  bool operator==(const SoakResult& other) const {
+    return tie() == other.tie();
+  }
+};
+
+SoakResult run_soak() {
+  Engine engine;
+  CentralNodeConfig config;
+  validator::CentralNode node(engine, config);
+  fmf::ApplicationPolicy policy;
+  policy.max_restarts = 10'000;  // never escalate during the soak
+  node.fault_management()->set_application_policy(
+      node.safespeed().application(), policy);
+  node.fault_management()->set_application_policy(
+      node.safelane()->application(), policy);
+
+  // Driving scenario: full throttle, limit changes every 2 minutes.
+  Scenario scenario(engine, node.signals());
+  scenario.set_signal(SimTime(0), "driver.demand", 1.0);
+  scenario.set_signal(SimTime(0), "safespeed.max_speed_kmh", 100.0);
+  scenario.set_signal(SimTime(120'000'000), "safespeed.max_speed_kmh", 60.0);
+  scenario.set_signal(SimTime(240'000'000), "safespeed.max_speed_kmh", 120.0);
+  scenario.set_signal(SimTime(360'000'000), "safespeed.max_speed_kmh", 80.0);
+  scenario.arm();
+
+  // Fault profile: alternating transient hangs and flow corruptions of
+  // SafeSpeed, plus SafeLane drops — one episode every ~37 s.
+  inject::ErrorInjector injector(engine);
+  for (int episode = 0; episode < 16; ++episode) {
+    const SimTime at(20'000'000 + episode * 37'000'000);
+    switch (episode % 3) {
+      case 0:
+        injector.add(inject::make_execution_stretch(
+            node.rte(), node.safespeed().safe_cc_process(), 1e6, at,
+            Duration::millis(250)));
+        break;
+      case 1:
+        injector.add(inject::make_invalid_branch(
+            node.rte(), node.safespeed_task(),
+            node.safespeed().get_sensor_value(),
+            node.safespeed().speed_process(), at, Duration::millis(400)));
+        break;
+      default:
+        injector.add(inject::make_runnable_drop(
+            node.rte(), node.safelane()->detect_departure(), at,
+            Duration::millis(400)));
+        break;
+    }
+  }
+  injector.arm();
+
+  node.start();
+  engine.run_until(SimTime(600'000'000));  // 10 simulated minutes
+
+  SoakResult result;
+  result.restarts =
+      node.fault_management()->restarts_performed(
+          node.safespeed().application()) +
+      node.fault_management()->restarts_performed(
+          node.safelane()->application());
+  result.resets = node.resets_performed();
+  result.faults = node.fault_management()->faults_recorded();
+  result.sensor_executions =
+      node.rte().executions(node.safespeed().get_sensor_value());
+  result.cycles = node.watchdog().cycles_run();
+  result.final_health = node.watchdog().ecu_health();
+  result.final_speed = node.vehicle().speed_kmh();
+  result.events = engine.events_fired();
+  return result;
+}
+
+TEST(SoakTest, TenMinutesWithRecurringFaults) {
+  const SoakResult result = run_soak();
+
+  // Every episode detected something and treatment brought the system back.
+  EXPECT_GE(result.faults, 16u);
+  EXPECT_GE(result.restarts, 14u);
+  EXPECT_EQ(result.resets, 0u);  // app-level treatment always sufficed
+  EXPECT_EQ(result.final_health, wdg::Health::kOk);
+
+  // The platform kept doing its job: ~60k SafeSpeed activations minus the
+  // fault outages, and the limiter tracks the final 80 km/h command.
+  EXPECT_GT(result.sensor_executions, 55'000u);
+  EXPECT_GT(result.cycles, 59'000u);
+  EXPECT_NEAR(result.final_speed, 80.0, 8.0);
+}
+
+TEST(SoakTest, SoakIsDeterministic) {
+  EXPECT_EQ(run_soak(), run_soak());
+}
+
+}  // namespace
+}  // namespace easis::validator

@@ -1,0 +1,118 @@
+// Tests for the OSEKTime-style time-triggered central node: applications
+// dispatched from a schedule table, watchdog behaviour unchanged.
+#include <gtest/gtest.h>
+
+#include "inject/faults.hpp"
+#include "inject/injector.hpp"
+#include "sim/engine.hpp"
+#include "validator/central_node.hpp"
+
+namespace easis::validator {
+namespace {
+
+using sim::Duration;
+using sim::Engine;
+using sim::SimTime;
+
+class TimeTriggeredTest : public ::testing::Test {
+ protected:
+  Engine engine;
+  CentralNodeConfig config;
+  std::unique_ptr<CentralNode> node;
+  std::vector<wdg::ErrorReport> errors;
+
+  void boot() {
+    config.time_triggered = true;
+    node = std::make_unique<CentralNode>(engine, config);
+    node->watchdog().add_error_listener(
+        [this](const wdg::ErrorReport& r) { errors.push_back(r); });
+    node->start();
+  }
+};
+
+TEST_F(TimeTriggeredTest, TableDispatchesApplications) {
+  boot();
+  ASSERT_NE(node->schedule_table(), nullptr);
+  EXPECT_TRUE(node->schedule_table()->running());
+  engine.run_until(SimTime(1'010'000));
+  auto& rte = node->rte();
+  // SafeSpeed at 10 ms: ~100 executions in 1 s.
+  const auto ss_runs = rte.executions(node->safespeed().get_sensor_value());
+  EXPECT_GE(ss_runs, 98u);
+  EXPECT_LE(ss_runs, 101u);
+  // SafeLane at 20 ms: ~50; LightControl at 50 ms: ~20.
+  const auto sl_runs =
+      rte.executions(node->safelane()->acquire_lane_position());
+  EXPECT_GE(sl_runs, 48u);
+  EXPECT_LE(sl_runs, 51u);
+  const auto lc_runs = rte.executions(node->light_control()->read_ambient());
+  EXPECT_GE(lc_runs, 19u);
+  EXPECT_LE(lc_runs, 21u);
+}
+
+TEST_F(TimeTriggeredTest, HealthyRunStaysSilent) {
+  boot();
+  engine.run_until(SimTime(3'000'000));
+  EXPECT_TRUE(errors.empty());
+  EXPECT_EQ(node->watchdog().ecu_health(), wdg::Health::kOk);
+}
+
+TEST_F(TimeTriggeredTest, WatchdogDetectsHangUnderTtDispatch) {
+  config.with_fmf = false;
+  boot();
+  inject::ErrorInjector injector(engine);
+  injector.add(inject::make_execution_stretch(
+      node->rte(), node->safespeed().safe_cc_process(), 1e6,
+      SimTime(1'000'000), Duration::zero()));
+  injector.arm();
+  engine.run_until(SimTime(2'000'000));
+  bool aliveness = false;
+  for (const auto& e : errors) {
+    if (e.type == wdg::ErrorType::kAliveness) aliveness = true;
+  }
+  EXPECT_TRUE(aliveness);
+  EXPECT_EQ(node->watchdog().task_health(node->safespeed_task()),
+            wdg::Health::kFaulty);
+}
+
+TEST_F(TimeTriggeredTest, FlowFaultDetectedUnderTtDispatch) {
+  config.with_fmf = false;
+  boot();
+  auto& ss = node->safespeed();
+  inject::ErrorInjector injector(engine);
+  injector.add(inject::make_invalid_branch(
+      node->rte(), node->safespeed_task(), ss.get_sensor_value(),
+      ss.speed_process(), SimTime(1'000'000), Duration::zero()));
+  injector.arm();
+  engine.run_until(SimTime(2'000'000));
+  int pfc = 0;
+  for (const auto& e : errors) {
+    if (e.type == wdg::ErrorType::kProgramFlow) ++pfc;
+  }
+  EXPECT_GE(pfc, 3);
+}
+
+TEST_F(TimeTriggeredTest, SoftwareResetRestartsTable) {
+  boot();
+  engine.run_until(SimTime(1'000'000));
+  node->software_reset();
+  const auto runs_before =
+      node->rte().executions(node->safespeed().get_sensor_value());
+  engine.run_until(SimTime(2'000'000));
+  EXPECT_GT(node->rte().executions(node->safespeed().get_sensor_value()),
+            runs_before);
+  EXPECT_TRUE(node->schedule_table()->running());
+}
+
+TEST_F(TimeTriggeredTest, SupervisionReportDumps) {
+  boot();
+  engine.run_until(SimTime(500'000));
+  std::ostringstream out;
+  node->watchdog().write_supervision_reports(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("GetSensorValue"), std::string::npos);
+  EXPECT_NE(text.find("global ECU state: ok"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace easis::validator

@@ -1,0 +1,305 @@
+// Unit tests for the util foundation library.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "util/csv.hpp"
+#include "util/ids.hpp"
+#include "util/logging.hpp"
+#include "util/random.hpp"
+#include "util/result.hpp"
+#include "util/ring_buffer.hpp"
+#include "util/stats.hpp"
+#include "util/strong_id.hpp"
+#include "util/trace.hpp"
+
+namespace easis {
+namespace {
+
+// --- StrongId ----------------------------------------------------------------
+
+TEST(StrongId, DefaultConstructedIsInvalid) {
+  RunnableId id;
+  EXPECT_FALSE(id.valid());
+}
+
+TEST(StrongId, ConstructedWithValueIsValid) {
+  RunnableId id(7);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 7u);
+}
+
+TEST(StrongId, EqualityAndOrdering) {
+  RunnableId a(1), b(2), c(1);
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_LT(a, b);
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<RunnableId, TaskId>);
+}
+
+TEST(StrongId, HashWorksInUnorderedSet) {
+  std::unordered_set<RunnableId> set;
+  set.insert(RunnableId(1));
+  set.insert(RunnableId(2));
+  set.insert(RunnableId(1));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(StrongId, StreamOutput) {
+  std::ostringstream os;
+  os << RunnableId(42) << " " << RunnableId{};
+  EXPECT_EQ(os.str(), "#42 #invalid");
+}
+
+// --- Result -------------------------------------------------------------------
+
+TEST(Result, HoldsValue) {
+  util::Result<int, std::string> r(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 5);
+}
+
+TEST(Result, HoldsError) {
+  util::Result<int, std::string> r(std::string("boom"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), "boom");
+}
+
+TEST(Result, ValueOrFallsBack) {
+  util::Result<int, std::string> ok(3);
+  util::Result<int, std::string> err(std::string("x"));
+  EXPECT_EQ(ok.value_or(9), 3);
+  EXPECT_EQ(err.value_or(9), 9);
+}
+
+// --- RingBuffer -----------------------------------------------------------------
+
+TEST(RingBuffer, PushAndReadBack) {
+  util::RingBuffer<int> buf(3);
+  buf.push(1);
+  buf.push(2);
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf.at(0), 1);
+  EXPECT_EQ(buf.at(1), 2);
+  EXPECT_EQ(buf.back(), 2);
+}
+
+TEST(RingBuffer, OverwritesOldestWhenFull) {
+  util::RingBuffer<int> buf(3);
+  for (int i = 1; i <= 5; ++i) buf.push(i);
+  EXPECT_TRUE(buf.full());
+  EXPECT_EQ(buf.dropped(), 2u);
+  EXPECT_EQ(buf.at(0), 3);
+  EXPECT_EQ(buf.at(1), 4);
+  EXPECT_EQ(buf.at(2), 5);
+}
+
+TEST(RingBuffer, SnapshotOldestFirst) {
+  util::RingBuffer<int> buf(2);
+  buf.push(1);
+  buf.push(2);
+  buf.push(3);
+  const auto snap = buf.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0], 2);
+  EXPECT_EQ(snap[1], 3);
+}
+
+TEST(RingBuffer, ClearResets) {
+  util::RingBuffer<int> buf(2);
+  buf.push(1);
+  buf.push(2);
+  buf.push(3);
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.dropped(), 0u);
+  buf.push(7);
+  EXPECT_EQ(buf.at(0), 7);
+}
+
+// --- CsvWriter ---------------------------------------------------------------------
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  std::ostringstream out;
+  util::CsvWriter csv(out, {"a", "b"});
+  csv.row({"1", "2"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+  EXPECT_EQ(csv.rows_written(), 1u);
+}
+
+TEST(CsvWriter, EscapesSpecialCharacters) {
+  EXPECT_EQ(util::CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(util::CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(util::CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriter, RejectsWidthMismatch) {
+  std::ostringstream out;
+  util::CsvWriter csv(out, {"a", "b"});
+  EXPECT_THROW(csv.row({"only-one"}), std::invalid_argument);
+}
+
+// --- Stats --------------------------------------------------------------------------
+
+TEST(Stats, MeanAndVariance) {
+  util::Stats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(Stats, MinMaxMedian) {
+  util::Stats s;
+  for (double x : {5.0, 1.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  util::Stats s;
+  for (int i = 0; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(95), 95.0, 1e-9);
+}
+
+TEST(Stats, EmptyThrowsOnOrderStatistics) {
+  util::Stats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW((void)s.min(), std::logic_error);
+  EXPECT_THROW((void)s.percentile(50), std::logic_error);
+}
+
+TEST(Stats, SingleSample) {
+  util::Stats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 42.0);
+}
+
+// --- TraceSignal / TraceRecorder ---------------------------------------------------
+
+TEST(TraceSignal, StepwiseValueAt) {
+  util::TraceSignal sig;
+  sig.record(10, 1.0);
+  sig.record(20, 2.0);
+  EXPECT_FALSE(sig.value_at(9).has_value());
+  EXPECT_DOUBLE_EQ(*sig.value_at(10), 1.0);
+  EXPECT_DOUBLE_EQ(*sig.value_at(15), 1.0);
+  EXPECT_DOUBLE_EQ(*sig.value_at(20), 2.0);
+  EXPECT_DOUBLE_EQ(*sig.value_at(1000), 2.0);
+}
+
+TEST(TraceSignal, SameInstantKeepsLatest) {
+  util::TraceSignal sig;
+  sig.record(10, 1.0);
+  sig.record(10, 3.0);
+  EXPECT_EQ(sig.samples().size(), 1u);
+  EXPECT_DOUBLE_EQ(*sig.value_at(10), 3.0);
+}
+
+TEST(TraceSignal, RejectsNonMonotonicTime) {
+  util::TraceSignal sig;
+  sig.record(10, 1.0);
+  EXPECT_THROW(sig.record(5, 2.0), std::invalid_argument);
+}
+
+TEST(TraceRecorder, RecordsMultipleSignals) {
+  util::TraceRecorder rec;
+  rec.record("a", 0, 1.0);
+  rec.record("b", 5, 2.0);
+  EXPECT_TRUE(rec.has_signal("a"));
+  EXPECT_TRUE(rec.has_signal("b"));
+  EXPECT_EQ(rec.signal_names().size(), 2u);
+  EXPECT_EQ(rec.earliest_time(), 0);
+  EXPECT_EQ(rec.latest_time(), 5);
+}
+
+TEST(TraceRecorder, CsvExportHasUniformGrid) {
+  util::TraceRecorder rec;
+  rec.record("x", 0, 1.0);
+  rec.record("x", 20, 2.0);
+  std::ostringstream out;
+  rec.write_csv(out, 10);
+  EXPECT_EQ(out.str(), "time,x\n0,1\n10,1\n20,2\n");
+}
+
+TEST(TraceRecorder, UnknownSignalThrows) {
+  util::TraceRecorder rec;
+  EXPECT_THROW((void)rec.signal("nope"), std::out_of_range);
+}
+
+TEST(TraceRecorder, AsciiRenderProducesPlot) {
+  util::TraceRecorder rec;
+  for (int t = 0; t <= 100; t += 10) {
+    rec.record("ramp", t, static_cast<double>(t));
+  }
+  std::ostringstream out;
+  rec.render_ascii(out, "ramp", 0, 100, 40, 6);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("ramp"), std::string::npos);
+  EXPECT_NE(text.find('*'), std::string::npos);
+}
+
+// --- Logger ---------------------------------------------------------------------------
+
+TEST(Logger, RespectsLevel) {
+  auto& logger = util::Logger::instance();
+  std::vector<std::string> captured;
+  auto old_sink = logger.set_sink(
+      [&](util::LogLevel, std::string_view, std::string_view msg) {
+        captured.emplace_back(msg);
+      });
+  const auto old_level = logger.level();
+  logger.set_level(util::LogLevel::kWarn);
+
+  EASIS_LOG(util::LogLevel::kInfo, "test") << "hidden";
+  EASIS_LOG(util::LogLevel::kError, "test") << "shown " << 42;
+
+  logger.set_level(old_level);
+  logger.set_sink(old_sink);
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0], "shown 42");
+}
+
+TEST(Logger, LevelNames) {
+  EXPECT_EQ(util::to_string(util::LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(util::to_string(util::LogLevel::kError), "ERROR");
+}
+
+// --- Rng -----------------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  util::Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(Rng, UniformIntWithinBounds) {
+  util::Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = rng.uniform_int(3, 9);
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 9);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  util::Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace easis

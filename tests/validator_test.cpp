@@ -1,0 +1,227 @@
+// End-to-end tests on the EASIS architecture validator substitute: the
+// paper's evaluation scenarios as assertions (Figure 5 / Figure 6 shapes),
+// fault treatment through the FMF, ControlDesk tracing, vehicle network.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "inject/faults.hpp"
+#include "inject/injector.hpp"
+#include "sim/engine.hpp"
+#include "util/trace.hpp"
+#include "validator/central_node.hpp"
+#include "validator/controldesk.hpp"
+#include "validator/network.hpp"
+
+namespace easis::validator {
+namespace {
+
+using sim::Duration;
+using sim::Engine;
+using sim::SimTime;
+
+class ValidatorTest : public ::testing::Test {
+ protected:
+  Engine engine;
+  CentralNodeConfig config;
+  std::unique_ptr<CentralNode> node;
+  std::vector<wdg::ErrorReport> errors;
+
+  void boot() {
+    node = std::make_unique<CentralNode>(engine, config);
+    node->watchdog().add_error_listener(
+        [this](const wdg::ErrorReport& r) { errors.push_back(r); });
+    node->start();
+  }
+
+  int count(wdg::ErrorType type) const {
+    int n = 0;
+    for (const auto& e : errors) {
+      if (e.type == type) ++n;
+    }
+    return n;
+  }
+};
+
+TEST_F(ValidatorTest, HealthySystemRunsWithoutErrors) {
+  boot();
+  engine.run_until(SimTime(2'000'000));  // 2 s
+  EXPECT_TRUE(errors.empty());
+  EXPECT_EQ(node->watchdog().ecu_health(), wdg::Health::kOk);
+  EXPECT_GT(node->watchdog().cycles_run(), 150u);
+}
+
+// Figure 5 scenario: the slider stretches the SafeSpeed task period until
+// aliveness indications become too infrequent.
+TEST_F(ValidatorTest, Fig5AlivenessErrorDetected) {
+  config.with_fmf = false;  // observe raw detection without treatment
+  boot();
+  inject::ErrorInjector injector(engine);
+  injector.add(inject::make_period_scale(
+      node->kernel(), node->safespeed_alarm(),
+      node->safespeed_period_ticks(), 8.0, SimTime(1'000'000),
+      Duration::zero()));
+  injector.arm();
+  engine.run_until(SimTime(3'000'000));
+  EXPECT_GT(count(wdg::ErrorType::kAliveness), 0);
+  EXPECT_EQ(count(wdg::ErrorType::kProgramFlow), 0);
+  // With threshold 3 the task state eventually turns faulty.
+  EXPECT_EQ(node->watchdog().task_health(node->safespeed_task()),
+            wdg::Health::kFaulty);
+}
+
+// Arrival-rate test (paper §4.5 prose): the slider raises the execution
+// frequency above the hypothesis.
+TEST_F(ValidatorTest, ArrivalRateErrorDetected) {
+  config.with_fmf = false;
+  boot();
+  inject::ErrorInjector injector(engine);
+  injector.add(inject::make_period_scale(
+      node->kernel(), node->safespeed_alarm(),
+      node->safespeed_period_ticks(), 0.3, SimTime(1'000'000),
+      Duration::zero()));
+  injector.arm();
+  engine.run_until(SimTime(3'000'000));
+  EXPECT_GT(count(wdg::ErrorType::kArrivalRate), 0);
+}
+
+// Figure 6 scenario: an invalid execution branch causes program flow
+// errors; the aliveness symptom is reported once, accumulated; after three
+// program flow errors the task state goes faulty.
+TEST_F(ValidatorTest, Fig6CollaborationOfUnits) {
+  config.with_fmf = false;
+  boot();
+  auto& ss = node->safespeed();
+  inject::ErrorInjector injector(engine);
+  injector.add(inject::make_invalid_branch(
+      node->rte(), node->safespeed_task(), ss.get_sensor_value(),
+      ss.speed_process(), SimTime(1'000'000), Duration::zero()));
+  injector.arm();
+  engine.run_until(SimTime(2'000'000));
+  EXPECT_GE(count(wdg::ErrorType::kProgramFlow), 3);
+  EXPECT_EQ(count(wdg::ErrorType::kAccumulatedAliveness), 1);
+  EXPECT_EQ(count(wdg::ErrorType::kAliveness), 0);
+  EXPECT_EQ(node->watchdog().task_health(node->safespeed_task()),
+            wdg::Health::kFaulty);
+}
+
+TEST_F(ValidatorTest, FmfRestartsFaultyApplication) {
+  boot();
+  inject::ErrorInjector injector(engine);
+  // Transient hang long enough to cross the aliveness threshold.
+  injector.add(inject::make_task_hang(node->rte(), node->safespeed_task(),
+                                      SimTime(1'000'000),
+                                      Duration::millis(600)));
+  injector.arm();
+  engine.run_until(SimTime(5'000'000));
+  ASSERT_NE(node->fault_management(), nullptr);
+  EXPECT_GE(node->fault_management()->restarts_performed(
+                node->safespeed().application()),
+            1u);
+  // After the transient fault and restart the system is healthy again.
+  EXPECT_EQ(node->watchdog().task_health(node->safespeed_task()),
+            wdg::Health::kOk);
+  EXPECT_EQ(node->resets_performed(), 0u);
+}
+
+TEST_F(ValidatorTest, EcuResetOnMultiTaskFault) {
+  // Make both SafeSpeed and SafeLane faulty: with ecu_faulty_task_limit=2
+  // the global ECU state goes faulty and the FMF performs a software reset.
+  config.fmf.max_ecu_resets = 1;
+  fmf::ApplicationPolicy none;
+  none.on_faulty = fmf::TreatmentAction::kNone;
+  boot();
+  node->fault_management()->set_application_policy(
+      node->safespeed().application(), none);
+  node->fault_management()->set_application_policy(
+      node->safelane()->application(), none);
+  inject::ErrorInjector injector(engine);
+  injector.add(inject::make_task_hang(node->rte(), node->safespeed_task(),
+                                      SimTime(1'000'000), Duration::zero()));
+  injector.add(inject::make_task_hang(node->rte(), node->safelane_task(),
+                                      SimTime(1'000'000), Duration::zero()));
+  injector.arm();
+  engine.run_until(SimTime(10'000'000));
+  EXPECT_EQ(node->resets_performed(), 1u);
+}
+
+TEST_F(ValidatorTest, ControlDeskRecordsCounterTraces) {
+  config.with_fmf = false;
+  boot();
+  util::TraceRecorder recorder;
+  ControlDesk desk(engine, recorder, Duration::millis(10));
+  desk.watch_runnable(node->watchdog(),
+                      node->safespeed().get_sensor_value(), "GetSensorValue");
+  desk.watch("vehicle.speed_kmh", [this] {
+    return node->signals().read_or("vehicle.speed_kmh", 0.0);
+  });
+  desk.start(Duration::seconds(1));
+  engine.run_until(SimTime(1'200'000));
+  EXPECT_TRUE(recorder.has_signal("GetSensorValue.AC"));
+  EXPECT_TRUE(recorder.has_signal("GetSensorValue.CCA"));
+  EXPECT_TRUE(recorder.has_signal("GetSensorValue.AM Result"));
+  EXPECT_GT(desk.samples_taken(), 90u);
+  // The AC counter actually moves (heartbeats are arriving).
+  EXPECT_GT(recorder.signal("GetSensorValue.AC").max_value(), 0.0);
+  std::ostringstream csv;
+  recorder.write_csv(csv, 10'000);
+  EXPECT_GT(csv.str().size(), 100u);
+}
+
+TEST_F(ValidatorTest, SoftwareResetRestartsApplications) {
+  boot();
+  engine.run_until(SimTime(1'000'000));
+  const auto runs_before =
+      node->rte().executions(node->safespeed().get_sensor_value());
+  node->software_reset();
+  engine.run_until(SimTime(2'000'000));
+  const auto runs_after =
+      node->rte().executions(node->safespeed().get_sensor_value());
+  EXPECT_GT(runs_after, runs_before);
+  EXPECT_EQ(node->kernel().reset_count(), 1u);
+  EXPECT_EQ(node->watchdog().ecu_health(), wdg::Health::kOk);
+}
+
+// --- vehicle network --------------------------------------------------------------
+
+TEST_F(ValidatorTest, MaxSpeedCommandTravelsThroughGateway) {
+  boot();
+  VehicleNetwork network(engine, node->signals());
+  network.start();
+  engine.schedule_at(SimTime(500'000),
+                     [&] { network.command_max_speed(70.0); });
+  engine.run_until(SimTime(600'000));
+  EXPECT_EQ(network.commands_received(), 1u);
+  EXPECT_DOUBLE_EQ(node->signals().read_or("safespeed.max_speed_kmh", 0.0),
+                   70.0);
+}
+
+TEST_F(ValidatorTest, SpeedBroadcastOnFlexRay) {
+  boot();
+  VehicleNetwork network(engine, node->signals());
+  network.start();
+  node->signals().publish("driver.demand", 1.0, engine.now());
+  engine.run_until(SimTime(10'000'000));
+  EXPECT_GT(network.flexray().frames_delivered(), 100u);
+  EXPECT_NEAR(network.last_broadcast_speed(),
+              node->signals().read_or("vehicle.speed_kmh", 0.0), 5.0);
+}
+
+TEST_F(ValidatorTest, AmbientLightTravelsOverLin) {
+  boot();
+  VehicleNetwork network(engine, node->signals());
+  network.start();
+  network.set_ambient_light(0.1);  // night
+  engine.run_until(SimTime(2'000'000));
+  // The value crossed a float32 codec: compare with float precision.
+  EXPECT_NEAR(node->signals().read_or("env.ambient_light", 1.0), 0.1, 1e-6);
+  // The light-control app (50 ms period) reacted to the LIN-fed signal.
+  EXPECT_TRUE(node->light_control()->headlamps_on());
+  EXPECT_GT(network.lin().responses(), 30u);
+  network.set_ambient_light(0.9);  // day
+  engine.run_until(SimTime(4'000'000));
+  EXPECT_FALSE(node->light_control()->headlamps_on());
+}
+
+}  // namespace
+}  // namespace easis::validator

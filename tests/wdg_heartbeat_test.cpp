@@ -1,0 +1,301 @@
+// Unit tests for the Heartbeat Monitoring Unit: AC/ARC/CCA/CCAR counter
+// semantics, activation status, cycle checks (paper §3.2.1).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "wdg/heartbeat.hpp"
+
+namespace easis::wdg {
+namespace {
+
+using sim::SimTime;
+
+RunnableMonitor monitor(std::uint32_t id, std::uint32_t aliveness_cycles = 5,
+                        std::uint32_t min_heartbeats = 2,
+                        std::uint32_t arrival_cycles = 5,
+                        std::uint32_t max_arrivals = 6) {
+  RunnableMonitor m;
+  m.runnable = RunnableId(id);
+  m.task = TaskId(0);
+  m.application = ApplicationId(0);
+  m.name = "r" + std::to_string(id);
+  m.aliveness_cycles = aliveness_cycles;
+  m.min_heartbeats = min_heartbeats;
+  m.arrival_cycles = arrival_cycles;
+  m.max_arrivals = max_arrivals;
+  return m;
+}
+
+struct ErrorLog {
+  std::vector<std::pair<RunnableId, ErrorType>> errors;
+  HeartbeatMonitoringUnit::ErrorCallback callback() {
+    return [this](RunnableId r, ErrorType t, SimTime) {
+      errors.emplace_back(r, t);
+    };
+  }
+};
+
+TEST(Heartbeat, IndicationIncrementsCounters) {
+  HeartbeatMonitoringUnit hbm;
+  hbm.add_runnable(monitor(1));
+  hbm.indicate(RunnableId(1));
+  hbm.indicate(RunnableId(1));
+  EXPECT_EQ(hbm.ac(RunnableId(1)), 2u);
+  EXPECT_EQ(hbm.arc(RunnableId(1)), 2u);
+}
+
+TEST(Heartbeat, UnmonitoredRunnableIgnored) {
+  HeartbeatMonitoringUnit hbm;
+  hbm.add_runnable(monitor(1));
+  hbm.indicate(RunnableId(99));  // silently ignored
+  EXPECT_FALSE(hbm.monitors(RunnableId(99)));
+  EXPECT_TRUE(hbm.monitors(RunnableId(1)));
+}
+
+TEST(Heartbeat, CycleCountersAdvancePerTick) {
+  HeartbeatMonitoringUnit hbm;
+  hbm.add_runnable(monitor(1));
+  ErrorLog log;
+  hbm.tick(SimTime(0), log.callback());
+  hbm.tick(SimTime(1), log.callback());
+  EXPECT_EQ(hbm.cca(RunnableId(1)), 2u);
+  EXPECT_EQ(hbm.ccar(RunnableId(1)), 2u);
+}
+
+TEST(Heartbeat, AlivenessErrorWhenTooFewHeartbeats) {
+  HeartbeatMonitoringUnit hbm;
+  hbm.add_runnable(monitor(1, /*aliveness_cycles=*/3, /*min_heartbeats=*/2));
+  ErrorLog log;
+  hbm.indicate(RunnableId(1));  // only one heartbeat, two required
+  for (int i = 0; i < 3; ++i) hbm.tick(SimTime(i), log.callback());
+  ASSERT_EQ(log.errors.size(), 1u);
+  EXPECT_EQ(log.errors[0].first, RunnableId(1));
+  EXPECT_EQ(log.errors[0].second, ErrorType::kAliveness);
+}
+
+TEST(Heartbeat, NoAlivenessErrorWhenEnoughHeartbeats) {
+  HeartbeatMonitoringUnit hbm;
+  hbm.add_runnable(monitor(1, 3, 2));
+  ErrorLog log;
+  hbm.indicate(RunnableId(1));
+  hbm.indicate(RunnableId(1));
+  for (int i = 0; i < 3; ++i) hbm.tick(SimTime(i), log.callback());
+  EXPECT_TRUE(log.errors.empty());
+}
+
+TEST(Heartbeat, CountersResetAtPeriodEnd) {
+  HeartbeatMonitoringUnit hbm;
+  hbm.add_runnable(monitor(1, 3, 1, 3, 10));
+  ErrorLog log;
+  hbm.indicate(RunnableId(1));
+  for (int i = 0; i < 3; ++i) hbm.tick(SimTime(i), log.callback());
+  EXPECT_EQ(hbm.ac(RunnableId(1)), 0u);
+  EXPECT_EQ(hbm.arc(RunnableId(1)), 0u);
+  EXPECT_EQ(hbm.cca(RunnableId(1)), 0u);
+  EXPECT_EQ(hbm.ccar(RunnableId(1)), 0u);
+}
+
+TEST(Heartbeat, ArrivalRateErrorWhenTooMany) {
+  HeartbeatMonitoringUnit hbm;
+  hbm.add_runnable(monitor(1, /*aliveness*/ 5, 1, /*arrival_cycles=*/3,
+                           /*max_arrivals=*/2));
+  ErrorLog log;
+  for (int i = 0; i < 4; ++i) hbm.indicate(RunnableId(1));
+  for (int i = 0; i < 3; ++i) hbm.tick(SimTime(i), log.callback());
+  ASSERT_EQ(log.errors.size(), 1u);
+  EXPECT_EQ(log.errors[0].second, ErrorType::kArrivalRate);
+}
+
+TEST(Heartbeat, ArrivalAtLimitIsNotAnError) {
+  HeartbeatMonitoringUnit hbm;
+  hbm.add_runnable(monitor(1, 5, 1, 3, 2));
+  ErrorLog log;
+  hbm.indicate(RunnableId(1));
+  hbm.indicate(RunnableId(1));  // exactly max_arrivals
+  for (int i = 0; i < 3; ++i) hbm.tick(SimTime(i), log.callback());
+  EXPECT_TRUE(log.errors.empty());
+}
+
+TEST(Heartbeat, ErrorDetectionResetsAllCounters) {
+  // Aliveness and arrival periods of different lengths: an aliveness error
+  // must also clear the arrival-rate counters (reset-on-error).
+  HeartbeatMonitoringUnit hbm;
+  hbm.add_runnable(monitor(1, /*aliveness_cycles=*/2, /*min=*/1,
+                           /*arrival_cycles=*/10, /*max=*/100));
+  ErrorLog log;
+  hbm.indicate(RunnableId(1));
+  hbm.tick(SimTime(0), log.callback());  // ccar = 1, arc = 1
+  hbm.tick(SimTime(1), log.callback());  // aliveness period ends: has 1, fine
+  EXPECT_TRUE(log.errors.empty());
+  // Next aliveness period without heartbeats -> error at its end.
+  hbm.tick(SimTime(2), log.callback());
+  hbm.tick(SimTime(3), log.callback());
+  ASSERT_EQ(log.errors.size(), 1u);
+  EXPECT_EQ(hbm.arc(RunnableId(1)), 0u);
+  EXPECT_EQ(hbm.ccar(RunnableId(1)), 0u);
+}
+
+TEST(Heartbeat, RepeatedErrorsInConsecutivePeriods) {
+  HeartbeatMonitoringUnit hbm;
+  hbm.add_runnable(monitor(1, 2, 1, 100, 1000));
+  ErrorLog log;
+  for (int i = 0; i < 8; ++i) hbm.tick(SimTime(i), log.callback());
+  // Four aliveness periods with zero heartbeats -> four errors.
+  EXPECT_EQ(log.errors.size(), 4u);
+}
+
+TEST(Heartbeat, InactiveRunnableNotMonitored) {
+  HeartbeatMonitoringUnit hbm;
+  hbm.add_runnable(monitor(1, 2, 1));
+  hbm.set_activation_status(RunnableId(1), false);
+  ErrorLog log;
+  for (int i = 0; i < 10; ++i) hbm.tick(SimTime(i), log.callback());
+  EXPECT_TRUE(log.errors.empty());
+  hbm.indicate(RunnableId(1));  // indications also ignored while inactive
+  EXPECT_EQ(hbm.ac(RunnableId(1)), 0u);
+}
+
+TEST(Heartbeat, ReactivationStartsFreshPeriod) {
+  HeartbeatMonitoringUnit hbm;
+  hbm.add_runnable(monitor(1, 4, 1));
+  ErrorLog log;
+  hbm.tick(SimTime(0), log.callback());
+  hbm.tick(SimTime(1), log.callback());
+  hbm.set_activation_status(RunnableId(1), false);
+  hbm.set_activation_status(RunnableId(1), true);
+  EXPECT_EQ(hbm.cca(RunnableId(1)), 0u);
+}
+
+TEST(Heartbeat, InitiallyInactiveConfigRespected) {
+  auto m = monitor(1, 2, 1);
+  m.initially_active = false;
+  HeartbeatMonitoringUnit hbm;
+  hbm.add_runnable(m);
+  EXPECT_FALSE(hbm.activation_status(RunnableId(1)));
+  ErrorLog log;
+  for (int i = 0; i < 5; ++i) hbm.tick(SimTime(i), log.callback());
+  EXPECT_TRUE(log.errors.empty());
+}
+
+TEST(Heartbeat, ResetRunnableClearsCounters) {
+  HeartbeatMonitoringUnit hbm;
+  hbm.add_runnable(monitor(1));
+  ErrorLog log;
+  hbm.indicate(RunnableId(1));
+  hbm.tick(SimTime(0), log.callback());
+  hbm.reset_runnable(RunnableId(1));
+  EXPECT_EQ(hbm.ac(RunnableId(1)), 0u);
+  EXPECT_EQ(hbm.cca(RunnableId(1)), 0u);
+}
+
+TEST(Heartbeat, GlobalResetRestoresInitialActivation) {
+  auto m = monitor(1);
+  m.initially_active = false;
+  HeartbeatMonitoringUnit hbm;
+  hbm.add_runnable(m);
+  hbm.set_activation_status(RunnableId(1), true);
+  hbm.indicate(RunnableId(1));
+  hbm.reset();
+  EXPECT_FALSE(hbm.activation_status(RunnableId(1)));
+  EXPECT_EQ(hbm.ac(RunnableId(1)), 0u);
+}
+
+TEST(Heartbeat, DuplicateRegistrationRejected) {
+  HeartbeatMonitoringUnit hbm;
+  hbm.add_runnable(monitor(1));
+  EXPECT_THROW(hbm.add_runnable(monitor(1)), std::logic_error);
+}
+
+TEST(Heartbeat, ZeroCyclePeriodRejected) {
+  HeartbeatMonitoringUnit hbm;
+  EXPECT_THROW(hbm.add_runnable(monitor(1, /*aliveness_cycles=*/0)),
+               std::invalid_argument);
+}
+
+TEST(Heartbeat, MonitoringCanBeDisabledPerKind) {
+  auto m = monitor(1, 2, 5, 2, 0);  // impossible limits for both kinds
+  m.monitor_aliveness = false;
+  m.monitor_arrival_rate = false;
+  HeartbeatMonitoringUnit hbm;
+  hbm.add_runnable(m);
+  ErrorLog log;
+  for (int i = 0; i < 6; ++i) hbm.tick(SimTime(i), log.callback());
+  EXPECT_TRUE(log.errors.empty());
+}
+
+TEST(Heartbeat, IndependentPeriodsPerRunnable) {
+  HeartbeatMonitoringUnit hbm;
+  hbm.add_runnable(monitor(1, /*aliveness=*/2, 1));
+  hbm.add_runnable(monitor(2, /*aliveness=*/4, 1));
+  ErrorLog log;
+  for (int i = 0; i < 4; ++i) hbm.tick(SimTime(i), log.callback());
+  // r1: two expired periods (2 errors); r2: one expired period (1 error).
+  int r1_errors = 0, r2_errors = 0;
+  for (const auto& [r, t] : log.errors) {
+    if (r == RunnableId(1)) ++r1_errors;
+    if (r == RunnableId(2)) ++r2_errors;
+  }
+  EXPECT_EQ(r1_errors, 2);
+  EXPECT_EQ(r2_errors, 1);
+}
+
+TEST(Heartbeat, MonitoredRunnablesListedInOrder) {
+  HeartbeatMonitoringUnit hbm;
+  hbm.add_runnable(monitor(3));
+  hbm.add_runnable(monitor(1));
+  const auto list = hbm.monitored_runnables();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0], RunnableId(3));
+  EXPECT_EQ(list[1], RunnableId(1));
+}
+
+// Parameterized sweep: for every (period, expected-rate) combination, a
+// runnable beating exactly at the expected rate never raises an error, and
+// one beating at half the rate raises aliveness errors.
+class HeartbeatSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(HeartbeatSweep, NominalRateNeverFlagged) {
+  const auto [cycles, rate] = GetParam();
+  HeartbeatMonitoringUnit hbm;
+  hbm.add_runnable(monitor(1, cycles, rate, cycles, rate + 1));
+  ErrorLog log;
+  for (std::uint32_t tick = 0; tick < cycles * 20; ++tick) {
+    // `rate` heartbeats per period, emitted at the period start.
+    if (tick % cycles == 0) {
+      for (std::uint32_t k = 0; k < rate; ++k) hbm.indicate(RunnableId(1));
+    }
+    hbm.tick(SimTime(tick), log.callback());
+  }
+  EXPECT_TRUE(log.errors.empty());
+}
+
+TEST_P(HeartbeatSweep, HalfRateRaisesAliveness) {
+  const auto [cycles, rate] = GetParam();
+  if (rate < 2) GTEST_SKIP() << "half rate indistinguishable";
+  HeartbeatMonitoringUnit hbm;
+  hbm.add_runnable(monitor(1, cycles, rate, cycles, rate + 1));
+  ErrorLog log;
+  std::uint32_t emitted = 0;
+  for (std::uint32_t tick = 0; tick < cycles * 20; ++tick) {
+    // Emit only rate/2 heartbeats per period (front-loaded).
+    if (tick % cycles < rate / 2) {
+      hbm.indicate(RunnableId(1));
+      ++emitted;
+    }
+    hbm.tick(SimTime(tick), log.callback());
+  }
+  EXPECT_FALSE(log.errors.empty());
+  for (const auto& [r, t] : log.errors) {
+    EXPECT_EQ(t, ErrorType::kAliveness);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PeriodsAndRates, HeartbeatSweep,
+    ::testing::Combine(::testing::Values(2u, 5u, 10u, 50u),
+                       ::testing::Values(1u, 2u, 4u, 8u)));
+
+}  // namespace
+}  // namespace easis::wdg

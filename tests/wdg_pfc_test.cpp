@@ -1,0 +1,187 @@
+// Unit tests for the Program Flow Checking Unit: look-up table semantics,
+// entry points, per-task contexts, job boundaries (paper §3.2.2).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "wdg/pfc.hpp"
+
+namespace easis::wdg {
+namespace {
+
+using sim::SimTime;
+
+struct FlowLog {
+  struct Entry {
+    RunnableId executed;
+    RunnableId predecessor;
+    TaskId task;
+  };
+  std::vector<Entry> errors;
+  ProgramFlowCheckingUnit::ErrorCallback callback() {
+    return [this](RunnableId e, RunnableId p, TaskId t, SimTime) {
+      errors.push_back({e, p, t});
+    };
+  }
+};
+
+class PfcTest : public ::testing::Test {
+ protected:
+  ProgramFlowCheckingUnit pfc;
+  FlowLog log;
+  const TaskId task{TaskId(0)};
+  const RunnableId a{RunnableId(1)};
+  const RunnableId b{RunnableId(2)};
+  const RunnableId c{RunnableId(3)};
+
+  void SetUp() override {
+    pfc.add_monitored(a, task);
+    pfc.add_monitored(b, task);
+    pfc.add_monitored(c, task);
+    pfc.add_entry_point(a);
+    pfc.add_edge(a, b);
+    pfc.add_edge(b, c);
+    pfc.add_edge(c, a);
+  }
+
+  void exec(RunnableId r, TaskId on_task) {
+    pfc.on_execution(r, on_task, SimTime(0), log.callback());
+  }
+};
+
+TEST_F(PfcTest, ValidSequenceNoErrors) {
+  exec(a, task);
+  exec(b, task);
+  exec(c, task);
+  exec(a, task);
+  EXPECT_TRUE(log.errors.empty());
+  EXPECT_EQ(pfc.checks_performed(), 4u);
+}
+
+TEST_F(PfcTest, InvalidSuccessorFlagged) {
+  exec(a, task);
+  exec(c, task);  // a -> c is not permitted
+  ASSERT_EQ(log.errors.size(), 1u);
+  EXPECT_EQ(log.errors[0].executed, c);
+  EXPECT_EQ(log.errors[0].predecessor, a);
+  EXPECT_EQ(log.errors[0].task, task);
+}
+
+TEST_F(PfcTest, WrongEntryPointFlagged) {
+  exec(b, task);  // job must start with a
+  ASSERT_EQ(log.errors.size(), 1u);
+  EXPECT_EQ(log.errors[0].executed, b);
+  EXPECT_FALSE(log.errors[0].predecessor.valid());
+}
+
+TEST_F(PfcTest, NoEntryPointsMeansAnyStartAccepted) {
+  ProgramFlowCheckingUnit open;
+  open.add_monitored(a, task);
+  open.add_monitored(b, task);
+  open.add_edge(a, b);
+  FlowLog open_log;
+  open.on_execution(b, task, SimTime(0), open_log.callback());
+  EXPECT_TRUE(open_log.errors.empty());
+}
+
+TEST_F(PfcTest, ContextContinuesAfterError) {
+  exec(a, task);
+  exec(c, task);  // error; context is now c
+  exec(a, task);  // c -> a is allowed: no further error
+  EXPECT_EQ(log.errors.size(), 1u);
+}
+
+TEST_F(PfcTest, TaskBoundaryResetsContext) {
+  exec(a, task);
+  exec(b, task);
+  pfc.task_boundary(task);
+  exec(a, task);  // fresh job: entry point, not b -> a
+  EXPECT_TRUE(log.errors.empty());
+}
+
+TEST_F(PfcTest, MissingBoundaryWouldFlagRestart) {
+  exec(a, task);
+  exec(b, task);
+  exec(a, task);  // b -> a is not in the table
+  EXPECT_EQ(log.errors.size(), 1u);
+}
+
+TEST_F(PfcTest, UnmonitoredRunnableIsTransparent) {
+  const RunnableId ghost(99);
+  exec(a, task);
+  exec(ghost, task);  // not monitored: neither advances nor corrupts
+  exec(b, task);
+  EXPECT_TRUE(log.errors.empty());
+  EXPECT_EQ(pfc.checks_performed(), 2u);
+}
+
+TEST_F(PfcTest, IndependentContextsPerTask) {
+  const TaskId other(1);
+  pfc.add_monitored(RunnableId(10), other);
+  pfc.add_entry_point(RunnableId(10));
+  exec(a, task);
+  exec(RunnableId(10), other);  // other task's entry
+  exec(b, task);                // a -> b still valid on the first task
+  EXPECT_TRUE(log.errors.empty());
+  EXPECT_EQ(pfc.flow_context(task), b);
+  EXPECT_EQ(pfc.flow_context(other), RunnableId(10));
+}
+
+TEST_F(PfcTest, MultipleAllowedSuccessors) {
+  pfc.add_edge(a, c);  // now both a->b and a->c are valid
+  exec(a, task);
+  exec(c, task);
+  EXPECT_TRUE(log.errors.empty());
+  EXPECT_TRUE(pfc.edge_allowed(a, b));
+  EXPECT_TRUE(pfc.edge_allowed(a, c));
+  EXPECT_FALSE(pfc.edge_allowed(b, a));
+}
+
+TEST_F(PfcTest, SkippedRunnableDetected) {
+  exec(a, task);
+  // b skipped entirely
+  exec(c, task);
+  ASSERT_EQ(log.errors.size(), 1u);
+  EXPECT_EQ(log.errors[0].executed, c);
+}
+
+TEST_F(PfcTest, RepeatedRunnableDetected) {
+  exec(a, task);
+  exec(a, task);  // a -> a not allowed
+  EXPECT_EQ(log.errors.size(), 1u);
+}
+
+TEST_F(PfcTest, SelfLoopWhenConfigured) {
+  pfc.add_edge(a, a);
+  exec(a, task);
+  exec(a, task);
+  EXPECT_TRUE(log.errors.empty());
+}
+
+TEST_F(PfcTest, ResetClearsContextsKeepsTable) {
+  exec(a, task);
+  pfc.reset();
+  EXPECT_FALSE(pfc.flow_context(task).valid());
+  EXPECT_TRUE(pfc.edge_allowed(a, b));
+  exec(a, task);  // entry again
+  EXPECT_TRUE(log.errors.empty());
+}
+
+TEST_F(PfcTest, EdgeCountAndEntryQueries) {
+  EXPECT_EQ(pfc.edge_count(), 3u);
+  EXPECT_TRUE(pfc.is_entry_point(a));
+  EXPECT_FALSE(pfc.is_entry_point(b));
+}
+
+TEST_F(PfcTest, DuplicateMonitorRejected) {
+  EXPECT_THROW(pfc.add_monitored(a, task), std::logic_error);
+}
+
+TEST_F(PfcTest, NullErrorCallbackTolerated) {
+  exec(a, task);
+  pfc.on_execution(c, task, SimTime(0), nullptr);  // invalid but no callback
+  EXPECT_EQ(pfc.flow_context(task), c);
+}
+
+}  // namespace
+}  // namespace easis::wdg
