@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_arrival_rate.dir/exp_arrival_rate.cpp.o"
+  "CMakeFiles/exp_arrival_rate.dir/exp_arrival_rate.cpp.o.d"
+  "exp_arrival_rate"
+  "exp_arrival_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_arrival_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_control_flow.dir/exp_control_flow.cpp.o"
+  "CMakeFiles/exp_control_flow.dir/exp_control_flow.cpp.o.d"
+  "exp_control_flow"
+  "exp_control_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_control_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_coverage.dir/exp_coverage.cpp.o"
+  "CMakeFiles/exp_coverage.dir/exp_coverage.cpp.o.d"
+  "exp_coverage"
+  "exp_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_interference.dir/exp_interference.cpp.o"
+  "CMakeFiles/exp_interference.dir/exp_interference.cpp.o.d"
+  "exp_interference"
+  "exp_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_latency.dir/exp_latency.cpp.o"
+  "CMakeFiles/exp_latency.dir/exp_latency.cpp.o.d"
+  "exp_latency"
+  "exp_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_node_supervision.dir/exp_node_supervision.cpp.o"
+  "CMakeFiles/exp_node_supervision.dir/exp_node_supervision.cpp.o.d"
+  "exp_node_supervision"
+  "exp_node_supervision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_node_supervision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

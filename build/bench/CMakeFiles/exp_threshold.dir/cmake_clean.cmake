@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_threshold.dir/exp_threshold.cpp.o"
+  "CMakeFiles/exp_threshold.dir/exp_threshold.cpp.o.d"
+  "exp_threshold"
+  "exp_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

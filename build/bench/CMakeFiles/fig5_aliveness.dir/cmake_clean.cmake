@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_aliveness.dir/fig5_aliveness.cpp.o"
+  "CMakeFiles/fig5_aliveness.dir/fig5_aliveness.cpp.o.d"
+  "fig5_aliveness"
+  "fig5_aliveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_aliveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_collaboration.dir/fig6_collaboration.cpp.o"
+  "CMakeFiles/fig6_collaboration.dir/fig6_collaboration.cpp.o.d"
+  "fig6_collaboration"
+  "fig6_collaboration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_collaboration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safelane_demo.dir/safelane_demo.cpp.o"
+  "CMakeFiles/safelane_demo.dir/safelane_demo.cpp.o.d"
+  "safelane_demo"
+  "safelane_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safelane_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

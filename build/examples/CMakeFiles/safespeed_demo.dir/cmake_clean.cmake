@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safespeed_demo.dir/safespeed_demo.cpp.o"
+  "CMakeFiles/safespeed_demo.dir/safespeed_demo.cpp.o.d"
+  "safespeed_demo"
+  "safespeed_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safespeed_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

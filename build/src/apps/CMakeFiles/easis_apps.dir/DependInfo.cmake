@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/crash_detection.cpp" "src/apps/CMakeFiles/easis_apps.dir/crash_detection.cpp.o" "gcc" "src/apps/CMakeFiles/easis_apps.dir/crash_detection.cpp.o.d"
+  "/root/repo/src/apps/lightctl.cpp" "src/apps/CMakeFiles/easis_apps.dir/lightctl.cpp.o" "gcc" "src/apps/CMakeFiles/easis_apps.dir/lightctl.cpp.o.d"
+  "/root/repo/src/apps/safelane.cpp" "src/apps/CMakeFiles/easis_apps.dir/safelane.cpp.o" "gcc" "src/apps/CMakeFiles/easis_apps.dir/safelane.cpp.o.d"
+  "/root/repo/src/apps/safespeed.cpp" "src/apps/CMakeFiles/easis_apps.dir/safespeed.cpp.o" "gcc" "src/apps/CMakeFiles/easis_apps.dir/safespeed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rte/CMakeFiles/easis_rte.dir/DependInfo.cmake"
+  "/root/repo/build/src/wdg/CMakeFiles/easis_wdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/easis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/easis_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/easis_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

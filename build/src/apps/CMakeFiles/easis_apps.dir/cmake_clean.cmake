@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easis_apps.dir/crash_detection.cpp.o"
+  "CMakeFiles/easis_apps.dir/crash_detection.cpp.o.d"
+  "CMakeFiles/easis_apps.dir/lightctl.cpp.o"
+  "CMakeFiles/easis_apps.dir/lightctl.cpp.o.d"
+  "CMakeFiles/easis_apps.dir/safelane.cpp.o"
+  "CMakeFiles/easis_apps.dir/safelane.cpp.o.d"
+  "CMakeFiles/easis_apps.dir/safespeed.cpp.o"
+  "CMakeFiles/easis_apps.dir/safespeed.cpp.o.d"
+  "libeasis_apps.a"
+  "libeasis_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easis_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

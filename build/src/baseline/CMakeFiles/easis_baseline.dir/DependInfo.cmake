@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/cfcss.cpp" "src/baseline/CMakeFiles/easis_baseline.dir/cfcss.cpp.o" "gcc" "src/baseline/CMakeFiles/easis_baseline.dir/cfcss.cpp.o.d"
+  "/root/repo/src/baseline/deadline_monitor.cpp" "src/baseline/CMakeFiles/easis_baseline.dir/deadline_monitor.cpp.o" "gcc" "src/baseline/CMakeFiles/easis_baseline.dir/deadline_monitor.cpp.o.d"
+  "/root/repo/src/baseline/exec_time_monitor.cpp" "src/baseline/CMakeFiles/easis_baseline.dir/exec_time_monitor.cpp.o" "gcc" "src/baseline/CMakeFiles/easis_baseline.dir/exec_time_monitor.cpp.o.d"
+  "/root/repo/src/baseline/hw_watchdog.cpp" "src/baseline/CMakeFiles/easis_baseline.dir/hw_watchdog.cpp.o" "gcc" "src/baseline/CMakeFiles/easis_baseline.dir/hw_watchdog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/easis_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/easis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/easis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easis_baseline.dir/cfcss.cpp.o"
+  "CMakeFiles/easis_baseline.dir/cfcss.cpp.o.d"
+  "CMakeFiles/easis_baseline.dir/deadline_monitor.cpp.o"
+  "CMakeFiles/easis_baseline.dir/deadline_monitor.cpp.o.d"
+  "CMakeFiles/easis_baseline.dir/exec_time_monitor.cpp.o"
+  "CMakeFiles/easis_baseline.dir/exec_time_monitor.cpp.o.d"
+  "CMakeFiles/easis_baseline.dir/hw_watchdog.cpp.o"
+  "CMakeFiles/easis_baseline.dir/hw_watchdog.cpp.o.d"
+  "libeasis_baseline.a"
+  "libeasis_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easis_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bus/can.cpp" "src/bus/CMakeFiles/easis_bus.dir/can.cpp.o" "gcc" "src/bus/CMakeFiles/easis_bus.dir/can.cpp.o.d"
+  "/root/repo/src/bus/flexray.cpp" "src/bus/CMakeFiles/easis_bus.dir/flexray.cpp.o" "gcc" "src/bus/CMakeFiles/easis_bus.dir/flexray.cpp.o.d"
+  "/root/repo/src/bus/gateway.cpp" "src/bus/CMakeFiles/easis_bus.dir/gateway.cpp.o" "gcc" "src/bus/CMakeFiles/easis_bus.dir/gateway.cpp.o.d"
+  "/root/repo/src/bus/lin.cpp" "src/bus/CMakeFiles/easis_bus.dir/lin.cpp.o" "gcc" "src/bus/CMakeFiles/easis_bus.dir/lin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/easis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/easis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easis_bus.dir/can.cpp.o"
+  "CMakeFiles/easis_bus.dir/can.cpp.o.d"
+  "CMakeFiles/easis_bus.dir/flexray.cpp.o"
+  "CMakeFiles/easis_bus.dir/flexray.cpp.o.d"
+  "CMakeFiles/easis_bus.dir/gateway.cpp.o"
+  "CMakeFiles/easis_bus.dir/gateway.cpp.o.d"
+  "CMakeFiles/easis_bus.dir/lin.cpp.o"
+  "CMakeFiles/easis_bus.dir/lin.cpp.o.d"
+  "libeasis_bus.a"
+  "libeasis_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easis_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easis_fmf.dir/dtc.cpp.o"
+  "CMakeFiles/easis_fmf.dir/dtc.cpp.o.d"
+  "CMakeFiles/easis_fmf.dir/fmf.cpp.o"
+  "CMakeFiles/easis_fmf.dir/fmf.cpp.o.d"
+  "libeasis_fmf.a"
+  "libeasis_fmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easis_fmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

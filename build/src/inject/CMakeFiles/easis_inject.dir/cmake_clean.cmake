@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easis_inject.dir/campaign.cpp.o"
+  "CMakeFiles/easis_inject.dir/campaign.cpp.o.d"
+  "CMakeFiles/easis_inject.dir/faults.cpp.o"
+  "CMakeFiles/easis_inject.dir/faults.cpp.o.d"
+  "CMakeFiles/easis_inject.dir/injector.cpp.o"
+  "CMakeFiles/easis_inject.dir/injector.cpp.o.d"
+  "libeasis_inject.a"
+  "libeasis_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easis_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for easis_inject.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/com.cpp" "src/os/CMakeFiles/easis_os.dir/com.cpp.o" "gcc" "src/os/CMakeFiles/easis_os.dir/com.cpp.o.d"
+  "/root/repo/src/os/kernel.cpp" "src/os/CMakeFiles/easis_os.dir/kernel.cpp.o" "gcc" "src/os/CMakeFiles/easis_os.dir/kernel.cpp.o.d"
+  "/root/repo/src/os/response_time.cpp" "src/os/CMakeFiles/easis_os.dir/response_time.cpp.o" "gcc" "src/os/CMakeFiles/easis_os.dir/response_time.cpp.o.d"
+  "/root/repo/src/os/schedule_table.cpp" "src/os/CMakeFiles/easis_os.dir/schedule_table.cpp.o" "gcc" "src/os/CMakeFiles/easis_os.dir/schedule_table.cpp.o.d"
+  "/root/repo/src/os/schedule_trace.cpp" "src/os/CMakeFiles/easis_os.dir/schedule_trace.cpp.o" "gcc" "src/os/CMakeFiles/easis_os.dir/schedule_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/easis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/easis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

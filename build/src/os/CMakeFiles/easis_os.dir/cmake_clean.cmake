@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easis_os.dir/com.cpp.o"
+  "CMakeFiles/easis_os.dir/com.cpp.o.d"
+  "CMakeFiles/easis_os.dir/kernel.cpp.o"
+  "CMakeFiles/easis_os.dir/kernel.cpp.o.d"
+  "CMakeFiles/easis_os.dir/response_time.cpp.o"
+  "CMakeFiles/easis_os.dir/response_time.cpp.o.d"
+  "CMakeFiles/easis_os.dir/schedule_table.cpp.o"
+  "CMakeFiles/easis_os.dir/schedule_table.cpp.o.d"
+  "CMakeFiles/easis_os.dir/schedule_trace.cpp.o"
+  "CMakeFiles/easis_os.dir/schedule_trace.cpp.o.d"
+  "libeasis_os.a"
+  "libeasis_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easis_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rte/ecu.cpp" "src/rte/CMakeFiles/easis_rte.dir/ecu.cpp.o" "gcc" "src/rte/CMakeFiles/easis_rte.dir/ecu.cpp.o.d"
+  "/root/repo/src/rte/rte.cpp" "src/rte/CMakeFiles/easis_rte.dir/rte.cpp.o" "gcc" "src/rte/CMakeFiles/easis_rte.dir/rte.cpp.o.d"
+  "/root/repo/src/rte/signal_bus.cpp" "src/rte/CMakeFiles/easis_rte.dir/signal_bus.cpp.o" "gcc" "src/rte/CMakeFiles/easis_rte.dir/signal_bus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/easis_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/easis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/easis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

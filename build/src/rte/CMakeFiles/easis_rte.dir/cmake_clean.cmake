@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easis_rte.dir/ecu.cpp.o"
+  "CMakeFiles/easis_rte.dir/ecu.cpp.o.d"
+  "CMakeFiles/easis_rte.dir/rte.cpp.o"
+  "CMakeFiles/easis_rte.dir/rte.cpp.o.d"
+  "CMakeFiles/easis_rte.dir/signal_bus.cpp.o"
+  "CMakeFiles/easis_rte.dir/signal_bus.cpp.o.d"
+  "libeasis_rte.a"
+  "libeasis_rte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easis_rte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easis_sim.dir/engine.cpp.o"
+  "CMakeFiles/easis_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/easis_sim.dir/lane.cpp.o"
+  "CMakeFiles/easis_sim.dir/lane.cpp.o.d"
+  "CMakeFiles/easis_sim.dir/vehicle.cpp.o"
+  "CMakeFiles/easis_sim.dir/vehicle.cpp.o.d"
+  "libeasis_sim.a"
+  "libeasis_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easis_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

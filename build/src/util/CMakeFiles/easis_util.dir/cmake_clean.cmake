@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easis_util.dir/csv.cpp.o"
+  "CMakeFiles/easis_util.dir/csv.cpp.o.d"
+  "CMakeFiles/easis_util.dir/logging.cpp.o"
+  "CMakeFiles/easis_util.dir/logging.cpp.o.d"
+  "CMakeFiles/easis_util.dir/stats.cpp.o"
+  "CMakeFiles/easis_util.dir/stats.cpp.o.d"
+  "CMakeFiles/easis_util.dir/trace.cpp.o"
+  "CMakeFiles/easis_util.dir/trace.cpp.o.d"
+  "libeasis_util.a"
+  "libeasis_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easis_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

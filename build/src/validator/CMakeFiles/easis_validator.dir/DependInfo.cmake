@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/validator/central_node.cpp" "src/validator/CMakeFiles/easis_validator.dir/central_node.cpp.o" "gcc" "src/validator/CMakeFiles/easis_validator.dir/central_node.cpp.o.d"
+  "/root/repo/src/validator/controldesk.cpp" "src/validator/CMakeFiles/easis_validator.dir/controldesk.cpp.o" "gcc" "src/validator/CMakeFiles/easis_validator.dir/controldesk.cpp.o.d"
+  "/root/repo/src/validator/network.cpp" "src/validator/CMakeFiles/easis_validator.dir/network.cpp.o" "gcc" "src/validator/CMakeFiles/easis_validator.dir/network.cpp.o.d"
+  "/root/repo/src/validator/node_supervisor.cpp" "src/validator/CMakeFiles/easis_validator.dir/node_supervisor.cpp.o" "gcc" "src/validator/CMakeFiles/easis_validator.dir/node_supervisor.cpp.o.d"
+  "/root/repo/src/validator/remote_node.cpp" "src/validator/CMakeFiles/easis_validator.dir/remote_node.cpp.o" "gcc" "src/validator/CMakeFiles/easis_validator.dir/remote_node.cpp.o.d"
+  "/root/repo/src/validator/scenario.cpp" "src/validator/CMakeFiles/easis_validator.dir/scenario.cpp.o" "gcc" "src/validator/CMakeFiles/easis_validator.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/easis_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/fmf/CMakeFiles/easis_fmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/wdg/CMakeFiles/easis_wdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/inject/CMakeFiles/easis_inject.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/easis_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/rte/CMakeFiles/easis_rte.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/easis_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/easis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/easis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easis_validator.dir/central_node.cpp.o"
+  "CMakeFiles/easis_validator.dir/central_node.cpp.o.d"
+  "CMakeFiles/easis_validator.dir/controldesk.cpp.o"
+  "CMakeFiles/easis_validator.dir/controldesk.cpp.o.d"
+  "CMakeFiles/easis_validator.dir/network.cpp.o"
+  "CMakeFiles/easis_validator.dir/network.cpp.o.d"
+  "CMakeFiles/easis_validator.dir/node_supervisor.cpp.o"
+  "CMakeFiles/easis_validator.dir/node_supervisor.cpp.o.d"
+  "CMakeFiles/easis_validator.dir/remote_node.cpp.o"
+  "CMakeFiles/easis_validator.dir/remote_node.cpp.o.d"
+  "CMakeFiles/easis_validator.dir/scenario.cpp.o"
+  "CMakeFiles/easis_validator.dir/scenario.cpp.o.d"
+  "libeasis_validator.a"
+  "libeasis_validator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easis_validator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wdg/config_check.cpp" "src/wdg/CMakeFiles/easis_wdg.dir/config_check.cpp.o" "gcc" "src/wdg/CMakeFiles/easis_wdg.dir/config_check.cpp.o.d"
+  "/root/repo/src/wdg/deadline.cpp" "src/wdg/CMakeFiles/easis_wdg.dir/deadline.cpp.o" "gcc" "src/wdg/CMakeFiles/easis_wdg.dir/deadline.cpp.o.d"
+  "/root/repo/src/wdg/heartbeat.cpp" "src/wdg/CMakeFiles/easis_wdg.dir/heartbeat.cpp.o" "gcc" "src/wdg/CMakeFiles/easis_wdg.dir/heartbeat.cpp.o.d"
+  "/root/repo/src/wdg/pfc.cpp" "src/wdg/CMakeFiles/easis_wdg.dir/pfc.cpp.o" "gcc" "src/wdg/CMakeFiles/easis_wdg.dir/pfc.cpp.o.d"
+  "/root/repo/src/wdg/service.cpp" "src/wdg/CMakeFiles/easis_wdg.dir/service.cpp.o" "gcc" "src/wdg/CMakeFiles/easis_wdg.dir/service.cpp.o.d"
+  "/root/repo/src/wdg/tsi.cpp" "src/wdg/CMakeFiles/easis_wdg.dir/tsi.cpp.o" "gcc" "src/wdg/CMakeFiles/easis_wdg.dir/tsi.cpp.o.d"
+  "/root/repo/src/wdg/watchdog.cpp" "src/wdg/CMakeFiles/easis_wdg.dir/watchdog.cpp.o" "gcc" "src/wdg/CMakeFiles/easis_wdg.dir/watchdog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/easis_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/easis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/easis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/easis_wdg.dir/config_check.cpp.o"
+  "CMakeFiles/easis_wdg.dir/config_check.cpp.o.d"
+  "CMakeFiles/easis_wdg.dir/deadline.cpp.o"
+  "CMakeFiles/easis_wdg.dir/deadline.cpp.o.d"
+  "CMakeFiles/easis_wdg.dir/heartbeat.cpp.o"
+  "CMakeFiles/easis_wdg.dir/heartbeat.cpp.o.d"
+  "CMakeFiles/easis_wdg.dir/pfc.cpp.o"
+  "CMakeFiles/easis_wdg.dir/pfc.cpp.o.d"
+  "CMakeFiles/easis_wdg.dir/service.cpp.o"
+  "CMakeFiles/easis_wdg.dir/service.cpp.o.d"
+  "CMakeFiles/easis_wdg.dir/tsi.cpp.o"
+  "CMakeFiles/easis_wdg.dir/tsi.cpp.o.d"
+  "CMakeFiles/easis_wdg.dir/watchdog.cpp.o"
+  "CMakeFiles/easis_wdg.dir/watchdog.cpp.o.d"
+  "libeasis_wdg.a"
+  "libeasis_wdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/easis_wdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

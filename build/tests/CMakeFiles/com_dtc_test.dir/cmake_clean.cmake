@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/com_dtc_test.dir/com_dtc_test.cpp.o"
+  "CMakeFiles/com_dtc_test.dir/com_dtc_test.cpp.o.d"
+  "com_dtc_test"
+  "com_dtc_test.pdb"
+  "com_dtc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/com_dtc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmf_test.dir/fmf_test.cpp.o"
+  "CMakeFiles/fmf_test.dir/fmf_test.cpp.o.d"
+  "fmf_test"
+  "fmf_test.pdb"
+  "fmf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_schedule_table_test.dir/os_schedule_table_test.cpp.o"
+  "CMakeFiles/os_schedule_table_test.dir/os_schedule_table_test.cpp.o.d"
+  "os_schedule_table_test"
+  "os_schedule_table_test.pdb"
+  "os_schedule_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_schedule_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

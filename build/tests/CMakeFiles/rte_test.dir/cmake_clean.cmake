@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rte_test.dir/rte_test.cpp.o"
+  "CMakeFiles/rte_test.dir/rte_test.cpp.o.d"
+  "rte_test"
+  "rte_test.pdb"
+  "rte_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rte_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

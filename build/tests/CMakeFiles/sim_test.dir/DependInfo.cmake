@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/validator/CMakeFiles/easis_validator.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/easis_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/fmf/CMakeFiles/easis_fmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/inject/CMakeFiles/easis_inject.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/easis_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/easis_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/wdg/CMakeFiles/easis_wdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/rte/CMakeFiles/easis_rte.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/easis_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/easis_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/easis_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

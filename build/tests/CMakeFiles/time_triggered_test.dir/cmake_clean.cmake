@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_triggered_test.dir/time_triggered_test.cpp.o"
+  "CMakeFiles/time_triggered_test.dir/time_triggered_test.cpp.o.d"
+  "time_triggered_test"
+  "time_triggered_test.pdb"
+  "time_triggered_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_triggered_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdg_config_check_test.dir/wdg_config_check_test.cpp.o"
+  "CMakeFiles/wdg_config_check_test.dir/wdg_config_check_test.cpp.o.d"
+  "wdg_config_check_test"
+  "wdg_config_check_test.pdb"
+  "wdg_config_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdg_config_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdg_deadline_test.dir/wdg_deadline_test.cpp.o"
+  "CMakeFiles/wdg_deadline_test.dir/wdg_deadline_test.cpp.o.d"
+  "wdg_deadline_test"
+  "wdg_deadline_test.pdb"
+  "wdg_deadline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdg_deadline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdg_heartbeat_test.dir/wdg_heartbeat_test.cpp.o"
+  "CMakeFiles/wdg_heartbeat_test.dir/wdg_heartbeat_test.cpp.o.d"
+  "wdg_heartbeat_test"
+  "wdg_heartbeat_test.pdb"
+  "wdg_heartbeat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdg_heartbeat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

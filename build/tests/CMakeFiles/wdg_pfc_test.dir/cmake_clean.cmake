@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdg_pfc_test.dir/wdg_pfc_test.cpp.o"
+  "CMakeFiles/wdg_pfc_test.dir/wdg_pfc_test.cpp.o.d"
+  "wdg_pfc_test"
+  "wdg_pfc_test.pdb"
+  "wdg_pfc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdg_pfc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdg_tsi_test.dir/wdg_tsi_test.cpp.o"
+  "CMakeFiles/wdg_tsi_test.dir/wdg_tsi_test.cpp.o.d"
+  "wdg_tsi_test"
+  "wdg_tsi_test.pdb"
+  "wdg_tsi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdg_tsi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdg_watchdog_test.dir/wdg_watchdog_test.cpp.o"
+  "CMakeFiles/wdg_watchdog_test.dir/wdg_watchdog_test.cpp.o.d"
+  "wdg_watchdog_test"
+  "wdg_watchdog_test.pdb"
+  "wdg_watchdog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdg_watchdog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/os_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/os_schedule_table_test[1]_include.cmake")
+include("/root/repo/build/tests/rte_test[1]_include.cmake")
+include("/root/repo/build/tests/wdg_heartbeat_test[1]_include.cmake")
+include("/root/repo/build/tests/wdg_pfc_test[1]_include.cmake")
+include("/root/repo/build/tests/wdg_tsi_test[1]_include.cmake")
+include("/root/repo/build/tests/wdg_watchdog_test[1]_include.cmake")
+include("/root/repo/build/tests/fmf_test[1]_include.cmake")
+include("/root/repo/build/tests/inject_test[1]_include.cmake")
+include("/root/repo/build/tests/bus_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/baseline_test[1]_include.cmake")
+include("/root/repo/build/tests/validator_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/os_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/distributed_test[1]_include.cmake")
+include("/root/repo/build/tests/event_driven_test[1]_include.cmake")
+include("/root/repo/build/tests/time_triggered_test[1]_include.cmake")
+include("/root/repo/build/tests/wdg_config_check_test[1]_include.cmake")
+include("/root/repo/build/tests/os_kernel_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/com_dtc_test[1]_include.cmake")
+include("/root/repo/build/tests/soak_test[1]_include.cmake")
+include("/root/repo/build/tests/wdg_deadline_test[1]_include.cmake")
