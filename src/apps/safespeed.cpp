@@ -13,6 +13,15 @@ SafeSpeed::SafeSpeed(rte::Rte& rte, rte::SignalBus& signals, TaskId task,
   const ComponentId component = rte.register_component(app_, "SpeedLimiter");
   auto& kernel = rte.kernel();
 
+  if (config_.max_speed_deadline > sim::Duration::zero()) {
+    rte::ReceptionPolicy policy;
+    policy.deadline = config_.max_speed_deadline;
+    policy.substitute = rte::SubstitutePolicy::kLimp;
+    policy.default_value = config_.default_max_speed_kmh;
+    policy.limp_value = config_.limp_max_speed_kmh;
+    signals_.set_reception_policy(kMaxSpeedSignal, policy, kernel.now());
+  }
+
   rte::RunnableSpec sensor_spec;
   sensor_spec.name = "GetSensorValue";
   sensor_spec.execution_time = config_.sensor_cost;
@@ -32,8 +41,11 @@ SafeSpeed::SafeSpeed(rte::Rte& rte, rte::SignalBus& signals, TaskId task,
       return;
     }
     const double measured = signals_.read_or("safespeed.speed_measured", 0.0);
-    const double max_kmh = signals_.read_or("safespeed.max_speed_kmh",
-                                            config_.default_max_speed_kmh);
+    const auto command = signals_.read_qualified(
+        kMaxSpeedSignal, kernel.now(), config_.default_max_speed_kmh);
+    max_speed_qualifier_ = command.qualifier;
+    effective_max_speed_ = command.value;
+    const double max_kmh = command.value;
     // Proportional limiter: full authority below the limit, throttling to
     // zero (and into braking) as the limit is approached/exceeded.
     const double margin = max_kmh - measured;

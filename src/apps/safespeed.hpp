@@ -33,6 +33,13 @@ struct SafeSpeedConfig {
   sim::Duration sensor_cost = sim::Duration::micros(150);
   sim::Duration control_cost = sim::Duration::micros(400);
   sim::Duration actuator_cost = sim::Duration::micros(150);
+  /// Reception deadline for the commanded max speed. Zero (default)
+  /// disables network-degradation handling; when set, a stale or invalid
+  /// command degrades the limit to `limp_max_speed_kmh` instead of
+  /// trusting old data.
+  sim::Duration max_speed_deadline = sim::Duration::zero();
+  /// Substitute limit applied while the command signal is degraded.
+  double limp_max_speed_kmh = 60.0;
 };
 
 class SafeSpeed {
@@ -61,6 +68,19 @@ class SafeSpeed {
   /// Drive limit applied while in limp-home mode.
   static constexpr double kLimpHomeLimit = 0.15;
 
+  /// Max-speed value the controller actually used on its last execution
+  /// (after qualifier-based substitution).
+  [[nodiscard]] double effective_max_speed() const {
+    return effective_max_speed_;
+  }
+  /// Qualifier of the max-speed command at the last controller execution.
+  [[nodiscard]] rte::SignalQualifier max_speed_qualifier() const {
+    return max_speed_qualifier_;
+  }
+
+  /// Signal carrying the externally commanded maximum speed.
+  static constexpr const char* kMaxSpeedSignal = "safespeed.max_speed_kmh";
+
  private:
   rte::SignalBus& signals_;
   SafeSpeedConfig config_;
@@ -70,6 +90,8 @@ class SafeSpeed {
   RunnableId control_;
   RunnableId actuator_;
   bool limp_home_ = false;
+  double effective_max_speed_ = 0.0;
+  rte::SignalQualifier max_speed_qualifier_ = rte::SignalQualifier::kValid;
 };
 
 }  // namespace easis::apps

@@ -54,15 +54,36 @@ void CanBus::try_start() {
     busy_ = false;
     if (bus_off_ || (drop_hook_ && drop_hook_(tx.frame))) {
       ++lost_;
-    } else {
-      ++delivered_;
-      for (std::size_t i = 0; i < endpoints_.size(); ++i) {
-        if (i == tx.from || !endpoints_[i].rx) continue;
-        endpoints_[i].rx(tx.frame, engine_.now());
-      }
+      try_start();
+      return;
     }
+    Frame frame = tx.frame;  // fault link may corrupt in place
+    FaultLink::Verdict verdict;
+    if (fault_link_) verdict = fault_link_->process(frame);
+    if (verdict.drop) {
+      ++lost_;
+      try_start();
+      return;
+    }
+    if (verdict.delay > sim::Duration::zero()) {
+      engine_.schedule_in(verdict.delay,
+                          [this, frame, from = tx.from] {
+                            deliver(frame, from);
+                          });
+    } else {
+      deliver(frame, tx.from);
+    }
+    if (verdict.duplicate) deliver(frame, tx.from);
     try_start();
   });
+}
+
+void CanBus::deliver(const Frame& frame, EndpointId from) {
+  ++delivered_;
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (i == from || !endpoints_[i].rx) continue;
+    endpoints_[i].rx(frame, engine_.now());
+  }
 }
 
 }  // namespace easis::bus

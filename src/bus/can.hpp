@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bus/fault_link.hpp"
 #include "bus/frame.hpp"
 #include "sim/engine.hpp"
 
@@ -40,6 +41,10 @@ class CanBus {
   void set_drop_hook(std::function<bool(const Frame&)> hook) {
     drop_hook_ = std::move(hook);
   }
+  /// Shared fault model (corruption/loss/jitter/duplication/partition),
+  /// consulted at delivery time. Non-owning; nullptr disables.
+  void set_fault_link(FaultLink* link) { fault_link_ = link; }
+  [[nodiscard]] FaultLink* fault_link() const { return fault_link_; }
   [[nodiscard]] std::uint64_t frames_lost() const { return lost_; }
 
   [[nodiscard]] std::size_t endpoint_count() const { return endpoints_.size(); }
@@ -70,11 +75,13 @@ class CanBus {
   bool busy_ = false;
   bool bus_off_ = false;
   std::function<bool(const Frame&)> drop_hook_;
+  FaultLink* fault_link_ = nullptr;
   std::uint64_t seq_ = 0;
   std::uint64_t delivered_ = 0;
   std::uint64_t lost_ = 0;
 
   void try_start();
+  void deliver(const Frame& frame, EndpointId from);
 };
 
 }  // namespace easis::bus

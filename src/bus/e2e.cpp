@@ -1,0 +1,96 @@
+#include "bus/e2e.hpp"
+
+namespace easis::bus {
+
+const char* to_string(E2EStatus status) {
+  switch (status) {
+    case E2EStatus::kOk: return "ok";
+    case E2EStatus::kCrcError: return "crc_error";
+    case E2EStatus::kRepeated: return "repeated";
+    case E2EStatus::kWrongSequence: return "wrong_sequence";
+    case E2EStatus::kNoNewData: return "no_new_data";
+  }
+  return "?";
+}
+
+std::uint8_t crc8_j1850(const std::uint8_t* data, std::size_t length,
+                        std::uint8_t crc) {
+  for (std::size_t i = 0; i < length; ++i) {
+    crc ^= data[i];
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = static_cast<std::uint8_t>(
+          (crc & 0x80u) ? (crc << 1) ^ 0x1Du : crc << 1);
+    }
+  }
+  return static_cast<std::uint8_t>(crc ^ 0xFFu);
+}
+
+namespace {
+
+/// CRC over (data id, counter, application payload) — exactly what the
+/// sender stamps and the receiver recomputes. `payload` points at the
+/// application bytes (past the header).
+std::uint8_t channel_crc(const E2EConfig& config, std::uint8_t counter,
+                         const std::uint8_t* payload, std::size_t length) {
+  const std::uint8_t prefix[3] = {
+      static_cast<std::uint8_t>(config.data_id & 0xFFu),
+      static_cast<std::uint8_t>((config.data_id >> 8) & 0xFFu),
+      counter,
+  };
+  // Chain: run the prefix through without the final XOR, then the payload.
+  std::uint8_t crc = 0xFF;
+  crc = static_cast<std::uint8_t>(crc8_j1850(prefix, 3, crc) ^ 0xFFu);
+  return crc8_j1850(payload, length, crc);
+}
+
+}  // namespace
+
+void E2ESender::protect(Frame& frame) {
+  const std::uint8_t crc = channel_crc(config_, counter_,
+                                       frame.payload.data(),
+                                       frame.payload.size());
+  frame.payload.insert(frame.payload.begin(), {crc, counter_});
+  counter_ = static_cast<std::uint8_t>((counter_ + 1) % kE2ECounterModulo);
+}
+
+E2EStatus E2EReceiver::check(const Frame& frame) {
+  if (frame.payload.size() < kE2EHeaderBytes) {
+    ++crc_errors_;
+    return E2EStatus::kCrcError;
+  }
+  const std::uint8_t crc = frame.payload[0];
+  const std::uint8_t counter = frame.payload[1];
+  const std::uint8_t expected =
+      channel_crc(config_, counter, frame.payload.data() + kE2EHeaderBytes,
+                  frame.payload.size() - kE2EHeaderBytes);
+  if (crc != expected || counter >= kE2ECounterModulo) {
+    ++crc_errors_;
+    return E2EStatus::kCrcError;
+  }
+  if (!has_last_) {
+    has_last_ = true;
+    last_counter_ = counter;
+    ++ok_;
+    return E2EStatus::kOk;
+  }
+  const std::uint8_t delta = static_cast<std::uint8_t>(
+      (counter + kE2ECounterModulo - last_counter_) % kE2ECounterModulo);
+  last_counter_ = counter;
+  if (delta == 0) {
+    ++repeats_;
+    return E2EStatus::kRepeated;
+  }
+  if (delta > config_.max_delta_counter) {
+    ++wrong_seq_;
+    return E2EStatus::kWrongSequence;
+  }
+  ++ok_;
+  return E2EStatus::kOk;
+}
+
+E2EStatus E2EReceiver::no_new_data() {
+  ++no_data_;
+  return E2EStatus::kNoNewData;
+}
+
+}  // namespace easis::bus

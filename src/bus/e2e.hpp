@@ -1,0 +1,108 @@
+// AUTOSAR-E2E-style end-to-end protection (Profile-1 flavoured).
+//
+// The paper's watchdog supervises computation *inside* an ECU; safety
+// signals that cross the vehicle network need the communication
+// counterpart. A protected frame carries a 2-byte header in front of the
+// application payload:
+//
+//   byte 0: CRC-8 (SAE J1850, poly 0x1D) over data id, counter and payload
+//   byte 1: alive counter, 0..14 wrapping (15 is reserved/invalid)
+//
+// The data id is *not* transmitted — sender and receiver agree on it per
+// channel, so a frame routed onto the wrong channel fails the CRC (masked
+// id detection, as in Profile 1).
+//
+// E2ESender::protect() stamps outgoing frames; E2EReceiver::check()
+// classifies incoming ones as kOk / kCrcError / kRepeated /
+// kWrongSequence, and no_new_data() records a polling cycle that saw no
+// frame at all (kNoNewData). Receivers keep per-status counters for the
+// communication monitoring unit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bus/frame.hpp"
+
+namespace easis::bus {
+
+/// Bytes the E2E header prepends to the application payload.
+inline constexpr std::size_t kE2EHeaderBytes = 2;
+
+/// Alive counter wraps within [0, kE2ECounterModulo).
+inline constexpr std::uint8_t kE2ECounterModulo = 15;
+
+enum class E2EStatus : std::uint8_t {
+  kOk = 0,
+  kCrcError,       // payload or masked data id damaged in transit
+  kRepeated,       // same alive counter again (stuck sender / replay)
+  kWrongSequence,  // counter jumped further than max_delta (frames lost)
+  kNoNewData,      // polled, but nothing arrived this cycle
+};
+
+[[nodiscard]] const char* to_string(E2EStatus status);
+
+/// CRC-8 SAE J1850: poly 0x1D, init 0xFF, final XOR 0xFF.
+[[nodiscard]] std::uint8_t crc8_j1850(const std::uint8_t* data,
+                                      std::size_t length,
+                                      std::uint8_t crc = 0xFF);
+
+struct E2EConfig {
+  /// Channel identity mixed into the CRC; never transmitted.
+  std::uint16_t data_id = 0;
+  /// Largest acceptable counter advance (1 = no tolerated loss; a larger
+  /// value forgives that many lost frames between received ones).
+  std::uint8_t max_delta_counter = 1;
+};
+
+class E2ESender {
+ public:
+  explicit E2ESender(E2EConfig config) : config_(config) {}
+
+  /// Prepends the E2E header (CRC + alive counter) to `frame.payload` and
+  /// advances the counter.
+  void protect(Frame& frame);
+
+  [[nodiscard]] std::uint8_t counter() const { return counter_; }
+  [[nodiscard]] const E2EConfig& config() const { return config_; }
+
+ private:
+  E2EConfig config_;
+  std::uint8_t counter_ = 0;
+};
+
+class E2EReceiver {
+ public:
+  explicit E2EReceiver(E2EConfig config) : config_(config) {}
+
+  /// Classifies a received frame. The header stays in place; consumers
+  /// read application data at offset kE2EHeaderBytes.
+  E2EStatus check(const Frame& frame);
+
+  /// Records a reception cycle in which no frame arrived at all.
+  E2EStatus no_new_data();
+
+  [[nodiscard]] std::uint64_t ok_count() const { return ok_; }
+  [[nodiscard]] std::uint64_t crc_errors() const { return crc_errors_; }
+  [[nodiscard]] std::uint64_t repeats() const { return repeats_; }
+  [[nodiscard]] std::uint64_t wrong_sequences() const { return wrong_seq_; }
+  [[nodiscard]] std::uint64_t no_new_data_count() const { return no_data_; }
+  /// Total failed checks (everything except kOk).
+  [[nodiscard]] std::uint64_t failures() const {
+    return crc_errors_ + repeats_ + wrong_seq_ + no_data_;
+  }
+  [[nodiscard]] const E2EConfig& config() const { return config_; }
+
+ private:
+  E2EConfig config_;
+  bool has_last_ = false;
+  std::uint8_t last_counter_ = 0;
+  std::uint64_t ok_ = 0;
+  std::uint64_t crc_errors_ = 0;
+  std::uint64_t repeats_ = 0;
+  std::uint64_t wrong_seq_ = 0;
+  std::uint64_t no_data_ = 0;
+};
+
+}  // namespace easis::bus

@@ -73,13 +73,23 @@ void FlexRayBus::schedule_cycle(sim::SimTime cycle_start,
           if (generation != generation_ || !running_) return;
           Slot& slot = slots_[s];
           if (!slot.owner || !slot.staged) return;
-          const Frame frame = std::move(*slot.staged);
+          Frame frame = std::move(*slot.staged);
           slot.staged.reset();
-          ++delivered_;
-          for (std::size_t i = 0; i < endpoints_.size(); ++i) {
-            if (i == *slot.owner || !endpoints_[i].rx) continue;
-            endpoints_[i].rx(frame, engine_.now());
+          FaultLink::Verdict verdict;
+          if (fault_link_) verdict = fault_link_->process(frame);
+          if (verdict.drop) {
+            ++lost_;
+            return;
           }
+          if (verdict.delay > sim::Duration::zero()) {
+            engine_.schedule_in(verdict.delay,
+                                [this, frame, from = *slot.owner] {
+                                  deliver(frame, from);
+                                });
+          } else {
+            deliver(frame, *slot.owner);
+          }
+          if (verdict.duplicate) deliver(frame, *slot.owner);
         },
         sim::EventPriority::kKernel);
   }
@@ -91,6 +101,14 @@ void FlexRayBus::schedule_cycle(sim::SimTime cycle_start,
         schedule_cycle(cycle_start + config_.cycle, generation);
       },
       sim::EventPriority::kKernel);
+}
+
+void FlexRayBus::deliver(const Frame& frame, EndpointId from) {
+  ++delivered_;
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (i == from || !endpoints_[i].rx) continue;
+    endpoints_[i].rx(frame, engine_.now());
+  }
 }
 
 }  // namespace easis::bus

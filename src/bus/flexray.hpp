@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bus/fault_link.hpp"
 #include "bus/frame.hpp"
 #include "sim/engine.hpp"
 
@@ -44,10 +45,15 @@ class FlexRayBus {
   void stop();
   [[nodiscard]] bool running() const { return running_; }
 
+  /// Shared fault model, consulted at slot-end delivery. Non-owning.
+  void set_fault_link(FaultLink* link) { fault_link_ = link; }
+  [[nodiscard]] FaultLink* fault_link() const { return fault_link_; }
+
   [[nodiscard]] const FlexRayConfig& config() const { return config_; }
   [[nodiscard]] sim::Duration slot_length() const;
   [[nodiscard]] std::uint64_t cycles_completed() const { return cycles_; }
   [[nodiscard]] std::uint64_t frames_delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t frames_lost() const { return lost_; }
   [[nodiscard]] std::optional<EndpointId> slot_owner(
       std::uint32_t slot) const;
 
@@ -65,12 +71,15 @@ class FlexRayBus {
   FlexRayConfig config_;
   std::vector<Endpoint> endpoints_;
   std::vector<Slot> slots_;
+  FaultLink* fault_link_ = nullptr;
   bool running_ = false;
   std::uint64_t generation_ = 0;
   std::uint64_t cycles_ = 0;
   std::uint64_t delivered_ = 0;
+  std::uint64_t lost_ = 0;
 
   void schedule_cycle(sim::SimTime cycle_start, std::uint64_t generation);
+  void deliver(const Frame& frame, EndpointId from);
 };
 
 }  // namespace easis::bus

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -32,8 +33,11 @@ inline void encode_f32(Frame& frame, std::size_t offset, double value) {
 }
 
 /// Decodes a little-endian float from 4 payload bytes at `offset`.
-inline double decode_f32(const Frame& frame, std::size_t offset) {
-  if (frame.payload.size() < offset + 4) return 0.0;
+/// A truncated payload is a malformed frame, not a value: returns nullopt
+/// instead of a fabricated 0.0 (which a speed signal would trust).
+inline std::optional<double> decode_f32(const Frame& frame,
+                                        std::size_t offset) {
+  if (frame.payload.size() < offset + 4) return std::nullopt;
   std::uint32_t bits = 0;
   for (int i = 0; i < 4; ++i) {
     bits |= static_cast<std::uint32_t>(

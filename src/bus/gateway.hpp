@@ -5,12 +5,17 @@
 // (source domain, frame id) to (destination domain, new id), applied with a
 // configurable processing latency. The gateway is itself an endpoint on
 // each bus it bridges.
+//
+// Drops are observable: the first unrouted frame per (domain, id) is
+// logged, and delivered/dropped counts are kept per route key so a silent
+// routing hole shows up in diagnostics instead of as a missing signal.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bus/frame.hpp"
@@ -36,8 +41,22 @@ class Gateway {
   void add_route(const std::string& from_domain, std::uint32_t id,
                  const std::string& to_domain, std::uint32_t new_id);
 
+  /// Gateway stall (fault model): while stalled, ingress frames are held in
+  /// a backlog instead of being routed; releasing the stall routes the
+  /// backlog in arrival order (a hung routing task that recovers).
+  void set_stalled(bool stalled);
+  [[nodiscard]] bool stalled() const { return stalled_; }
+  [[nodiscard]] std::size_t backlog() const { return backlog_.size(); }
+
   [[nodiscard]] std::uint64_t frames_routed() const { return routed_; }
   [[nodiscard]] std::uint64_t frames_dropped() const { return dropped_; }
+  /// Frames delivered out of the route (from_domain, id); counts each
+  /// fan-out target delivery.
+  [[nodiscard]] std::uint64_t route_delivered(const std::string& from_domain,
+                                              std::uint32_t id) const;
+  /// Frames from `from_domain` with `id` dropped for lack of a route.
+  [[nodiscard]] std::uint64_t route_dropped(const std::string& from_domain,
+                                            std::uint32_t id) const;
   [[nodiscard]] std::size_t route_count() const { return routes_.size(); }
 
  private:
@@ -55,10 +74,15 @@ class Gateway {
   sim::Duration latency_;
   std::map<std::string, DomainSender> domains_;
   std::map<RouteKey, std::vector<RouteTarget>> routes_;
+  std::map<RouteKey, std::uint64_t> delivered_by_route_;
+  std::map<RouteKey, std::uint64_t> dropped_by_route_;
+  std::vector<std::pair<std::string, Frame>> backlog_;
+  bool stalled_ = false;
   std::uint64_t routed_ = 0;
   std::uint64_t dropped_ = 0;
 
   void ingress(const std::string& domain, const Frame& frame);
+  void route(const std::string& domain, const Frame& frame);
 };
 
 }  // namespace easis::bus

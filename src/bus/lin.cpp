@@ -71,9 +71,19 @@ void LinBus::schedule_next(std::uint64_t generation) {
           Frame frame;
           frame.id = frame_id;
           frame.payload = std::move(*payload);
-          for (std::size_t i = 0; i < endpoints_.size(); ++i) {
-            if (slave != nullptr && i == slave->endpoint) continue;
-            if (endpoints_[i].rx) endpoints_[i].rx(frame, engine_.now());
+          FaultLink::Verdict verdict;
+          if (fault_link_) verdict = fault_link_->process(frame);
+          if (verdict.drop) {
+            ++lost_;
+          } else {
+            if (verdict.delay > sim::Duration::zero()) {
+              engine_.schedule_in(verdict.delay, [this, frame, slave] {
+                deliver(frame, slave);
+              });
+            } else {
+              deliver(frame, slave);
+            }
+            if (verdict.duplicate) deliver(frame, slave);
           }
         } else {
           ++no_responses_;
@@ -81,6 +91,13 @@ void LinBus::schedule_next(std::uint64_t generation) {
         schedule_next(generation);
       },
       sim::EventPriority::kKernel);
+}
+
+void LinBus::deliver(const Frame& frame, const Slave* slave) {
+  for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+    if (slave != nullptr && i == slave->endpoint) continue;
+    if (endpoints_[i].rx) endpoints_[i].rx(frame, engine_.now());
+  }
 }
 
 }  // namespace easis::bus

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "bus/fault_link.hpp"
 #include "bus/frame.hpp"
 #include "sim/engine.hpp"
 
@@ -42,10 +43,15 @@ class LinBus {
   void stop();
   [[nodiscard]] bool running() const { return running_; }
 
+  /// Shared fault model, consulted when a slave response is delivered.
+  void set_fault_link(FaultLink* link) { fault_link_ = link; }
+  [[nodiscard]] FaultLink* fault_link() const { return fault_link_; }
+
   [[nodiscard]] sim::Duration slot() const { return slot_; }
   [[nodiscard]] std::uint64_t polls() const { return polls_; }
   [[nodiscard]] std::uint64_t responses() const { return responses_; }
   [[nodiscard]] std::uint64_t no_responses() const { return no_responses_; }
+  [[nodiscard]] std::uint64_t frames_lost() const { return lost_; }
 
  private:
   struct Endpoint {
@@ -62,14 +68,17 @@ class LinBus {
   std::vector<Endpoint> endpoints_;
   std::vector<std::uint32_t> schedule_;
   std::vector<std::pair<std::uint32_t, Slave>> publishers_;
+  FaultLink* fault_link_ = nullptr;
   bool running_ = false;
   std::uint64_t generation_ = 0;
   std::size_t next_slot_ = 0;
   std::uint64_t polls_ = 0;
   std::uint64_t responses_ = 0;
   std::uint64_t no_responses_ = 0;
+  std::uint64_t lost_ = 0;
 
   void schedule_next(std::uint64_t generation);
+  void deliver(const Frame& frame, const Slave* slave);
   [[nodiscard]] Slave* slave_for(std::uint32_t frame_id);
 };
 

@@ -1,0 +1,67 @@
+#include "inject/network_faults.hpp"
+
+#include <memory>
+
+namespace easis::inject {
+
+Injection make_frame_corruption(bus::FaultLink& link, double probability,
+                                sim::SimTime start, sim::Duration duration) {
+  Injection inj;
+  inj.name = "frame_corruption";
+  inj.start = start;
+  inj.duration = duration;
+  // The previous config is only known at apply time; stash it for revert.
+  auto saved = std::make_shared<bus::FaultLinkConfig>();
+  inj.apply = [&link, probability, saved] {
+    *saved = link.config();
+    bus::FaultLinkConfig config = *saved;
+    config.corrupt_probability = probability;
+    link.set_config(config);
+  };
+  inj.revert = [&link, saved] { link.set_config(*saved); };
+  return inj;
+}
+
+Injection make_loss_burst(bus::FaultLink& link, std::uint64_t frames,
+                          sim::SimTime start) {
+  Injection inj;
+  inj.name = "loss_burst";
+  inj.start = start;
+  inj.apply = [&link, frames] { link.start_loss_burst(frames); };
+  return inj;
+}
+
+Injection make_babbling_idiot(bus::BabblingIdiot& babbler, sim::SimTime start,
+                              sim::Duration duration) {
+  Injection inj;
+  inj.name = "babbling_idiot";
+  inj.start = start;
+  inj.duration = duration;
+  inj.apply = [&babbler] { babbler.start(); };
+  inj.revert = [&babbler] { babbler.stop(); };
+  return inj;
+}
+
+Injection make_network_partition(bus::FaultLink& link, sim::SimTime start,
+                                 sim::Duration duration) {
+  Injection inj;
+  inj.name = "network_partition";
+  inj.start = start;
+  inj.duration = duration;
+  inj.apply = [&link] { link.set_partitioned(true); };
+  inj.revert = [&link] { link.set_partitioned(false); };
+  return inj;
+}
+
+Injection make_gateway_stall(bus::Gateway& gateway, sim::SimTime start,
+                             sim::Duration duration) {
+  Injection inj;
+  inj.name = "gateway_stall";
+  inj.start = start;
+  inj.duration = duration;
+  inj.apply = [&gateway] { gateway.set_stalled(true); };
+  inj.revert = [&gateway] { gateway.set_stalled(false); };
+  return inj;
+}
+
+}  // namespace easis::inject

@@ -1,0 +1,49 @@
+// Network fault injection factories (tentpole extension of paper §4.5).
+//
+// The paper injects computation errors (frequency/sequence manipulation);
+// these factories inject the *communication* counterparts against the bus
+// fault model: frame corruption, correlated loss bursts, a babbling-idiot
+// node, network partition and a gateway stall. All operate on the shared
+// bus primitives (FaultLink / BabblingIdiot / Gateway), so any campaign
+// can aim them at any bus.
+#pragma once
+
+#include <cstdint>
+
+#include "bus/fault_link.hpp"
+#include "bus/gateway.hpp"
+#include "inject/injector.hpp"
+
+namespace easis::inject {
+
+/// Random single-bit corruption of `probability` of the link's frames.
+/// E2E CRC checks are the intended detector.
+[[nodiscard]] Injection make_frame_corruption(bus::FaultLink& link,
+                                              double probability,
+                                              sim::SimTime start,
+                                              sim::Duration duration);
+
+/// Loses the next `frames` deliveries in a row from `start` (correlated
+/// EMI burst). Self-limiting: no revert needed.
+[[nodiscard]] Injection make_loss_burst(bus::FaultLink& link,
+                                        std::uint64_t frames,
+                                        sim::SimTime start);
+
+/// Starts the rogue node's flooder; on an arbitrated bus this starves all
+/// lower-priority traffic until reverted.
+[[nodiscard]] Injection make_babbling_idiot(bus::BabblingIdiot& babbler,
+                                            sim::SimTime start,
+                                            sim::Duration duration);
+
+/// Severs the link completely (everything lost) for `duration`.
+[[nodiscard]] Injection make_network_partition(bus::FaultLink& link,
+                                               sim::SimTime start,
+                                               sim::Duration duration);
+
+/// Hangs the gateway's routing task: ingress backs up in the stall
+/// backlog and is flushed on revert.
+[[nodiscard]] Injection make_gateway_stall(bus::Gateway& gateway,
+                                           sim::SimTime start,
+                                           sim::Duration duration);
+
+}  // namespace easis::inject

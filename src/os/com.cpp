@@ -56,6 +56,7 @@ Status ComLayer::send(MessageId id, MessagePayload payload) {
     m->last = std::move(payload);
   }
   ++m->sends;
+  m->last_send_at = kernel_.now();
   if (m->notify_task.valid() && m->notify_mask != 0) {
     kernel_.set_event(m->notify_task, m->notify_mask);
   }
@@ -97,6 +98,27 @@ std::uint64_t ComLayer::overflows(MessageId id) const {
   const Message* m = message(id);
   if (m == nullptr) throw std::invalid_argument("ComLayer: bad message id");
   return m->overflows;
+}
+
+void ComLayer::set_reception_deadline(MessageId id, sim::Duration deadline) {
+  Message* m = message(id);
+  if (m == nullptr) throw std::invalid_argument("ComLayer: bad message id");
+  m->deadline = deadline;
+  m->deadline_armed_at = kernel_.now();
+}
+
+bool ComLayer::stale(MessageId id, sim::SimTime now) const {
+  const Message* m = message(id);
+  if (m == nullptr) throw std::invalid_argument("ComLayer: bad message id");
+  if (m->deadline <= sim::Duration::zero()) return false;
+  const sim::SimTime reference = m->last_send_at.value_or(m->deadline_armed_at);
+  return now - reference > m->deadline;
+}
+
+std::optional<sim::SimTime> ComLayer::last_send_at(MessageId id) const {
+  const Message* m = message(id);
+  if (m == nullptr) throw std::invalid_argument("ComLayer: bad message id");
+  return m->last_send_at;
 }
 
 const std::string& ComLayer::name(MessageId id) const {

@@ -40,6 +40,19 @@ class ComLayer {
   /// COM notification: SetEvent(task, mask) on every successful send.
   void set_notification(MessageId message, TaskId task, EventMask mask);
 
+  /// Reception deadline supervision (OSEK-COM monitoring class): a message
+  /// is stale when its last successful send is older than `deadline`.
+  /// Zero disables. The deadline is armed from the current kernel time so
+  /// a message that never arrives also goes stale.
+  void set_reception_deadline(MessageId message, sim::Duration deadline);
+
+  /// True if the message's deadline is armed and exceeded at `now`.
+  [[nodiscard]] bool stale(MessageId message, sim::SimTime now) const;
+
+  /// Time of the last successful send (nullopt before the first).
+  [[nodiscard]] std::optional<sim::SimTime> last_send_at(
+      MessageId message) const;
+
   /// SendMessage. Unqueued: always succeeds (overwrites). Queued: kLimit
   /// when the FIFO is full (the value is lost and counted).
   Status send(MessageId message, MessagePayload payload);
@@ -68,6 +81,9 @@ class ComLayer {
     EventMask notify_mask = 0;
     std::uint64_t sends = 0;
     std::uint64_t overflows = 0;
+    sim::Duration deadline = sim::Duration::zero();
+    sim::SimTime deadline_armed_at;
+    std::optional<sim::SimTime> last_send_at;
   };
 
   Kernel& kernel_;

@@ -3,6 +3,13 @@
 // Models the RTE's sender-receiver ports between runnables and the
 // data path towards sensors/actuators and the communication gateway.
 // Signals are named doubles with update metadata.
+//
+// Signals crossing the vehicle network additionally carry a *qualifier*:
+// a receiver registers a ReceptionPolicy (deadline + substitute-value
+// rule), after which read_qualified() classifies the signal as kValid,
+// kTimeout (deadline exceeded since the last good update) or kInvalid
+// (the protection layer rejected the latest data), and substitutes a safe
+// value per policy instead of handing out stale or damaged data.
 #pragma once
 
 #include <cstdint>
@@ -16,19 +23,74 @@
 
 namespace easis::rte {
 
+enum class SignalQualifier : std::uint8_t {
+  kValid = 0,
+  kTimeout,  // no (accepted) update within the reception deadline
+  kInvalid,  // latest reception was rejected (e.g. failed E2E check)
+};
+
+[[nodiscard]] const char* to_string(SignalQualifier qualifier);
+
+/// What a degraded signal reads as.
+enum class SubstitutePolicy : std::uint8_t {
+  kHoldLast = 0,  // keep the last good value (tolerate brief dropouts)
+  kDefault,       // fall back to the configured default
+  kLimp,          // conservative limp-home value (safety signals)
+};
+
+struct ReceptionPolicy {
+  /// Maximum age of the last good update; zero disables the deadline.
+  sim::Duration deadline = sim::Duration::zero();
+  SubstitutePolicy substitute = SubstitutePolicy::kHoldLast;
+  /// Value substituted under SubstitutePolicy::kDefault.
+  double default_value = 0.0;
+  /// Value substituted under SubstitutePolicy::kLimp.
+  double limp_value = 0.0;
+};
+
 class SignalBus {
  public:
   struct Entry {
     double value = 0.0;
     sim::SimTime updated_at;
     std::uint64_t updates = 0;
+    /// Latest reception was rejected by the protection layer.
+    bool invalid = false;
+  };
+
+  struct QualifiedValue {
+    double value = 0.0;
+    SignalQualifier qualifier = SignalQualifier::kValid;
   };
 
   using Observer =
       std::function<void(const std::string&, double, sim::SimTime)>;
 
-  /// Writes a signal (creates it on first write).
+  /// Writes a signal (creates it on first write); clears kInvalid.
   void publish(const std::string& name, double value, sim::SimTime at);
+
+  /// Marks the signal invalid (its producer received damaged data) without
+  /// touching the last good value. Cleared by the next publish.
+  void invalidate(const std::string& name, sim::SimTime at);
+
+  /// Registers the receiver-side policy; the deadline is armed from `now`
+  /// so a signal that never arrives at all still times out.
+  void set_reception_policy(const std::string& name, ReceptionPolicy policy,
+                            sim::SimTime now);
+  [[nodiscard]] std::optional<ReceptionPolicy> reception_policy(
+      const std::string& name) const;
+
+  /// Classifies the signal at time `now` against its reception policy.
+  /// Signals without a policy are kValid whenever they exist.
+  [[nodiscard]] SignalQualifier qualifier(const std::string& name,
+                                          sim::SimTime now) const;
+
+  /// Policy-aware read: a kValid signal reads as its value; a degraded one
+  /// reads as the substitute the policy prescribes. `fallback` covers
+  /// signals that never arrived and hold-last with no last value.
+  [[nodiscard]] QualifiedValue read_qualified(const std::string& name,
+                                              sim::SimTime now,
+                                              double fallback) const;
 
   /// Last written value, if the signal exists.
   [[nodiscard]] std::optional<double> read(const std::string& name) const;
@@ -44,7 +106,13 @@ class SignalBus {
   void add_observer(Observer observer);
 
  private:
+  struct Policy {
+    ReceptionPolicy policy;
+    sim::SimTime armed_at;
+  };
+
   std::unordered_map<std::string, Entry> entries_;
+  std::unordered_map<std::string, Policy> policies_;
   std::vector<Observer> observers_;
 };
 

@@ -137,6 +137,11 @@ void CentralNode::start() {
     // false positives or flow-table defects must not go into operation.
     const auto findings = wdg::ConfigChecker::check(
         watchdog_, [this](RunnableId id) {
+          // Virtual runnables (e.g. CMU communication channels) are
+          // monitored by the watchdog but unknown to the RTE.
+          if (!id.valid() || id.value() >= ecu_.rte().runnable_count()) {
+            return sim::Duration::zero();
+          }
           const TaskId task = ecu_.rte().task_of(id);
           if (task == safespeed_task_) return config_.safespeed.period;
           if (safelane_ && task == safelane_task_) {

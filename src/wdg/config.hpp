@@ -48,6 +48,7 @@ struct WatchdogConfig {
   std::uint32_t program_flow_threshold = 3;
   std::uint32_t accumulated_aliveness_threshold = 3;
   std::uint32_t deadline_threshold = 3;
+  std::uint32_t communication_threshold = 3;
   /// The global ECU state turns faulty when this many tasks are faulty.
   std::uint32_t ecu_faulty_task_limit = 2;
 };

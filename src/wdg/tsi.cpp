@@ -112,6 +112,8 @@ SupervisionReport TaskStateIndicationUnit::report(RunnableId runnable) const {
   r.accumulated_aliveness_errors =
       e.counts[static_cast<std::size_t>(ErrorType::kAccumulatedAliveness)];
   r.deadline_errors = e.counts[static_cast<std::size_t>(ErrorType::kDeadline)];
+  r.communication_errors =
+      e.counts[static_cast<std::size_t>(ErrorType::kCommunication)];
   return r;
 }
 

@@ -28,9 +28,13 @@ enum class ErrorType : std::uint8_t {
   /// Elapsed time between a start and an end checkpoint outside the
   /// permitted window (deadline supervision, extension).
   kDeadline = 4,
+  /// Network communication fault on a monitored channel: failed E2E
+  /// checks or a signal reception timeout (communication monitoring,
+  /// extension towards the paper's ISS domain-crossing outlook).
+  kCommunication = 5,
 };
 
-inline constexpr std::size_t kErrorTypeCount = 5;
+inline constexpr std::size_t kErrorTypeCount = 6;
 
 [[nodiscard]] constexpr std::string_view to_string(ErrorType t) {
   switch (t) {
@@ -39,6 +43,7 @@ inline constexpr std::size_t kErrorTypeCount = 5;
     case ErrorType::kProgramFlow: return "program_flow";
     case ErrorType::kAccumulatedAliveness: return "accumulated_aliveness";
     case ErrorType::kDeadline: return "deadline";
+    case ErrorType::kCommunication: return "communication";
   }
   return "?";
 }
@@ -85,6 +90,7 @@ struct SupervisionReport {
   std::uint32_t program_flow_errors = 0;
   std::uint32_t accumulated_aliveness_errors = 0;
   std::uint32_t deadline_errors = 0;
+  std::uint32_t communication_errors = 0;
   bool activation_status = true;
 };
 

@@ -17,7 +17,7 @@ SoftwareWatchdog::SoftwareWatchdog(WatchdogConfig config)
                {config.aliveness_threshold, config.arrival_rate_threshold,
                 config.program_flow_threshold,
                 config.accumulated_aliveness_threshold,
-                config.deadline_threshold}},
+                config.deadline_threshold, config.communication_threshold}},
            config.ecu_faulty_task_limit) {}
 
 void SoftwareWatchdog::add_runnable(const RunnableMonitor& monitor) {
@@ -69,6 +69,10 @@ void SoftwareWatchdog::main_function(sim::SimTime now) {
 
 void SoftwareWatchdog::notify_task_terminated(TaskId task) {
   pfc_.task_boundary(task);
+}
+
+void SoftwareWatchdog::report_external_error(ErrorReport report) {
+  emit(std::move(report));
 }
 
 void SoftwareWatchdog::handle_hbm_error(RunnableId runnable, ErrorType type,
@@ -271,6 +275,7 @@ Severity SoftwareWatchdog::severity_of(ErrorType type) {
     case ErrorType::kProgramFlow: return Severity::kCritical;
     case ErrorType::kAccumulatedAliveness: return Severity::kMinor;
     case ErrorType::kDeadline: return Severity::kMajor;
+    case ErrorType::kCommunication: return Severity::kMajor;
   }
   return Severity::kInfo;
 }

@@ -59,6 +59,13 @@ class SoftwareWatchdog {
   /// Job boundary notification (task terminated) for the PFC context.
   void notify_task_terminated(TaskId task);
 
+  /// Entry point for auxiliary monitoring units (e.g. the communication
+  /// monitoring unit): routes an externally detected error through the
+  /// same listener + TSI path as the watchdog's own detections, so network
+  /// faults drive identical FMF treatment. The report's runnable must be
+  /// registered (add_runnable), or the TSI will ignore it.
+  void report_external_error(ErrorReport report);
+
   // --- runtime interface 2: reporting to the FMF -------------------------------
   void add_error_listener(ErrorListener listener);
   void add_task_state_listener(TaskStateListener listener);

@@ -31,20 +31,25 @@ TEST(Codec, F32RoundTrip) {
   Frame f;
   encode_f32(f, 0, 123.5);
   EXPECT_EQ(f.payload.size(), 4u);
-  EXPECT_DOUBLE_EQ(decode_f32(f, 0), 123.5);
+  ASSERT_TRUE(decode_f32(f, 0).has_value());
+  EXPECT_DOUBLE_EQ(*decode_f32(f, 0), 123.5);
 }
 
 TEST(Codec, F32AtOffsetGrowsPayload) {
   Frame f;
   encode_f32(f, 2, -7.25);
   EXPECT_EQ(f.payload.size(), 6u);
-  EXPECT_DOUBLE_EQ(decode_f32(f, 2), -7.25);
+  ASSERT_TRUE(decode_f32(f, 2).has_value());
+  EXPECT_DOUBLE_EQ(*decode_f32(f, 2), -7.25);
 }
 
-TEST(Codec, DecodeShortPayloadYieldsZero) {
+TEST(Codec, DecodeShortPayloadRejected) {
+  // A truncated frame must not read as "0 km/h".
   Frame f;
   f.payload = {1, 2};
-  EXPECT_DOUBLE_EQ(decode_f32(f, 0), 0.0);
+  EXPECT_EQ(decode_f32(f, 0), std::nullopt);
+  encode_f32(f, 0, 9.0);
+  EXPECT_EQ(decode_f32(f, 1), std::nullopt);  // offset past the end
 }
 
 // --- CAN ----------------------------------------------------------------------
@@ -288,8 +293,11 @@ TEST(GatewayTest, RoutesBetweenDomainsWithIdRewrite) {
   engine.run_until(SimTime(1'000));
   ASSERT_EQ(can_out.size(), 1u);
   EXPECT_EQ(can_out[0].id, 0x120u);
-  EXPECT_DOUBLE_EQ(decode_f32(can_out[0], 0), 60.0);
+  ASSERT_TRUE(decode_f32(can_out[0], 0).has_value());
+  EXPECT_DOUBLE_EQ(*decode_f32(can_out[0], 0), 60.0);
   EXPECT_EQ(gateway.frames_routed(), 1u);
+  EXPECT_EQ(gateway.route_delivered("telematics", 0x10), 1u);
+  EXPECT_EQ(gateway.route_dropped("telematics", 0x10), 0u);
 }
 
 TEST(GatewayTest, UnroutedFramesDropped) {
@@ -304,6 +312,53 @@ TEST(GatewayTest, UnroutedFramesDropped) {
   engine.run_until(SimTime(1'000));
   EXPECT_EQ(gateway.frames_dropped(), 1u);
   EXPECT_EQ(gateway.frames_routed(), 0u);
+}
+
+TEST(GatewayTest, PerRouteDropCounters) {
+  Engine engine;
+  Gateway gateway(engine);
+  auto in = gateway.register_domain("a", [](Frame) {});
+  gateway.register_domain("b", [](Frame) {});
+  gateway.add_route("a", 0x1, "b", 0x2);
+  Frame unrouted;
+  unrouted.id = 0x99;
+  in(unrouted, engine.now());
+  in(unrouted, engine.now());
+  Frame routed;
+  routed.id = 0x1;
+  in(routed, engine.now());
+  engine.run_until(SimTime(1'000));
+  EXPECT_EQ(gateway.route_dropped("a", 0x99), 2u);
+  EXPECT_EQ(gateway.route_delivered("a", 0x99), 0u);
+  EXPECT_EQ(gateway.route_delivered("a", 0x1), 1u);
+  EXPECT_EQ(gateway.route_dropped("a", 0x1), 0u);
+  EXPECT_EQ(gateway.route_dropped("never", 0x1), 0u);
+}
+
+TEST(GatewayTest, StallHoldsBacklogAndRecovers) {
+  Engine engine;
+  Gateway gateway(engine, Duration::micros(100));
+  std::vector<std::uint32_t> out;
+  auto in = gateway.register_domain("a", [](Frame) {});
+  gateway.register_domain("b", [&](Frame f) { out.push_back(f.id); });
+  gateway.add_route("a", 0x1, "b", 0x11);
+  gateway.add_route("a", 0x2, "b", 0x22);
+
+  gateway.set_stalled(true);
+  Frame f1, f2;
+  f1.id = 0x1;
+  f2.id = 0x2;
+  in(f1, engine.now());
+  in(f2, engine.now());
+  engine.run_until(SimTime(10'000));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(gateway.backlog(), 2u);
+
+  gateway.set_stalled(false);
+  EXPECT_EQ(gateway.backlog(), 0u);
+  engine.run_until(SimTime(20'000));
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0x11, 0x22}));  // arrival order
+  EXPECT_EQ(gateway.frames_dropped(), 0u);
 }
 
 TEST(GatewayTest, FanOutToMultipleTargets) {

@@ -1,0 +1,255 @@
+// End-to-end robustness of the protected communication chain: network
+// fault injection -> E2E rejection -> signal qualifier degradation ->
+// SafeSpeed limp limit, and the Communication Monitoring Unit feeding
+// sustained network faults into the watchdog/TSI/FMF treatment chain.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bus/e2e.hpp"
+#include "bus/fault_link.hpp"
+#include "inject/injector.hpp"
+#include "inject/network_faults.hpp"
+#include "rte/signal_bus.hpp"
+#include "sim/engine.hpp"
+#include "validator/central_node.hpp"
+#include "validator/network.hpp"
+#include "validator/node_supervisor.hpp"
+#include "validator/remote_node.hpp"
+#include "wdg/com_monitor.hpp"
+
+namespace easis::validator {
+namespace {
+
+using sim::Duration;
+using sim::Engine;
+using sim::SimTime;
+
+class ComRobustnessTest : public ::testing::Test {
+ protected:
+  Engine engine;
+  CentralNodeConfig node_config;
+  std::unique_ptr<CentralNode> node;
+  std::unique_ptr<VehicleNetwork> network;
+  std::unique_ptr<wdg::CommunicationMonitoringUnit> cmu;
+  std::unique_ptr<inject::ErrorInjector> injector;
+  /// Virtual-runnable id of the max-speed channel (outside RTE's range).
+  const RunnableId channel{1000};
+
+  /// Boots the central node plus the E2E-protected vehicle network.
+  /// `channel_timeout` > 0 additionally registers the max-speed reception
+  /// path as a CMU channel bound to the SafeSpeed task/application;
+  /// `degrade_on_fault` arms the FMF's limp-home treatment for SafeSpeed.
+  void boot(Duration channel_timeout = Duration::zero(),
+            bool with_cmu = false, bool degrade_on_fault = false) {
+    node_config.safespeed.max_speed_deadline = Duration::millis(200);
+    node_config.safespeed.limp_max_speed_kmh = 60.0;
+    node = std::make_unique<CentralNode>(engine, node_config);
+
+    NetworkConfig net_config;
+    net_config.e2e_protection = true;
+    network = std::make_unique<VehicleNetwork>(engine, node->signals(),
+                                               net_config);
+    if (with_cmu) {
+      cmu = std::make_unique<wdg::CommunicationMonitoringUnit>(
+          node->watchdog());
+      wdg::ComChannel ch;
+      ch.channel = channel;
+      ch.task = node->safespeed_task();
+      ch.application = node->safespeed().application();
+      ch.name = "safespeed.max_speed";
+      ch.timeout = channel_timeout;
+      cmu->add_channel(ch, engine.now());
+      network->set_max_speed_check_listener(
+          [this](bus::E2EStatus status, SimTime now) {
+            cmu->on_check_result(channel, status, now);
+          });
+      schedule_cmu_cycle();
+    }
+    if (degrade_on_fault) {
+      fmf::ApplicationPolicy policy;
+      policy.on_faulty = fmf::TreatmentAction::kDegrade;
+      auto& ss = node->safespeed();
+      node->fault_management()->set_application_policy(ss.application(),
+                                                       policy);
+      node->fault_management()->set_degraded_mode(
+          ss.application(), [&ss] { ss.set_limp_home(true); },
+          [&ss] { ss.set_limp_home(false); });
+    }
+    node->start();
+    network->start();
+  }
+
+  void schedule_cmu_cycle() {
+    engine.schedule_in(Duration::millis(50), [this] {
+      cmu->cycle(engine.now());
+      schedule_cmu_cycle();
+    });
+  }
+
+  /// Commands `kmh` every `period` from `start` on (telematics side).
+  void command_periodically(SimTime start, Duration period, double kmh,
+                            SimTime until) {
+    for (SimTime at = start; at < until; at = at + period) {
+      engine.schedule_at(at,
+                         [this, kmh] { network->command_max_speed(kmh); });
+    }
+  }
+};
+
+// Acceptance (a): a corrupted max-speed frame is rejected by the E2E
+// check, the signal qualifier transitions to kTimeout once the reception
+// deadline elapses, and SafeSpeed applies the limp-home maximum speed.
+TEST_F(ComRobustnessTest, CorruptedCommandDegradesToLimpSpeed) {
+  boot();
+  engine.schedule_at(SimTime(100'000),
+                     [this] { network->command_max_speed(120.0); });
+  engine.run_until(SimTime(200'000));
+  // The intact command went through and is trusted.
+  EXPECT_EQ(network->commands_received(), 1u);
+  EXPECT_EQ(node->safespeed().max_speed_qualifier(),
+            rte::SignalQualifier::kValid);
+  EXPECT_DOUBLE_EQ(node->safespeed().effective_max_speed(), 120.0);
+
+  // From t=250 ms every CAN frame is corrupted: the commands keep coming
+  // but every one fails the E2E check and is discarded.
+  engine.schedule_at(SimTime(250'000), [this] {
+    bus::FaultLinkConfig config;
+    config.corrupt_probability = 1.0;
+    network->can_fault_link().set_config(config);
+  });
+  command_periodically(SimTime(300'000), Duration::millis(50), 180.0,
+                       SimTime(700'000));
+  engine.run_until(SimTime(700'000));
+
+  EXPECT_EQ(network->commands_received(), 1u);  // nothing got through
+  EXPECT_GE(network->e2e_rejections(), 3u);
+  ASSERT_NE(network->max_speed_receiver(), nullptr);
+  EXPECT_GE(network->max_speed_receiver()->crc_errors(), 3u);
+  // Last trusted data is 600 ms old: past the 200 ms reception deadline.
+  EXPECT_EQ(node->safespeed().max_speed_qualifier(),
+            rte::SignalQualifier::kTimeout);
+  EXPECT_DOUBLE_EQ(node->safespeed().effective_max_speed(), 60.0);
+}
+
+// Acceptance (b): sustained E2E failures make the CMU report
+// kCommunication errors that reach the FMF fault log and trigger the
+// configured degrade treatment of the consuming application.
+TEST_F(ComRobustnessTest, SustainedE2EFailuresDegradeConsumer) {
+  boot(Duration::zero(), /*with_cmu=*/true, /*degrade_on_fault=*/true);
+  // Healthy traffic first, then a 200 ms corruption window damaging the
+  // four commands sent inside it. (The first frame after the window is
+  // also rejected -- kWrongSequence, the counter advanced during the
+  // window -- so a longer window would re-cross the TSI threshold while
+  // already degraded and escalate to termination.)
+  command_periodically(SimTime(50'000), Duration::millis(50), 120.0,
+                       SimTime(500'000));
+  injector = std::make_unique<inject::ErrorInjector>(engine);
+  injector->add(inject::make_frame_corruption(network->can_fault_link(), 1.0,
+                                              SimTime(175'000),
+                                              Duration::micros(200'000)));
+  injector->arm();
+  engine.run_until(SimTime(700'000));
+
+  EXPECT_GE(cmu->e2e_failures(channel), 3u);
+  EXPECT_GE(cmu->reports_emitted(), 3u);
+
+  auto& fm = *node->fault_management();
+  const ApplicationId app = node->safespeed().application();
+  // Every CMU report landed in the fault log as a communication fault of
+  // the SafeSpeed application...
+  bool found = false;
+  for (const auto& record : fm.fault_log().snapshot()) {
+    if (record.report.type == wdg::ErrorType::kCommunication &&
+        record.report.application == app) {
+      EXPECT_EQ(record.source, "swd");
+      EXPECT_EQ(record.report.runnable, channel);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // ...and crossing the TSI threshold triggered the degrade treatment.
+  EXPECT_EQ(fm.degradations_performed(app), 1u);
+  EXPECT_TRUE(fm.is_degraded(app));
+  EXPECT_TRUE(node->safespeed().limp_home());
+  EXPECT_EQ(fm.terminations_performed(app), 0u);
+  // Once the corruption window closed, healthy frames flowed again.
+  EXPECT_GT(cmu->ok_count(channel), 0u);
+}
+
+// A severed CAN link: no frames arrive at all, so the CMU's timeout
+// supervision (not the E2E check) raises the communication fault. No
+// degrade policy here -- the test observes the pure signal-layer
+// degradation and recovery (limp-home freezes the controller's qualifier
+// bookkeeping; the treatment chain is covered above).
+TEST_F(ComRobustnessTest, NetworkPartitionRaisesTimeoutReports) {
+  boot(Duration::millis(150), /*with_cmu=*/true);
+  command_periodically(SimTime(50'000), Duration::millis(50), 120.0,
+                       SimTime(1'500'000));
+  injector = std::make_unique<inject::ErrorInjector>(engine);
+  injector->add(inject::make_network_partition(network->can_fault_link(),
+                                               SimTime(500'000),
+                                               Duration::micros(600'000)));
+  injector->arm();
+  engine.run_until(SimTime(1'000'000));
+
+  EXPECT_GT(network->can_fault_link().frames_dropped(), 0u);
+  EXPECT_GE(cmu->timeouts(channel), 2u);
+  EXPECT_EQ(cmu->e2e_failures(channel), 0u);  // silence, not corruption
+  EXPECT_EQ(node->safespeed().max_speed_qualifier(),
+            rte::SignalQualifier::kTimeout);
+  EXPECT_DOUBLE_EQ(node->safespeed().effective_max_speed(), 60.0);
+  // Partition lifted: fresh commands close the timeout window and the
+  // signal becomes trustworthy again.
+  engine.run_until(SimTime(1'500'000));
+  EXPECT_EQ(node->safespeed().max_speed_qualifier(),
+            rte::SignalQualifier::kValid);
+  EXPECT_DOUBLE_EQ(node->safespeed().effective_max_speed(), 120.0);
+}
+
+// Acceptance (c): a babbling idiot on the vehicle CAN starves all
+// lower-priority traffic; the node supervisor flags the remote node
+// missing and the CMU's timeout supervision flags the command channel.
+TEST_F(ComRobustnessTest, BabblingIdiotStarvesBusAndIsDetected) {
+  boot(Duration::millis(150), /*with_cmu=*/true);
+  command_periodically(SimTime(50'000), Duration::millis(50), 120.0,
+                       SimTime(1'500'000));
+
+  RemoteNodeConfig remote_config;
+  remote_config.name = "dynamics";
+  remote_config.heartbeat_can_id = 0x700;
+  RemoteNode remote(engine, network->can(), remote_config);
+  NodeSupervisor supervisor(engine, network->can());
+  const NodeId remote_id = supervisor.register_node(
+      "dynamics", 0x700, remote_config.heartbeat_period);
+  remote.start();
+  supervisor.start();
+
+  engine.run_until(SimTime(500'000));
+  EXPECT_EQ(supervisor.node_state(remote_id),
+            NodeSupervisor::NodeState::kAlive);
+  EXPECT_EQ(cmu->timeouts(channel), 0u);
+  const auto commands_before = network->commands_received();
+  EXPECT_GT(commands_before, 0u);
+
+  engine.schedule_at(SimTime(500'000),
+                     [this] { network->babbler().start(); });
+  engine.run_until(SimTime(1'500'000));
+
+  // Id-0 flood wins every arbitration: commands and heartbeats starve.
+  EXPECT_EQ(network->commands_received(), commands_before);
+  EXPECT_GT(network->babbler().frames_sent(), 1000u);
+  EXPECT_EQ(supervisor.node_state(remote_id),
+            NodeSupervisor::NodeState::kMissing);
+  EXPECT_GE(supervisor.missing_events(remote_id), 1u);
+  // The CMU saw the sustained silence and kept reporting it.
+  EXPECT_GE(cmu->timeouts(channel), 2u);
+  EXPECT_GE(cmu->reports_emitted(), 2u);
+  // SafeSpeed stopped trusting the stale command.
+  EXPECT_EQ(node->safespeed().max_speed_qualifier(),
+            rte::SignalQualifier::kTimeout);
+  EXPECT_DOUBLE_EQ(node->safespeed().effective_max_speed(), 60.0);
+}
+
+}  // namespace
+}  // namespace easis::validator

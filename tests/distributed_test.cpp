@@ -161,6 +161,61 @@ TEST_F(SupervisionTest, BusOffFlagsAllNodes) {
   EXPECT_EQ(supervisor.node_state(b_id), NodeSupervisor::NodeState::kAlive);
 }
 
+TEST_F(SupervisionTest, HeartbeatLossViaDropHookDetectedAndRecovered) {
+  // Selective frame loss (EMI hitting one id) is indistinguishable from a
+  // dead node at the supervisor: the heartbeat's virtual runnable misses
+  // its aliveness windows even though the node keeps transmitting.
+  RemoteNodeConfig config;
+  config.name = "sensor";
+  config.heartbeat_can_id = 0x750;
+  RemoteNode node(engine, can, config);
+  const NodeId id =
+      supervisor.register_node("sensor", 0x750, config.heartbeat_period);
+  node.start();
+  supervisor.start();
+  engine.schedule_at(SimTime(1'000'000), [&] {
+    can.set_drop_hook([](const bus::Frame& f) { return f.id == 0x750; });
+  });
+  engine.run_until(SimTime(2'000'000));
+  EXPECT_EQ(supervisor.node_state(id), NodeSupervisor::NodeState::kMissing);
+  EXPECT_EQ(supervisor.missing_events(id), 1u);
+  EXPECT_GT(can.frames_lost(), 0u);
+  EXPECT_GT(node.heartbeats_sent(), 30u);  // the node never stopped
+  // Interference gone: the very next heartbeat recovers the node.
+  engine.schedule_at(SimTime(2'000'000), [&] { can.set_drop_hook(nullptr); });
+  engine.run_until(SimTime(3'000'000));
+  EXPECT_EQ(supervisor.node_state(id), NodeSupervisor::NodeState::kAlive);
+  EXPECT_EQ(supervisor.recovery_events(id), 1u);
+}
+
+TEST_F(SupervisionTest, SustainedFaultLinkLossDetectedAndRecovered) {
+  // Same failure through the shared fault model: a lossy link (100 %
+  // i.i.d. loss) starves the heartbeat until the link heals.
+  bus::FaultLink link;
+  can.set_fault_link(&link);
+  RemoteNodeConfig config;
+  config.name = "actuator";
+  config.heartbeat_can_id = 0x751;
+  RemoteNode node(engine, can, config);
+  const NodeId id =
+      supervisor.register_node("actuator", 0x751, config.heartbeat_period);
+  node.start();
+  supervisor.start();
+  engine.schedule_at(SimTime(1'000'000), [&] {
+    bus::FaultLinkConfig lossy;
+    lossy.loss_probability = 1.0;
+    link.set_config(lossy);
+  });
+  engine.run_until(SimTime(2'000'000));
+  EXPECT_EQ(supervisor.node_state(id), NodeSupervisor::NodeState::kMissing);
+  EXPECT_GT(link.frames_dropped(), 0u);
+  engine.schedule_at(SimTime(2'000'000),
+                     [&] { link.set_config(bus::FaultLinkConfig{}); });
+  engine.run_until(SimTime(3'000'000));
+  EXPECT_EQ(supervisor.node_state(id), NodeSupervisor::NodeState::kAlive);
+  EXPECT_EQ(supervisor.recovery_events(id), 1u);
+}
+
 // --- dynamic reconfiguration (degraded mode) ----------------------------------
 //
 // The fault: the SafeSpeed task's activation period degrades (e.g. a sick

@@ -13,7 +13,7 @@ using sim::SimTime;
 
 TaskStateIndicationUnit::Thresholds thresholds(std::uint32_t t = 3) {
   TaskStateIndicationUnit::Thresholds th;
-  th.by_type = {t, t, t, t, t};
+  th.by_type = {t, t, t, t, t, t};
   return th;
 }
 
@@ -174,7 +174,7 @@ TEST(TsiConfig, ZeroEcuLimitRejected) {
 
 TEST(TsiConfig, PerTypeThresholdsIndependent) {
   TaskStateIndicationUnit::Thresholds th;
-  th.by_type = {1, 5, 5, 5, 5};  // aliveness threshold of 1
+  th.by_type = {1, 5, 5, 5, 5, 5};  // aliveness threshold of 1
   TaskStateIndicationUnit tsi(th, 1);
   tsi.add_runnable(RunnableId(1), TaskId(0), ApplicationId(0));
   tsi.report_error(RunnableId(1), ErrorType::kProgramFlow, SimTime(0));
