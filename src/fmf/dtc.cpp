@@ -5,8 +5,11 @@
 namespace easis::fmf {
 
 DtcStore::DtcStore(const rte::SignalBus& signals,
-                   std::vector<std::string> frame_signals)
-    : signals_(signals), frame_signals_(std::move(frame_signals)) {}
+                   std::vector<std::string> frame_signals,
+                   std::size_t max_entries)
+    : signals_(signals),
+      frame_signals_(std::move(frame_signals)),
+      max_entries_(max_entries) {}
 
 FreezeFrame DtcStore::capture(sim::SimTime at) const {
   FreezeFrame frame;
@@ -18,8 +21,21 @@ FreezeFrame DtcStore::capture(sim::SimTime at) const {
   return frame;
 }
 
+void DtcStore::evict_oldest() {
+  auto oldest = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.last_seen < oldest->second.last_seen) oldest = it;
+  }
+  entries_.erase(oldest);
+  ++evictions_;
+}
+
 void DtcStore::record(const wdg::ErrorReport& report) {
   const DtcKey key{report.application, report.type};
+  if (max_entries_ != 0 && !entries_.contains(key) &&
+      entries_.size() >= max_entries_) {
+    evict_oldest();
+  }
   auto [it, inserted] = entries_.try_emplace(key);
   DtcEntry& entry = it->second;
   if (inserted) {
@@ -57,11 +73,22 @@ void DtcStore::set_passive(const DtcKey& key) {
 
 void DtcStore::clear() { entries_.clear(); }
 
+void DtcStore::restore(const std::vector<DtcEntry>& entries) {
+  entries_.clear();
+  for (const DtcEntry& entry : entries) {
+    if (max_entries_ != 0 && entries_.size() >= max_entries_) {
+      ++evictions_;
+      continue;
+    }
+    entries_[entry.key] = entry;
+  }
+}
+
 void DtcStore::write(std::ostream& out) const {
   out << "DTC store: " << entries_.size() << " entries, " << active_count()
       << " active\n";
   for (const auto& [key, entry] : entries_) {
-    out << "  DTC app#" << key.application.value() << '/'
+    out << "  DTC app" << key.application << '/'
         << wdg::to_string(key.type) << "  x" << entry.occurrences
         << (entry.active ? "  ACTIVE" : "  passive") << "  first "
         << entry.first_seen.as_millis() << " ms, last "

@@ -45,9 +45,14 @@ struct DtcEntry {
 class DtcStore {
  public:
   /// `signals` supplies freeze-frame data; `frame_signals` names what to
-  /// capture at the first occurrence of each DTC.
+  /// capture at the first occurrence of each DTC. `max_entries` bounds the
+  /// store (automotive fault memories are small): when a new DTC arrives
+  /// at a full store, the entry with the oldest last-occurrence is evicted
+  /// (oldest-eviction). 0 = unbounded. Updates to an existing entry never
+  /// evict and retain the first-occurrence freeze frame.
   DtcStore(const rte::SignalBus& signals,
-           std::vector<std::string> frame_signals);
+           std::vector<std::string> frame_signals,
+           std::size_t max_entries = 0);
 
   /// Records one fault occurrence (creates or updates the DTC).
   void record(const wdg::ErrorReport& report);
@@ -56,11 +61,19 @@ class DtcStore {
   [[nodiscard]] std::vector<DtcEntry> entries() const;
   [[nodiscard]] std::size_t count() const { return entries_.size(); }
   [[nodiscard]] std::size_t active_count() const;
+  [[nodiscard]] std::size_t max_entries() const { return max_entries_; }
+  /// Entries dropped because the bounded store was full.
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
 
   /// Marks a DTC passive (fault healed); occurrence history is retained.
   void set_passive(const DtcKey& key);
   /// Workshop "clear DTCs": removes everything.
   void clear();
+
+  /// Replaces the store content with entries restored from non-volatile
+  /// memory (post-reset re-seed). Restored freeze frames are kept as
+  /// captured; occurrence counters continue from the persisted values.
+  void restore(const std::vector<DtcEntry>& entries);
 
   /// Renders the store as a diagnostic read-out.
   void write(std::ostream& out) const;
@@ -68,9 +81,12 @@ class DtcStore {
  private:
   const rte::SignalBus& signals_;
   std::vector<std::string> frame_signals_;
+  std::size_t max_entries_;
   std::map<DtcKey, DtcEntry> entries_;
+  std::uint64_t evictions_ = 0;
 
   [[nodiscard]] FreezeFrame capture(sim::SimTime at) const;
+  void evict_oldest();
 };
 
 }  // namespace easis::fmf

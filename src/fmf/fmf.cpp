@@ -32,6 +32,9 @@ void FaultManagementFramework::attach() {
       [this](wdg::Health health, sim::SimTime now) {
         on_ecu_state(health, now);
       });
+  watchdog_.recovery_unit().set_result_callback(
+      [this](bool ok, ApplicationId app, const wdg::ErrorReport& cause,
+             sim::SimTime now) { on_recovery_result(ok, app, cause, now); });
 }
 
 void FaultManagementFramework::set_application_policy(
@@ -54,6 +57,7 @@ void FaultManagementFramework::on_error(const wdg::ErrorReport& report) {
   FaultRecord record{"swd", report,
                      wdg::SoftwareWatchdog::severity_of(report.type)};
   log_.push(record);
+  last_fault_ = record;  // candidate reset-cause evidence
   if (dtc_store_ != nullptr) dtc_store_->record(report);
   // Inform the applications about the detected fault.
   for (const auto& listener : listeners_) listener(record);
@@ -75,13 +79,16 @@ void FaultManagementFramework::on_application_state(ApplicationId app,
   // If the global ECU state is faulty the ECU-level treatment takes over
   // (the ECU-state callback fires after task/application callbacks).
   if (watchdog_.ecu_health() == wdg::Health::kFaulty) return;
+  // In the latched storm state the node is parked in limp-home; per-app
+  // treatments would fight the safe-state configuration.
+  if (storm_latched_) return;
 
   const ApplicationPolicy policy = policy_of(app);
   switch (policy.on_faulty) {
     case TreatmentAction::kNone:
       break;
     case TreatmentAction::kRestart:
-      if (restarts_[app] < policy.max_restarts) {
+      if (restart_pressure(app, now) < policy.max_restarts) {
         restart_application(app, now);
       } else {
         terminate_application(app, now);
@@ -98,8 +105,35 @@ void FaultManagementFramework::on_application_state(ApplicationId app,
 
 void FaultManagementFramework::on_ecu_state(wdg::Health health,
                                             sim::SimTime now) {
-  (void)now;
   if (health != wdg::Health::kFaulty) return;
+  ResetCause cause;
+  cause.source = ResetSource::kEcuFaulty;
+  cause.time = now;
+  if (last_fault_) {
+    cause.task = last_fault_->report.task;
+    cause.application = last_fault_->report.application;
+    cause.error = last_fault_->report.type;
+    cause.detail = last_fault_->report.detail;
+  }
+  if (cause.detail.empty()) {
+    cause.detail = std::string("global ECU state faulty (") +
+                   std::string(wdg::to_string(cause.error)) + ")";
+  }
+  request_reset(std::move(cause), now);
+}
+
+void FaultManagementFramework::request_reset(ResetCause cause,
+                                             sim::SimTime now) {
+  if (storm_latched_) {
+    EASIS_LOG(util::LogLevel::kError, kLog)
+        << "reset requested (" << to_string(cause.source)
+        << ") but reboot storm is latched; staying in safe state";
+    return;
+  }
+  if (recent_resets(now) >= config_.storm_reset_limit) {
+    latch_storm(cause, now);
+    return;
+  }
   if (ecu_resets_ >= config_.max_ecu_resets) {
     EASIS_LOG(util::LogLevel::kError, kLog)
         << "ECU faulty but reset budget exhausted; staying faulty";
@@ -107,8 +141,58 @@ void FaultManagementFramework::on_ecu_state(wdg::Health health,
   }
   ++ecu_resets_;
   EASIS_LOG(util::LogLevel::kWarn, kLog)
-      << "global ECU state faulty -> software reset #" << ecu_resets_;
+      << "ECU software reset #" << ecu_resets_ << " ("
+      << to_string(cause.source) << "): " << cause.detail;
+  record_reset_cause(std::move(cause));
+  persist();  // the reset-cause record must survive the reset it explains
   if (ecu_reset_) ecu_reset_();
+}
+
+void FaultManagementFramework::latch_storm(const ResetCause& cause,
+                                           sim::SimTime now) {
+  storm_latched_ = true;
+  EASIS_LOG(util::LogLevel::kError, kLog)
+      << "reboot storm: " << config_.storm_reset_limit << " resets within "
+      << config_.storm_window << "; refusing further resets, entering "
+      << "limp-home safe state";
+  // Document the decision: a reset-cause record (not a performed reset)
+  // and a fault-log entry / DTC explaining why the ECU is parked.
+  ResetCause decision = cause;
+  decision.time = now;
+  decision.detail = "reboot storm latched after " +
+                    std::to_string(config_.storm_reset_limit) +
+                    " resets; limp-home (" + decision.detail + ")";
+  record_reset_cause(decision);
+
+  wdg::ErrorReport storm_report;
+  storm_report.task = cause.task;
+  storm_report.application = cause.application;
+  storm_report.type = cause.error;
+  storm_report.time = now;
+  storm_report.detail = decision.detail;
+  FaultRecord record{"fmf.storm", storm_report, wdg::Severity::kCritical};
+  log_.push(record);
+  if (dtc_store_ != nullptr) dtc_store_->record(storm_report);
+  for (const auto& listener : listeners_) listener(record);
+
+  persist();  // the latch itself must survive power cycles
+  if (safe_state_hook_) safe_state_hook_(decision);
+}
+
+void FaultManagementFramework::record_reset_cause(ResetCause cause) {
+  reset_history_.push_back(cause);
+  if (reset_history_.size() > kResetHistoryDepth) {
+    reset_history_.erase(reset_history_.begin());
+  }
+  last_reset_cause_ = std::move(cause);
+}
+
+std::uint32_t FaultManagementFramework::recent_resets(sim::SimTime now) const {
+  std::uint32_t count = 0;
+  for (const ResetCause& cause : reset_history_) {
+    if (now - cause.time < config_.storm_window) ++count;
+  }
+  return count;
 }
 
 void FaultManagementFramework::clear_monitoring_state(ApplicationId app,
@@ -126,12 +210,77 @@ void FaultManagementFramework::clear_monitoring_state(ApplicationId app,
 void FaultManagementFramework::restart_application(ApplicationId app,
                                                    sim::SimTime now) {
   ++restarts_[app];
+  restart_times_[app].push_back(now);
   EASIS_LOG(util::LogLevel::kWarn, kLog)
       << "restarting application " << rte_.application_name(app)
       << " (restart #" << restarts_[app] << ")";
   rte_.restart_application(app);
   // Clear monitoring state so the restarted application starts clean.
   clear_monitoring_state(app, now);
+  // Validate the treatment: the restarted runnables must re-announce inside
+  // the warm-up window or the FMF escalates immediately.
+  if (config_.recovery_warmup_cycles > 0) {
+    std::vector<RunnableId> required;
+    for (RunnableId runnable : rte_.runnables_of_application(app)) {
+      if (watchdog_.heartbeat_unit().monitors(runnable) &&
+          watchdog_.activation_status(runnable) &&
+          watchdog_.heartbeat_unit().config(runnable).monitor_aliveness) {
+        required.push_back(runnable);
+      }
+    }
+    watchdog_.recovery_unit().begin(std::move(required), app,
+                                    config_.recovery_warmup_cycles, now);
+  }
+}
+
+void FaultManagementFramework::begin_ecu_recovery_window(sim::SimTime now) {
+  if (config_.recovery_warmup_cycles == 0) return;
+  std::vector<RunnableId> required;
+  for (RunnableId runnable :
+       watchdog_.heartbeat_unit().monitored_runnables()) {
+    // Sporadic runnables (arrival-rate-only hypotheses) cannot be required
+    // to re-announce within a fixed warm-up window.
+    if (watchdog_.activation_status(runnable) &&
+        watchdog_.heartbeat_unit().config(runnable).monitor_aliveness) {
+      required.push_back(runnable);
+    }
+  }
+  watchdog_.recovery_unit().begin(std::move(required), ApplicationId{},
+                                  config_.recovery_warmup_cycles, now);
+}
+
+void FaultManagementFramework::on_recovery_result(
+    bool ok, ApplicationId app, const wdg::ErrorReport& cause,
+    sim::SimTime now) {
+  if (ok) {
+    EASIS_LOG(util::LogLevel::kInfo, kLog)
+        << "post-reset recovery validated clean"
+        << (app.valid() ? " (application scope)" : " (ECU scope)");
+    return;
+  }
+  FaultRecord record{"fmf.recovery", cause, wdg::Severity::kCritical};
+  log_.push(record);
+  if (dtc_store_ != nullptr) dtc_store_->record(cause);
+  for (const auto& listener : listeners_) listener(record);
+  if (app.valid()) {
+    // The restart demonstrably did not fix it; skip the remaining restart
+    // budget and terminate right away.
+    EASIS_LOG(util::LogLevel::kWarn, kLog)
+        << "recovery validation failed for application "
+        << rte_.application_name(app) << "; escalating to termination";
+    terminate_application(app, now);
+    return;
+  }
+  ResetCause reset_cause;
+  reset_cause.source = ResetSource::kRecoveryFailure;
+  reset_cause.task = cause.task;
+  reset_cause.application = cause.application;
+  reset_cause.error = cause.type;
+  reset_cause.time = now;
+  reset_cause.detail = cause.detail.empty()
+                           ? "post-reset recovery validation failed"
+                           : "recovery validation: " + cause.detail;
+  request_reset(std::move(reset_cause), now);
 }
 
 void FaultManagementFramework::set_degraded_mode(ApplicationId app,
@@ -201,10 +350,100 @@ void FaultManagementFramework::terminate_application(ApplicationId app,
   rte_.set_application_enabled(app, false);
 }
 
+void FaultManagementFramework::persist() {
+  if (nvm_ == nullptr) return;
+  NvmImage image;
+  image.reset_count = ecu_resets_;
+  image.storm_latched = storm_latched_;
+  image.reset_history = reset_history_;
+  if (dtc_store_ != nullptr) {
+    for (const DtcEntry& entry : dtc_store_->entries()) {
+      image.dtcs.push_back(PersistedDtc{entry.key, entry.occurrences,
+                                        entry.first_seen, entry.last_seen,
+                                        entry.active, entry.freeze_frame});
+    }
+  }
+  if (!nvm_->commit(image)) {
+    EASIS_LOG(util::LogLevel::kError, kLog)
+        << "NVM commit failed: image exceeds bank capacity";
+  }
+}
+
+void FaultManagementFramework::boot_from_nvm(sim::SimTime now) {
+  if (nvm_ == nullptr) return;
+  const NvmStore::LoadResult result = nvm_->load();
+  if (result.image) {
+    const NvmImage& image = *result.image;
+    if (image.reset_count > ecu_resets_) ecu_resets_ = image.reset_count;
+    reset_history_ = image.reset_history;
+    if (!reset_history_.empty()) last_reset_cause_ = reset_history_.back();
+    if (dtc_store_ != nullptr) {
+      std::vector<DtcEntry> entries;
+      entries.reserve(image.dtcs.size());
+      for (const PersistedDtc& dtc : image.dtcs) {
+        entries.push_back(DtcEntry{dtc.key, dtc.occurrences, dtc.first_seen,
+                                   dtc.last_seen, dtc.active,
+                                   dtc.freeze_frame});
+      }
+      dtc_store_->restore(entries);
+    }
+    if (image.storm_latched && !storm_latched_) {
+      // The latch is persistent: a power cycle must not re-enter the
+      // naive reset loop. Re-enter the safe state right at boot.
+      storm_latched_ = true;
+      EASIS_LOG(util::LogLevel::kError, kLog)
+          << "NVM carries a latched reboot storm; re-entering safe state";
+      if (safe_state_hook_) {
+        safe_state_hook_(last_reset_cause_ ? *last_reset_cause_
+                                           : ResetCause{});
+      }
+    }
+  }
+  if (result.corruption_detected) {
+    // Report *after* the restore: the corruption DTC must not be wiped by
+    // re-seeding the store from the surviving bank.
+    wdg::ErrorReport report;
+    report.type = wdg::ErrorType::kNvmCorruption;
+    report.time = now;
+    report.detail = result.detail;
+    watchdog_.report_external_error(std::move(report));
+  }
+}
+
+void FaultManagementFramework::write_diagnostics(std::ostream& out) const {
+  out << "FMF fault memory: " << ecu_resets_ << " ECU resets, storm "
+      << (storm_latched_ ? "LATCHED" : "clear") << '\n';
+  if (last_reset_cause_ && last_reset_cause_->source != ResetSource::kNone) {
+    const ResetCause& cause = *last_reset_cause_;
+    out << "  last reset cause: " << to_string(cause.source) << " task "
+        << cause.task << " app" << cause.application << ' '
+        << wdg::to_string(cause.error) << " at " << cause.time.as_millis()
+        << " ms: " << cause.detail << '\n';
+  }
+  for (const ResetCause& cause : reset_history_) {
+    out << "  reset @" << cause.time.as_millis() << " ms  "
+        << to_string(cause.source) << "  " << wdg::to_string(cause.error)
+        << "  " << cause.detail << '\n';
+  }
+  if (dtc_store_ != nullptr) dtc_store_->write(out);
+}
+
 std::uint32_t FaultManagementFramework::restarts_performed(
     ApplicationId app) const {
   auto it = restarts_.find(app);
   return it == restarts_.end() ? 0 : it->second;
+}
+
+std::uint32_t FaultManagementFramework::restart_pressure(
+    ApplicationId app, sim::SimTime now) const {
+  if (config_.restart_aging.as_micros() <= 0) return restarts_performed(app);
+  auto it = restart_times_.find(app);
+  if (it == restart_times_.end()) return 0;
+  std::uint32_t count = 0;
+  for (sim::SimTime t : it->second) {
+    if (now - t < config_.restart_aging) ++count;
+  }
+  return count;
 }
 
 std::uint32_t FaultManagementFramework::terminations_performed(

@@ -7,15 +7,26 @@
 //   - global ECU state faulty  -> ECU software reset
 //   - ECU ok, application faulty -> restart or terminate the application
 //     (escalating to termination after too many restarts)
+//
+// Robustness extensions beyond the paper:
+//   - fault memory persisted to (simulated) NVM: DTCs, reset counters and
+//     the reset-cause record survive an ECU software reset
+//   - reboot-storm detection: too many resets inside a time window latch a
+//     persistent limp-home/safe state instead of resetting forever
+//   - post-reset recovery validation: treatments open a supervised warm-up
+//     window; a dirty window escalates immediately
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <ostream>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "fmf/dtc.hpp"
+#include "fmf/nvm.hpp"
 #include "rte/rte.hpp"
 #include "util/ring_buffer.hpp"
 #include "wdg/watchdog.hpp"
@@ -50,6 +61,20 @@ struct FmfConfig {
   std::size_t fault_log_capacity = 256;
   /// Software resets allowed before the FMF gives up (stays faulty).
   std::uint32_t max_ecu_resets = 2;
+  /// Reboot-storm detection: this many performed resets inside
+  /// `storm_window` latch the storm state — further resets are refused and
+  /// the ECU is driven into a persistent limp-home/safe state instead.
+  std::uint32_t storm_reset_limit = 3;
+  sim::Duration storm_window = sim::Duration::seconds(10);
+  /// Restart-counter aging (mirrors automotive DTC aging): a restart older
+  /// than this no longer counts against the escalation-to-termination
+  /// budget. Zero disables aging (counters are for-life, the paper's
+  /// behaviour). restarts_performed() stays monotonic either way.
+  sim::Duration restart_aging = sim::Duration::zero();
+  /// Post-reset recovery validation: warm-up window length in watchdog
+  /// main-function cycles opened after each application restart (and by
+  /// begin_ecu_recovery_window() after an ECU reset). Zero disables it.
+  std::uint32_t recovery_warmup_cycles = 0;
 };
 
 class FaultManagementFramework {
@@ -86,17 +111,68 @@ class FaultManagementFramework {
   void attach_dtc_store(DtcStore* store) { dtc_store_ = store; }
   [[nodiscard]] DtcStore* dtc_store() { return dtc_store_; }
 
+  // --- reset-safe fault memory (NVM) -------------------------------------------
+  /// Attaches the non-volatile fault memory. Reset counters, the reset
+  /// history (including the reset-cause record) and the DTC store are
+  /// committed before every performed reset and re-seeded at boot. Not
+  /// owned; must outlive the framework.
+  void attach_nvm(NvmStore* store) { nvm_ = store; }
+  [[nodiscard]] NvmStore* nvm() { return nvm_; }
+
+  /// Re-seeds fault memory from NVM (call at every boot, before the kernel
+  /// starts dispatching). A CRC/format failure is reported through the
+  /// watchdog error path as an ErrorType::kNvmCorruption fault — corrupted
+  /// fault memory is never silently consumed. Restoring a latched storm
+  /// state re-enters the safe state via the safe-state hook.
+  void boot_from_nvm(sim::SimTime now);
+
+  /// Commits the current fault memory to NVM (also called internally
+  /// before every performed reset).
+  void persist();
+
+  /// Central ECU reset path: every reset request — ECU-faulty escalation,
+  /// HW-watchdog expiry, failed recovery validation — funnels through here
+  /// so the reset-cause record, the storm bookkeeping and the NVM commit
+  /// are uniform. Refuses the reset when the budget is exhausted or a
+  /// reboot storm is detected/latched.
+  void request_reset(ResetCause cause, sim::SimTime now);
+
+  /// Hook invoked when a reboot storm latches: the node assembly drives
+  /// the ECU into its limp-home/safe state here.
+  void set_safe_state_hook(std::function<void(const ResetCause&)> hook) {
+    safe_state_hook_ = std::move(hook);
+  }
+
+  /// Opens an ECU-wide post-reset recovery window over all actively
+  /// monitored runnables (no-op when recovery_warmup_cycles is zero).
+  void begin_ecu_recovery_window(sim::SimTime now);
+
   // --- introspection -----------------------------------------------------------
   [[nodiscard]] const util::RingBuffer<FaultRecord>& fault_log() const {
     return log_;
   }
   [[nodiscard]] std::uint32_t restarts_performed(ApplicationId app) const;
+  /// Restarts currently counting against the escalation budget; equals
+  /// restarts_performed() when aging is disabled.
+  [[nodiscard]] std::uint32_t restart_pressure(ApplicationId app,
+                                               sim::SimTime now) const;
   [[nodiscard]] std::uint32_t terminations_performed(ApplicationId app) const;
   [[nodiscard]] std::uint32_t degradations_performed(ApplicationId app) const;
   [[nodiscard]] std::uint32_t ecu_resets_performed() const {
     return ecu_resets_;
   }
   [[nodiscard]] std::uint64_t faults_recorded() const { return faults_; }
+  [[nodiscard]] bool storm_latched() const { return storm_latched_; }
+  [[nodiscard]] const std::optional<ResetCause>& last_reset_cause() const {
+    return last_reset_cause_;
+  }
+  [[nodiscard]] const std::vector<ResetCause>& reset_history() const {
+    return reset_history_;
+  }
+  [[nodiscard]] const FmfConfig& config() const { return config_; }
+  /// Post-boot diagnostic read-out: reset history, storm state and the
+  /// attached DTC store.
+  void write_diagnostics(std::ostream& out) const;
 
  private:
   rte::Rte& rte_;
@@ -113,22 +189,34 @@ class FaultManagementFramework {
 
   std::unordered_map<ApplicationId, ApplicationPolicy> policies_;
   std::unordered_map<ApplicationId, std::uint32_t> restarts_;
+  std::unordered_map<ApplicationId, std::vector<sim::SimTime>> restart_times_;
   std::unordered_map<ApplicationId, std::uint32_t> terminations_;
   std::unordered_map<ApplicationId, DegradedMode> degraded_;
   std::uint32_t ecu_resets_ = 0;
   std::uint64_t faults_ = 0;
   std::vector<FaultListener> listeners_;
   DtcStore* dtc_store_ = nullptr;
+  NvmStore* nvm_ = nullptr;
+  std::function<void(const ResetCause&)> safe_state_hook_;
+  std::vector<ResetCause> reset_history_;
+  std::optional<ResetCause> last_reset_cause_;
+  std::optional<FaultRecord> last_fault_;
+  bool storm_latched_ = false;
   bool attached_ = false;
 
   void on_error(const wdg::ErrorReport& report);
   void on_application_state(ApplicationId app, wdg::Health health,
                             sim::SimTime now);
   void on_ecu_state(wdg::Health health, sim::SimTime now);
+  void on_recovery_result(bool ok, ApplicationId app,
+                          const wdg::ErrorReport& cause, sim::SimTime now);
   void restart_application(ApplicationId app, sim::SimTime now);
   void terminate_application(ApplicationId app, sim::SimTime now);
   void degrade_application(ApplicationId app, sim::SimTime now);
   void clear_monitoring_state(ApplicationId app, sim::SimTime now);
+  void latch_storm(const ResetCause& cause, sim::SimTime now);
+  void record_reset_cause(ResetCause cause);
+  [[nodiscard]] std::uint32_t recent_resets(sim::SimTime now) const;
   [[nodiscard]] ApplicationPolicy policy_of(ApplicationId app) const;
 };
 

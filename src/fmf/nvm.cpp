@@ -1,0 +1,312 @@
+#include "fmf/nvm.hpp"
+
+#include <cstring>
+
+#include "bus/e2e.hpp"
+
+namespace easis::fmf {
+
+namespace {
+
+// Bank layout: [magic u32 | seq u32 | len u32 | crc u8 | payload...].
+// The CRC covers seq, len and the payload, so a stale header glued onto a
+// different payload fails the check just like flipped payload bits.
+constexpr std::uint32_t kMagic = 0x455A4E56;  // "EZNV"
+constexpr std::size_t kHeaderBytes = 13;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u16(static_cast<std::uint16_t>(s.size()));
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return bytes_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    if (pos_ >= size_) {
+      ok_ = false;
+      return 0;
+    }
+    return data_[pos_++];
+  }
+  std::uint16_t u16() {
+    const std::uint16_t lo = u8();
+    return static_cast<std::uint16_t>(lo | (u8() << 8));
+  }
+  std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    return lo | (static_cast<std::uint32_t>(u16()) << 16);
+  }
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    return lo | (static_cast<std::uint64_t>(u32()) << 32);
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint16_t n = u16();
+    if (pos_ + n > size_) {
+      ok_ = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  [[nodiscard]] bool ok() const { return ok_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+void serialize_image(const NvmImage& image, Writer& w) {
+  w.u32(image.reset_count);
+  w.u8(image.storm_latched ? 1 : 0);
+  w.u16(static_cast<std::uint16_t>(image.reset_history.size()));
+  for (const ResetCause& cause : image.reset_history) {
+    w.u8(static_cast<std::uint8_t>(cause.source));
+    w.u32(cause.task.valid() ? cause.task.value() : ~0u);
+    w.u32(cause.application.valid() ? cause.application.value() : ~0u);
+    w.u8(static_cast<std::uint8_t>(cause.error));
+    w.i64(cause.time.as_micros());
+    w.str(cause.detail);
+  }
+  w.u16(static_cast<std::uint16_t>(image.dtcs.size()));
+  for (const PersistedDtc& dtc : image.dtcs) {
+    w.u32(dtc.key.application.valid() ? dtc.key.application.value() : ~0u);
+    w.u8(static_cast<std::uint8_t>(dtc.key.type));
+    w.u32(dtc.occurrences);
+    w.i64(dtc.first_seen.as_micros());
+    w.i64(dtc.last_seen.as_micros());
+    w.u8(dtc.active ? 1 : 0);
+    w.u8(dtc.freeze_frame ? 1 : 0);
+    if (dtc.freeze_frame) {
+      w.i64(dtc.freeze_frame->captured_at.as_micros());
+      w.u16(static_cast<std::uint16_t>(dtc.freeze_frame->signals.size()));
+      for (const auto& [name, value] : dtc.freeze_frame->signals) {
+        w.str(name);
+        w.f64(value);
+      }
+    }
+  }
+}
+
+TaskId read_task(std::uint32_t raw) {
+  return raw == ~0u ? TaskId{} : TaskId(raw);
+}
+ApplicationId read_app(std::uint32_t raw) {
+  return raw == ~0u ? ApplicationId{} : ApplicationId(raw);
+}
+
+std::optional<NvmImage> deserialize_image(const std::uint8_t* data,
+                                          std::size_t size) {
+  Reader r(data, size);
+  NvmImage image;
+  image.reset_count = r.u32();
+  image.storm_latched = r.u8() != 0;
+  const std::uint16_t history = r.u16();
+  for (std::uint16_t i = 0; i < history && r.ok(); ++i) {
+    ResetCause cause;
+    cause.source = static_cast<ResetSource>(r.u8());
+    cause.task = read_task(r.u32());
+    cause.application = read_app(r.u32());
+    cause.error = static_cast<wdg::ErrorType>(r.u8());
+    cause.time = sim::SimTime(r.i64());
+    cause.detail = r.str();
+    image.reset_history.push_back(std::move(cause));
+  }
+  const std::uint16_t dtcs = r.u16();
+  for (std::uint16_t i = 0; i < dtcs && r.ok(); ++i) {
+    PersistedDtc dtc;
+    dtc.key.application = read_app(r.u32());
+    dtc.key.type = static_cast<wdg::ErrorType>(r.u8());
+    dtc.occurrences = r.u32();
+    dtc.first_seen = sim::SimTime(r.i64());
+    dtc.last_seen = sim::SimTime(r.i64());
+    dtc.active = r.u8() != 0;
+    if (r.u8() != 0) {
+      FreezeFrame frame;
+      frame.captured_at = sim::SimTime(r.i64());
+      const std::uint16_t signals = r.u16();
+      for (std::uint16_t s = 0; s < signals && r.ok(); ++s) {
+        std::string name = r.str();
+        const double value = r.f64();
+        frame.signals.emplace_back(std::move(name), value);
+      }
+      dtc.freeze_frame = std::move(frame);
+    }
+    image.dtcs.push_back(std::move(dtc));
+  }
+  if (!r.ok()) return std::nullopt;
+  return image;
+}
+
+std::uint32_t read_u32_at(const std::vector<std::uint8_t>& bank,
+                          std::size_t offset) {
+  return static_cast<std::uint32_t>(bank[offset]) |
+         (static_cast<std::uint32_t>(bank[offset + 1]) << 8) |
+         (static_cast<std::uint32_t>(bank[offset + 2]) << 16) |
+         (static_cast<std::uint32_t>(bank[offset + 3]) << 24);
+}
+
+void write_u32_at(std::vector<std::uint8_t>& bank, std::size_t offset,
+                  std::uint32_t v) {
+  bank[offset] = static_cast<std::uint8_t>(v);
+  bank[offset + 1] = static_cast<std::uint8_t>(v >> 8);
+  bank[offset + 2] = static_cast<std::uint8_t>(v >> 16);
+  bank[offset + 3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+/// CRC over seq + len + payload (everything after the magic and CRC byte).
+std::uint8_t bank_crc(const std::vector<std::uint8_t>& bank,
+                      std::size_t payload_len) {
+  const std::uint8_t crc_header = bus::crc8_j1850(bank.data() + 4, 8);
+  return bus::crc8_j1850(bank.data() + kHeaderBytes, payload_len,
+                         static_cast<std::uint8_t>(crc_header ^ 0xFF));
+}
+
+struct BankView {
+  bool blank = true;
+  bool valid = false;
+  std::uint32_t seq = 0;
+  std::size_t payload_len = 0;
+};
+
+BankView inspect(const std::vector<std::uint8_t>& bank,
+                 std::size_t capacity) {
+  BankView view;
+  if (bank.size() < kHeaderBytes) return view;
+  const std::uint32_t magic = read_u32_at(bank, 0);
+  if (magic == 0) return view;  // never written
+  view.blank = false;
+  if (magic != kMagic) return view;
+  view.seq = read_u32_at(bank, 4);
+  const std::uint32_t len = read_u32_at(bank, 8);
+  if (kHeaderBytes + len > capacity || kHeaderBytes + len > bank.size()) {
+    return view;
+  }
+  view.payload_len = len;
+  view.valid = bank_crc(bank, len) == bank[12];
+  return view;
+}
+
+}  // namespace
+
+NvmStore::NvmStore(std::size_t bank_capacity) : capacity_(bank_capacity) {
+  banks_[0].assign(capacity_, 0);
+  banks_[1].assign(capacity_, 0);
+}
+
+bool NvmStore::commit(const NvmImage& image) {
+  Writer w;
+  serialize_image(image, w);
+  const std::vector<std::uint8_t>& payload = w.bytes();
+  if (kHeaderBytes + payload.size() > capacity_) {
+    ++overflows_;
+    return false;
+  }
+  const std::size_t target = 1 - active_;
+  std::vector<std::uint8_t>& bank = banks_[target];
+  bank.assign(capacity_, 0);
+  write_u32_at(bank, 0, kMagic);
+  write_u32_at(bank, 4, ++sequence_);
+  write_u32_at(bank, 8, static_cast<std::uint32_t>(payload.size()));
+  std::memcpy(bank.data() + kHeaderBytes, payload.data(), payload.size());
+  bank[12] = bank_crc(bank, payload.size());
+  active_ = target;  // flip only after the full write
+  ++commits_;
+  return true;
+}
+
+NvmStore::LoadResult NvmStore::load() const {
+  LoadResult result;
+  BankView views[2] = {inspect(banks_[0], capacity_),
+                       inspect(banks_[1], capacity_)};
+  for (std::size_t i = 0; i < 2; ++i) {
+    if (!views[i].blank && !views[i].valid) {
+      result.corruption_detected = true;
+      if (!result.detail.empty()) result.detail += "; ";
+      result.detail += "NVM bank " + std::to_string(i) +
+                       " failed CRC/format check";
+    }
+  }
+  int best = -1;
+  for (int i = 0; i < 2; ++i) {
+    if (views[i].valid && (best < 0 || views[i].seq > views[best].seq)) {
+      best = i;
+    }
+  }
+  if (best < 0) return result;  // blank or fully corrupted store
+  const std::vector<std::uint8_t>& bank = banks_[best];
+  result.image =
+      deserialize_image(bank.data() + kHeaderBytes, views[best].payload_len);
+  if (!result.image) {
+    // CRC matched but the payload would not parse — treat as corruption.
+    result.corruption_detected = true;
+    if (!result.detail.empty()) result.detail += "; ";
+    result.detail +=
+        "NVM bank " + std::to_string(best) + " payload malformed";
+  } else if (result.corruption_detected) {
+    result.detail += " (recovered from the other bank)";
+  }
+  return result;
+}
+
+void NvmStore::erase() {
+  banks_[0].assign(capacity_, 0);
+  banks_[1].assign(capacity_, 0);
+  active_ = 0;
+  sequence_ = 0;
+}
+
+void NvmStore::corrupt_bit(std::size_t bit_index) {
+  std::vector<std::uint8_t>& bank = banks_[active_];
+  const std::size_t byte = (bit_index / 8) % bank.size();
+  bank[byte] ^= static_cast<std::uint8_t>(1u << (bit_index % 8));
+}
+
+void NvmStore::corrupt_byte(std::size_t bank, std::size_t offset,
+                            std::uint8_t mask) {
+  std::vector<std::uint8_t>& b = banks_[bank % 2];
+  b[offset % b.size()] ^= mask;
+}
+
+}  // namespace easis::fmf

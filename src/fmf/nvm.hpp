@@ -1,0 +1,134 @@
+// Simulated non-volatile fault memory (reset-safe fault memory extension).
+//
+// The paper's fault-treatment chain ends at "ECU software reset" (§3.3);
+// a production ECU additionally persists the evidence of *why* it reset.
+// NvmStore models the flash/EEPROM block that carries the DTC store,
+// freeze frames, restart/reset counters and the reset-cause record across
+// ECU software resets (cf. watchdogd's reset-reason backend):
+//
+//   - two banks (double-buffered commit): a commit always serialises into
+//     the currently *inactive* bank and flips only after the write
+//     completed, so a corruption of one bank never loses both images;
+//   - every bank is CRC-8 protected (same SAE J1850 polynomial the E2E
+//     layer uses); a failed check is detected and surfaced as an
+//     ErrorType::kNvmCorruption fault, never silently consumed;
+//   - load() picks the valid bank with the newest sequence number and
+//     reports whether it had to fall back past a corrupted bank.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fmf/dtc.hpp"
+#include "sim/time.hpp"
+#include "util/ids.hpp"
+#include "wdg/types.hpp"
+
+namespace easis::fmf {
+
+/// Who pulled the reset trigger.
+enum class ResetSource : std::uint8_t {
+  kNone = 0,
+  /// FMF treatment: global ECU state faulty -> software reset (paper §3.3).
+  kEcuFaulty = 1,
+  /// The hardware watchdog expired: the software watchdog itself was hung,
+  /// starved or sequence-corrupted (self-supervision layer).
+  kHardwareWatchdog = 2,
+  /// Post-reset recovery validation failed inside the warm-up window.
+  kRecoveryFailure = 3,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ResetSource s) {
+  switch (s) {
+    case ResetSource::kNone: return "none";
+    case ResetSource::kEcuFaulty: return "ecu_faulty";
+    case ResetSource::kHardwareWatchdog: return "hw_watchdog";
+    case ResetSource::kRecoveryFailure: return "recovery_failure";
+  }
+  return "?";
+}
+
+/// One persisted reset event: which task/application/error class drove the
+/// decision, at what simulation time.
+struct ResetCause {
+  ResetSource source = ResetSource::kNone;
+  TaskId task;
+  ApplicationId application;
+  wdg::ErrorType error = wdg::ErrorType::kAliveness;
+  sim::SimTime time;
+  std::string detail;
+};
+
+/// A persisted DTC entry (mirror of DtcEntry without the live signal-bus
+/// dependency; freeze frames travel with it).
+struct PersistedDtc {
+  DtcKey key;
+  std::uint32_t occurrences = 0;
+  sim::SimTime first_seen;
+  sim::SimTime last_seen;
+  bool active = true;
+  std::optional<FreezeFrame> freeze_frame;
+};
+
+/// The logical content of the NVM block.
+struct NvmImage {
+  /// Lifetime ECU software-reset counter.
+  std::uint32_t reset_count = 0;
+  /// Reboot-storm latch: once set, the FMF refuses further resets and the
+  /// node stays in its limp-home/safe state until the memory is erased.
+  bool storm_latched = false;
+  /// Most recent reset causes, oldest first (bounded by kResetHistoryDepth).
+  std::vector<ResetCause> reset_history;
+  /// Diagnostic trouble codes incl. freeze frames.
+  std::vector<PersistedDtc> dtcs;
+};
+
+/// Reset events retained in the history ring.
+inline constexpr std::size_t kResetHistoryDepth = 16;
+
+class NvmStore {
+ public:
+  struct LoadResult {
+    std::optional<NvmImage> image;
+    /// True when at least one non-blank bank failed its CRC/format check.
+    bool corruption_detected = false;
+    std::string detail;
+  };
+
+  explicit NvmStore(std::size_t bank_capacity = 8192);
+
+  /// Serialises `image` into the inactive bank and flips the active bank.
+  /// Returns false (and leaves the store untouched) if the image does not
+  /// fit the bank capacity.
+  bool commit(const NvmImage& image);
+
+  /// Validates both banks and deserialises the newest valid image.
+  [[nodiscard]] LoadResult load() const;
+
+  /// Clears both banks (workshop "clear fault memory").
+  void erase();
+
+  // --- fault injection surface -------------------------------------------------
+  /// Flips one bit of the active bank (models a flash/EEPROM bit error).
+  void corrupt_bit(std::size_t bit_index);
+  /// XORs one byte of the given bank.
+  void corrupt_byte(std::size_t bank, std::size_t offset, std::uint8_t mask);
+
+  // --- introspection -----------------------------------------------------------
+  [[nodiscard]] std::size_t bank_capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t active_bank() const { return active_; }
+  [[nodiscard]] std::uint32_t commits() const { return commits_; }
+  [[nodiscard]] std::uint32_t overflows() const { return overflows_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::uint8_t> banks_[2];
+  std::size_t active_ = 0;
+  std::uint32_t sequence_ = 0;
+  std::uint32_t commits_ = 0;
+  std::uint32_t overflows_ = 0;
+};
+
+}  // namespace easis::fmf

@@ -134,6 +134,54 @@ Injection make_period_scale(os::Kernel& kernel, AlarmId alarm,
   return inj;
 }
 
+Injection make_watchdog_hang(wdg::WatchdogService& service, sim::SimTime start,
+                             sim::Duration duration) {
+  Injection inj;
+  inj.name = "watchdog_hang";
+  inj.start = start;
+  inj.duration = duration;
+  inj.apply = [&service] { service.set_hang(true); };
+  inj.revert = [&service] { service.set_hang(false); };
+  return inj;
+}
+
+Injection make_watchdog_token_corruption(wdg::WatchdogService& service,
+                                         sim::SimTime start,
+                                         sim::Duration duration) {
+  Injection inj;
+  inj.name = "watchdog_token_corruption";
+  inj.start = start;
+  inj.duration = duration;
+  inj.apply = [&service] { service.set_token_corruption(true); };
+  inj.revert = [&service] { service.set_token_corruption(false); };
+  return inj;
+}
+
+Injection make_nvm_bit_flip(fmf::NvmStore& nvm, std::size_t bit_index,
+                            sim::SimTime start) {
+  Injection inj;
+  inj.name = "nvm_bit_flip";
+  inj.start = start;
+  inj.duration = sim::Duration::zero();  // a flipped bit stays flipped
+  inj.apply = [&nvm, bit_index] { nvm.corrupt_bit(bit_index); };
+  return inj;
+}
+
+Injection make_recurring_post_reset_fault(rte::Rte& rte, RunnableId runnable,
+                                          sim::SimTime start) {
+  Injection inj;
+  inj.name = "recurring_post_reset_fault(" + rte.runnable_name(runnable) + ")";
+  inj.start = start;
+  inj.duration = sim::Duration::zero();  // permanent: survives every reset
+  inj.apply = [&rte, runnable] {
+    rte.control(runnable).suppress_heartbeat = true;
+  };
+  inj.revert = [&rte, runnable] {
+    rte.control(runnable).suppress_heartbeat = false;
+  };
+  return inj;
+}
+
 Injection make_task_hang(rte::Rte& rte, TaskId task, sim::SimTime start,
                          sim::Duration duration) {
   Injection inj;

@@ -1,12 +1,16 @@
-// Injection factories: the concrete error manipulations of paper §4.5.
+// Injection factories: the concrete error manipulations of paper §4.5,
+// plus the robustness extensions (watchdog-task failure modes, NVM bit
+// corruption, boot-persistent faults).
 #pragma once
 
 #include <cstdint>
 
+#include "fmf/nvm.hpp"
 #include "inject/injector.hpp"
 #include "os/kernel.hpp"
 #include "rte/rte.hpp"
 #include "util/ids.hpp"
+#include "wdg/service.hpp"
 
 namespace easis::inject {
 
@@ -70,5 +74,32 @@ namespace easis::inject {
 [[nodiscard]] Injection make_task_hang(rte::Rte& rte, TaskId task,
                                        sim::SimTime start,
                                        sim::Duration duration);
+
+/// Hangs the Software Watchdog's own task: its main function stops running
+/// and the HW watchdog (self-supervision layer) stops being serviced.
+[[nodiscard]] Injection make_watchdog_hang(wdg::WatchdogService& service,
+                                           sim::SimTime start,
+                                           sim::Duration duration);
+
+/// Corrupts the self-supervision challenge–response token while the
+/// watchdog task keeps running (sequencing-state corruption): every kick is
+/// refused, so the HW watchdog starves and expires.
+[[nodiscard]] Injection make_watchdog_token_corruption(
+    wdg::WatchdogService& service, sim::SimTime start, sim::Duration duration);
+
+/// Flips one bit of the active NVM bank at `start` (flash/EEPROM bit
+/// error); the next boot must detect it via CRC and report an
+/// ErrorType::kNvmCorruption fault.
+[[nodiscard]] Injection make_nvm_bit_flip(fmf::NvmStore& nvm,
+                                          std::size_t bit_index,
+                                          sim::SimTime start);
+
+/// Boot-persistent fault (e.g. a defective sensor or flash-resident bug):
+/// the runnable's heartbeat stays suppressed across every restart/reset,
+/// so each recovery attempt fails again. Pair with post-reset recovery
+/// validation to detect the recurrence within one warm-up window.
+[[nodiscard]] Injection make_recurring_post_reset_fault(rte::Rte& rte,
+                                                        RunnableId runnable,
+                                                        sim::SimTime start);
 
 }  // namespace easis::inject

@@ -121,9 +121,34 @@ CentralNode::CentralNode(sim::Engine& engine, CentralNodeConfig config)
     dtc_ = std::make_unique<fmf::DtcStore>(
         ecu_.signals(),
         std::vector<std::string>{"vehicle.speed_kmh", "driver.demand",
-                                 "safespeed.max_speed_kmh"});
+                                 "safespeed.max_speed_kmh"},
+        config_.dtc_capacity);
     fmf_->attach_dtc_store(dtc_.get());
+    if (config_.with_nvm) {
+      if (config_.external_nvm != nullptr) {
+        nvm_ = config_.external_nvm;
+      } else {
+        owned_nvm_ = std::make_unique<fmf::NvmStore>(config_.nvm_capacity);
+        nvm_ = owned_nvm_.get();
+      }
+      fmf_->attach_nvm(nvm_);
+    }
+    fmf_->set_safe_state_hook(
+        [this](const fmf::ResetCause& cause) { enter_safe_state(cause); });
     fmf_->attach();
+  }
+
+  if (config_.with_self_supervision) {
+    wdg::SelfSupervisionConfig ss_config = config_.self_supervision;
+    // A watchdog check period swept past the HW timeout must not look like
+    // a hung watchdog task.
+    const sim::Duration floor = config_.watchdog.check_period * 5;
+    if (ss_config.hw_timeout < floor) ss_config.hw_timeout = floor;
+    self_supervision_ =
+        std::make_unique<wdg::WatchdogSelfSupervision>(engine_, ss_config);
+    self_supervision_->set_expire_callback(
+        [this](sim::SimTime now) { on_hw_watchdog_expired(now); });
+    service_->attach_self_supervision(self_supervision_.get());
   }
 }
 
@@ -162,19 +187,92 @@ void CentralNode::start() {
   }
   started_once_ = true;
   kernel().start();
+  if (fmf_) fmf_->boot_from_nvm(engine_.now());
   arm_alarms();
   if (crash_) crash_->start();
+  if (self_supervision_ && !safe_state_) self_supervision_->start();
   schedule_environment(++env_generation_);
 }
 
 void CentralNode::software_reset() {
   ++resets_;
+  // The reset-cause record and the DTC store must survive the teardown.
+  if (fmf_) fmf_->persist();
+  if (self_supervision_) self_supervision_->stop();
   kernel().software_reset();
   watchdog_.reset(engine_.now());
+  ++boot_generation_;
+  if (config_.reboot_delay.as_micros() > 0) {
+    // Reboot blackout: the ECU is dark, nothing runs until the delayed
+    // boot. The environment keeps its state and resumes with the boot.
+    rebooting_ = true;
+    ++env_generation_;
+    const std::uint64_t boot_gen = boot_generation_;
+    engine_.schedule_in(
+        config_.reboot_delay,
+        [this, boot_gen] {
+          if (boot_gen != boot_generation_) return;
+          boot_after_reset();
+        },
+        sim::EventPriority::kDefault);
+    return;
+  }
+  boot_after_reset();
+}
+
+void CentralNode::boot_after_reset() {
+  rebooting_ = false;
   kernel().start();
+  // Re-seed the fault memory from NVM before anything runs: the post-boot
+  // FMF/DTC view continues where the pre-reset ECU left off.
+  if (fmf_) fmf_->boot_from_nvm(engine_.now());
   arm_alarms();
   if (crash_) crash_->start();
+  if (self_supervision_ && !safe_state_) self_supervision_->start();
   schedule_environment(++env_generation_);
+  // Post-reset recovery validation: the warm-up window supervises the
+  // re-announcement of every monitored runnable (no-op when disabled).
+  if (fmf_) fmf_->begin_ecu_recovery_window(engine_.now());
+}
+
+void CentralNode::on_hw_watchdog_expired(sim::SimTime now) {
+  ++hw_resets_;
+  EASIS_LOG(util::LogLevel::kError, "validator")
+      << "hardware watchdog expired at " << now
+      << ": software watchdog task hung, starved or corrupted";
+  fmf::ResetCause cause;
+  cause.source = fmf::ResetSource::kHardwareWatchdog;
+  cause.task = service_->task();
+  cause.time = now;
+  cause.detail =
+      "hardware watchdog expired (software watchdog not serviced)";
+  if (fmf_) {
+    fmf_->request_reset(std::move(cause), now);
+    return;
+  }
+  software_reset();
+}
+
+void CentralNode::enter_safe_state(const fmf::ResetCause& cause) {
+  if (safe_state_) return;
+  safe_state_ = true;
+  EASIS_LOG(util::LogLevel::kError, "validator")
+      << "entering limp-home safe state (" << fmf::to_string(cause.source)
+      << "): SafeSpeed limp limit, assist applications disabled";
+  // The HW watchdog must not reset the parked node.
+  if (self_supervision_) self_supervision_->stop();
+  safespeed_->set_limp_home(true);
+  auto park = [this](ApplicationId app) {
+    for (RunnableId runnable : ecu_.rte().runnables_of_application(app)) {
+      if (watchdog_.heartbeat_unit().monitors(runnable)) {
+        watchdog_.set_activation_status(runnable, false);
+      }
+    }
+    ecu_.rte().set_application_enabled(app, false);
+  };
+  if (safelane_) park(safelane_->application());
+  if (light_) park(light_->application());
+  if (crash_) park(crash_->application());
 }
 
 void CentralNode::arm_alarms() {

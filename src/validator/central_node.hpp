@@ -14,11 +14,13 @@
 #include "apps/safelane.hpp"
 #include "apps/safespeed.hpp"
 #include "fmf/fmf.hpp"
+#include "fmf/nvm.hpp"
 #include "os/schedule_table.hpp"
 #include "rte/ecu.hpp"
 #include "sim/engine.hpp"
 #include "sim/lane.hpp"
 #include "sim/vehicle.hpp"
+#include "wdg/self_supervision.hpp"
 #include "wdg/service.hpp"
 #include "wdg/watchdog.hpp"
 
@@ -37,6 +39,29 @@ struct CentralNodeConfig {
   os::Priority crash_priority = 70;
   bool with_fmf = true;
   fmf::FmfConfig fmf;
+  /// Reset-safe fault memory: DTC store, reset counters and the reset
+  /// cause are committed to the simulated NVM before every reset and
+  /// re-seeded at the next boot (requires with_fmf).
+  bool with_nvm = true;
+  std::size_t nvm_capacity = 8192;
+  /// Shared NVM block (e.g. across a simulated power cycle: a second
+  /// CentralNode instance constructed over the same store). When set, the
+  /// node does not own an NvmStore of its own.
+  fmf::NvmStore* external_nvm = nullptr;
+  /// Bounds the DTC store (0 = unbounded).
+  std::size_t dtc_capacity = 0;
+  /// Watchdog self-supervision: the SW watchdog services a windowed HW
+  /// watchdog via challenge–response; expiry funnels into the FMF reset
+  /// path with a ResetSource::kHardwareWatchdog cause.
+  bool with_self_supervision = true;
+  /// hw_timeout is raised to at least 5x the watchdog check period so
+  /// sweeping the check period never causes spurious expirations.
+  wdg::SelfSupervisionConfig self_supervision;
+  /// Models the physical reboot blackout of an ECU software reset: the
+  /// kernel is torn down immediately and boots again this much later
+  /// (environment keeps its state; the control loop is dark). Zero keeps
+  /// the synchronous reset of the seed.
+  sim::Duration reboot_delay = sim::Duration::zero();
   /// Environment integration step (vehicle + lane models).
   sim::Duration environment_step = sim::Duration::millis(5);
   os::Priority safespeed_priority = 50;
@@ -62,6 +87,18 @@ class CentralNode {
   /// ECU software reset treatment (also wired into the FMF).
   void software_reset();
   [[nodiscard]] std::uint32_t resets_performed() const { return resets_; }
+  /// Resets triggered by the hardware watchdog (self-supervision layer).
+  [[nodiscard]] std::uint32_t hw_watchdog_resets() const {
+    return hw_resets_;
+  }
+  /// True while the node sits in the latched limp-home/safe state.
+  [[nodiscard]] bool in_safe_state() const { return safe_state_; }
+  /// True during the reboot blackout of a delayed software reset.
+  [[nodiscard]] bool rebooting() const { return rebooting_; }
+  /// Drives the node into its limp-home/safe state: SafeSpeed switches to
+  /// the limp-home limit, the comfort/assist applications are disabled and
+  /// their monitoring deactivated. Wired into the FMF reboot-storm latch.
+  void enter_safe_state(const fmf::ResetCause& cause);
 
   // --- accessors --------------------------------------------------------------
   [[nodiscard]] sim::Engine& engine() { return engine_; }
@@ -76,6 +113,12 @@ class CentralNode {
   }
   /// Non-null when the FMF is enabled.
   [[nodiscard]] fmf::DtcStore* dtc_store() { return dtc_.get(); }
+  /// Non-null when NVM-backed fault memory is enabled.
+  [[nodiscard]] fmf::NvmStore* nvm() { return nvm_; }
+  /// Non-null when self-supervision is enabled.
+  [[nodiscard]] wdg::WatchdogSelfSupervision* self_supervision() {
+    return self_supervision_.get();
+  }
   [[nodiscard]] apps::SafeSpeed& safespeed() { return *safespeed_; }
   [[nodiscard]] apps::SafeLane* safelane() { return safelane_.get(); }
   [[nodiscard]] apps::LightControl* light_control() { return light_.get(); }
@@ -128,13 +171,22 @@ class CentralNode {
   std::unique_ptr<wdg::WatchdogService> service_;
   std::unique_ptr<fmf::FaultManagementFramework> fmf_;
   std::unique_ptr<fmf::DtcStore> dtc_;
+  std::unique_ptr<fmf::NvmStore> owned_nvm_;
+  fmf::NvmStore* nvm_ = nullptr;
+  std::unique_ptr<wdg::WatchdogSelfSupervision> self_supervision_;
   std::unique_ptr<os::ScheduleTable> schedule_table_;
 
   bool started_once_ = false;
   std::uint32_t resets_ = 0;
+  std::uint32_t hw_resets_ = 0;
+  bool safe_state_ = false;
+  bool rebooting_ = false;
   std::uint64_t env_generation_ = 0;
+  std::uint64_t boot_generation_ = 0;
 
   void arm_alarms();
+  void boot_after_reset();
+  void on_hw_watchdog_expired(sim::SimTime now);
   void schedule_environment(std::uint64_t generation);
 };
 

@@ -49,6 +49,9 @@ struct WatchdogConfig {
   std::uint32_t accumulated_aliveness_threshold = 3;
   std::uint32_t deadline_threshold = 3;
   std::uint32_t communication_threshold = 3;
+  /// A single corrupted NVM bank already marks the reporter faulty (the
+  /// error is latched by the persistent-fault-memory layer, not counted).
+  std::uint32_t nvm_corruption_threshold = 1;
   /// The global ECU state turns faulty when this many tasks are faulty.
   std::uint32_t ecu_faulty_task_limit = 2;
 };

@@ -1,0 +1,72 @@
+#include "wdg/recovery.hpp"
+
+#include "util/logging.hpp"
+
+namespace easis::wdg {
+
+namespace {
+constexpr std::string_view kLog = "wdg.recovery";
+}
+
+void RecoverySupervisionUnit::begin(std::vector<RunnableId> required,
+                                    ApplicationId scope_app,
+                                    std::uint32_t cycles, sim::SimTime now) {
+  active_ = true;
+  scope_app_ = scope_app;
+  required_ = std::move(required);
+  announced_.clear();
+  cycles_left_ = cycles;
+  started_at_ = now;
+  ++started_;
+  EASIS_LOG(util::LogLevel::kInfo, kLog)
+      << "warm-up window opened: " << required_.size() << " runnables, "
+      << cycles << " cycles";
+}
+
+void RecoverySupervisionUnit::on_heartbeat(RunnableId runnable) {
+  if (!active_) return;
+  announced_.insert(runnable);
+}
+
+void RecoverySupervisionUnit::on_error(const ErrorReport& report,
+                                       sim::SimTime now) {
+  if (!active_) return;
+  finish(false, report, now);
+}
+
+void RecoverySupervisionUnit::on_cycle(sim::SimTime now) {
+  if (!active_) return;
+  if (cycles_left_ > 0 && --cycles_left_ > 0) return;
+  // Window expired: every required runnable must have re-announced.
+  for (RunnableId id : required_) {
+    if (!announced_.contains(id)) {
+      ErrorReport cause;
+      cause.runnable = id;
+      cause.application = scope_app_;
+      cause.type = ErrorType::kAliveness;
+      cause.time = now;
+      cause.detail = "no heartbeat re-announcement inside warm-up window";
+      finish(false, cause, now);
+      return;
+    }
+  }
+  ErrorReport none;
+  none.time = now;
+  finish(true, none, now);
+}
+
+void RecoverySupervisionUnit::finish(bool ok, const ErrorReport& cause,
+                                     sim::SimTime now) {
+  active_ = false;
+  if (ok) {
+    ++passed_;
+  } else {
+    ++failed_;
+  }
+  EASIS_LOG(ok ? util::LogLevel::kInfo : util::LogLevel::kWarn, kLog)
+      << "warm-up window " << (ok ? "passed" : "FAILED") << " after "
+      << (now - started_at_) << (ok ? "" : ": " + cause.detail);
+  if (callback_) callback_(ok, scope_app_, cause, now);
+}
+
+}  // namespace easis::wdg

@@ -1,0 +1,40 @@
+#include "wdg/self_supervision.hpp"
+
+#include "bus/e2e.hpp"
+#include "util/logging.hpp"
+
+namespace easis::wdg {
+
+namespace {
+constexpr std::string_view kLog = "wdg.selfsup";
+}
+
+WatchdogSelfSupervision::WatchdogSelfSupervision(sim::Engine& engine,
+                                                 SelfSupervisionConfig config)
+    : hw_(engine, config.hw_timeout, config.window_min) {}
+
+std::uint8_t WatchdogSelfSupervision::token_for(std::uint64_t cycle) {
+  std::uint8_t bytes[8];
+  for (std::size_t i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(cycle >> (8 * i));
+  }
+  return bus::crc8_j1850(bytes, sizeof bytes);
+}
+
+void WatchdogSelfSupervision::service(std::uint64_t cycle, std::uint8_t token,
+                                      sim::SimTime now) {
+  const bool stale = any_accepted_ && cycle <= last_cycle_;
+  if (stale || token != token_for(cycle)) {
+    ++token_violations_;
+    EASIS_LOG(util::LogLevel::kWarn, kLog)
+        << "refused watchdog service at " << now << ": "
+        << (stale ? "cycle counter did not advance" : "bad response token");
+    return;  // deliberately no kick — let the HW timer starve
+  }
+  any_accepted_ = true;
+  last_cycle_ = cycle;
+  ++accepted_;
+  hw_.kick();
+}
+
+}  // namespace easis::wdg

@@ -37,7 +37,22 @@ WatchdogService::WatchdogService(os::Kernel& kernel, rte::Rte& rte,
     segment.cost =
         config_.base_cost +
         config_.per_runnable_cost * static_cast<std::int64_t>(monitored);
-    segment.on_complete = [this] { watchdog_.main_function(kernel_.now()); };
+    if (hang_) {
+      // Injected watchdog-task hang: the job never finishes within any
+      // realistic horizon, so no main-function cycle (and no HW service
+      // call) happens. Only the hardware layer below can catch this.
+      segment.cost = sim::Duration::seconds(3600);
+      return os::Job{segment};
+    }
+    segment.on_complete = [this] {
+      watchdog_.main_function(kernel_.now());
+      if (self_supervision_ != nullptr) {
+        const std::uint64_t cycle = watchdog_.cycles_run();
+        std::uint8_t token = WatchdogSelfSupervision::token_for(cycle);
+        if (corrupt_token_) token ^= 0xFF;
+        self_supervision_->service(cycle, token, kernel_.now());
+      }
+    };
     return os::Job{segment};
   });
 

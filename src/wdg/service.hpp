@@ -12,6 +12,7 @@
 #include "os/kernel.hpp"
 #include "rte/rte.hpp"
 #include "sim/time.hpp"
+#include "wdg/self_supervision.hpp"
 #include "wdg/watchdog.hpp"
 
 namespace easis::wdg {
@@ -42,6 +43,23 @@ class WatchdogService {
   /// Arms the periodic alarm. Call after kernel start (and after resets).
   void arm();
 
+  /// Closes the self-supervision loop: every completed main-function cycle
+  /// services `self_supervision` with the challenge–response token derived
+  /// from the watchdog's cycle counter. Pass nullptr to detach.
+  void attach_self_supervision(WatchdogSelfSupervision* self_supervision) {
+    self_supervision_ = self_supervision;
+  }
+
+  // --- fault injection points (watchdog-task failure modes) -------------------
+  /// Hangs the watchdog task: its job never completes, so the main function
+  /// stops running and the HW layer stops being serviced.
+  void set_hang(bool hang) { hang_ = hang; }
+  /// Corrupts the challenge–response token (models sequencing-state
+  /// corruption inside an otherwise-running watchdog task).
+  void set_token_corruption(bool corrupt) { corrupt_token_ = corrupt; }
+  [[nodiscard]] bool hang() const { return hang_; }
+  [[nodiscard]] bool token_corruption() const { return corrupt_token_; }
+
   [[nodiscard]] TaskId task() const { return task_; }
   [[nodiscard]] AlarmId alarm() const { return alarm_; }
   [[nodiscard]] SoftwareWatchdog& watchdog() { return watchdog_; }
@@ -52,6 +70,9 @@ class WatchdogService {
   os::Kernel& kernel_;
   SoftwareWatchdog& watchdog_;
   ServiceConfig config_;
+  WatchdogSelfSupervision* self_supervision_ = nullptr;
+  bool hang_ = false;
+  bool corrupt_token_ = false;
   TaskId task_;
   AlarmId alarm_;
   std::uint64_t period_ticks_;

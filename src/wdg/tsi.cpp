@@ -42,6 +42,8 @@ void TaskStateIndicationUnit::derive_states(sim::SimTime now) {
   for (RunnableId id : order_) {
     const Element& e = elements_.at(id);
     for (std::size_t t = 0; t < kErrorTypeCount; ++t) {
+      // A zero threshold disables the check for that error class.
+      if (thresholds_.by_type[t] == 0) continue;
       if (e.counts[t] >= thresholds_.by_type[t]) {
         new_task[e.task] = Health::kFaulty;
         new_app[e.application] = Health::kFaulty;
@@ -114,6 +116,8 @@ SupervisionReport TaskStateIndicationUnit::report(RunnableId runnable) const {
   r.deadline_errors = e.counts[static_cast<std::size_t>(ErrorType::kDeadline)];
   r.communication_errors =
       e.counts[static_cast<std::size_t>(ErrorType::kCommunication)];
+  r.nvm_corruption_errors =
+      e.counts[static_cast<std::size_t>(ErrorType::kNvmCorruption)];
   return r;
 }
 

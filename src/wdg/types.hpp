@@ -32,9 +32,13 @@ enum class ErrorType : std::uint8_t {
   /// checks or a signal reception timeout (communication monitoring,
   /// extension towards the paper's ISS domain-crossing outlook).
   kCommunication = 5,
+  /// Persistent fault memory damage: an NVM bank failed its CRC check at
+  /// boot (reset-safe fault memory extension). Reported by the FMF itself;
+  /// carries no runnable/task mapping.
+  kNvmCorruption = 6,
 };
 
-inline constexpr std::size_t kErrorTypeCount = 6;
+inline constexpr std::size_t kErrorTypeCount = 7;
 
 [[nodiscard]] constexpr std::string_view to_string(ErrorType t) {
   switch (t) {
@@ -44,6 +48,7 @@ inline constexpr std::size_t kErrorTypeCount = 6;
     case ErrorType::kAccumulatedAliveness: return "accumulated_aliveness";
     case ErrorType::kDeadline: return "deadline";
     case ErrorType::kCommunication: return "communication";
+    case ErrorType::kNvmCorruption: return "nvm_corruption";
   }
   return "?";
 }
@@ -91,6 +96,7 @@ struct SupervisionReport {
   std::uint32_t accumulated_aliveness_errors = 0;
   std::uint32_t deadline_errors = 0;
   std::uint32_t communication_errors = 0;
+  std::uint32_t nvm_corruption_errors = 0;
   bool activation_status = true;
 };
 

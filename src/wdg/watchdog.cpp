@@ -17,7 +17,8 @@ SoftwareWatchdog::SoftwareWatchdog(WatchdogConfig config)
                {config.aliveness_threshold, config.arrival_rate_threshold,
                 config.program_flow_threshold,
                 config.accumulated_aliveness_threshold,
-                config.deadline_threshold, config.communication_threshold}},
+                config.deadline_threshold, config.communication_threshold,
+                config.nvm_corruption_threshold}},
            config.ecu_faulty_task_limit) {}
 
 void SoftwareWatchdog::add_runnable(const RunnableMonitor& monitor) {
@@ -48,6 +49,7 @@ std::size_t SoftwareWatchdog::add_deadline_pair(DeadlinePair pair) {
 void SoftwareWatchdog::indicate_aliveness(RunnableId runnable, TaskId task,
                                           sim::SimTime now) {
   hbm_.indicate(runnable);
+  recovery_.on_heartbeat(runnable);
   pfc_.on_execution(runnable, task, now,
                     [this](RunnableId r, RunnableId pred, TaskId t,
                            sim::SimTime t_now) {
@@ -65,6 +67,7 @@ void SoftwareWatchdog::main_function(sim::SimTime now) {
   hbm_.tick(now, [this](RunnableId r, ErrorType type, sim::SimTime t_now) {
     handle_hbm_error(r, type, t_now);
   });
+  recovery_.on_cycle(now);
 }
 
 void SoftwareWatchdog::notify_task_terminated(TaskId task) {
@@ -157,6 +160,9 @@ void SoftwareWatchdog::emit(ErrorReport report) {
   // be on record (fault log, DTC store) when they run.
   for (const auto& listener : error_listeners_) listener(report);
   tsi_.report_error(report.runnable, report.type, report.time);
+  // Recovery validation last: a failing warm-up window may escalate into a
+  // treatment, and the causal fault must already be logged and counted.
+  recovery_.on_error(report, report.time);
 }
 
 void SoftwareWatchdog::add_error_listener(ErrorListener listener) {
@@ -240,6 +246,7 @@ void SoftwareWatchdog::reset(sim::SimTime now) {
   pfc_.reset();
   deadline_.reset();
   tsi_.reset(now);
+  recovery_.cancel();  // a pre-reset window cannot validate the new boot
   last_flow_error_cycle_.clear();
   accumulated_reported_.clear();
 }
@@ -276,6 +283,7 @@ Severity SoftwareWatchdog::severity_of(ErrorType type) {
     case ErrorType::kAccumulatedAliveness: return Severity::kMinor;
     case ErrorType::kDeadline: return Severity::kMajor;
     case ErrorType::kCommunication: return Severity::kMajor;
+    case ErrorType::kNvmCorruption: return Severity::kMajor;
   }
   return Severity::kInfo;
 }

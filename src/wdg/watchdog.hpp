@@ -24,6 +24,7 @@
 #include "wdg/deadline.hpp"
 #include "wdg/heartbeat.hpp"
 #include "wdg/pfc.hpp"
+#include "wdg/recovery.hpp"
 #include "wdg/tsi.hpp"
 #include "wdg/types.hpp"
 
@@ -98,6 +99,12 @@ class SoftwareWatchdog {
     return deadline_;
   }
   [[nodiscard]] const TaskStateIndicationUnit& tsi_unit() const { return tsi_; }
+  /// Post-reset recovery validation: warm-up windows opened here receive
+  /// the watchdog's heartbeat indications, detected errors and cycle ticks.
+  [[nodiscard]] RecoverySupervisionUnit& recovery_unit() { return recovery_; }
+  [[nodiscard]] const RecoverySupervisionUnit& recovery_unit() const {
+    return recovery_;
+  }
   [[nodiscard]] Health task_health(TaskId task) const {
     return tsi_.task_health(task);
   }
@@ -121,6 +128,7 @@ class SoftwareWatchdog {
   ProgramFlowCheckingUnit pfc_;
   DeadlineSupervisionUnit deadline_;
   TaskStateIndicationUnit tsi_;
+  RecoverySupervisionUnit recovery_;
 
   // Mapping info for monitored runnables (needed for reports).
   std::unordered_map<RunnableId, RunnableMonitor> monitors_;

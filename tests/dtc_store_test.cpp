@@ -1,0 +1,113 @@
+// Unit tests for the bounded DTC store: oldest-entry eviction when the
+// fault memory is full, freeze-frame first-occurrence semantics, and
+// restore-from-NVM behaviour.
+#include <gtest/gtest.h>
+
+#include "fmf/dtc.hpp"
+#include "rte/signal_bus.hpp"
+
+namespace easis::fmf {
+namespace {
+
+using sim::SimTime;
+
+wdg::ErrorReport report_for(std::uint32_t app, wdg::ErrorType type,
+                            SimTime at) {
+  wdg::ErrorReport report;
+  report.application = ApplicationId(app);
+  report.type = type;
+  report.time = at;
+  return report;
+}
+
+TEST(DtcStoreTest, BoundedStoreEvictsOldestLastOccurrence) {
+  rte::SignalBus signals;
+  DtcStore store(signals, {}, 2);
+  store.record(report_for(1, wdg::ErrorType::kAliveness, SimTime(1'000)));
+  store.record(report_for(2, wdg::ErrorType::kAliveness, SimTime(2'000)));
+  // Touch the first entry again: it is now the most recently seen.
+  store.record(report_for(1, wdg::ErrorType::kAliveness, SimTime(3'000)));
+  ASSERT_EQ(store.count(), 2u);
+  // A third distinct DTC overflows the store; the entry with the oldest
+  // last occurrence (application 2) must be the one evicted.
+  store.record(report_for(3, wdg::ErrorType::kAliveness, SimTime(4'000)));
+  EXPECT_EQ(store.count(), 2u);
+  EXPECT_EQ(store.evictions(), 1u);
+  EXPECT_NE(store.entry({ApplicationId(1), wdg::ErrorType::kAliveness}),
+            nullptr);
+  EXPECT_EQ(store.entry({ApplicationId(2), wdg::ErrorType::kAliveness}),
+            nullptr);
+  EXPECT_NE(store.entry({ApplicationId(3), wdg::ErrorType::kAliveness}),
+            nullptr);
+}
+
+TEST(DtcStoreTest, UpdatingExistingEntryNeverEvicts) {
+  rte::SignalBus signals;
+  DtcStore store(signals, {}, 2);
+  store.record(report_for(1, wdg::ErrorType::kAliveness, SimTime(1'000)));
+  store.record(report_for(2, wdg::ErrorType::kAliveness, SimTime(2'000)));
+  for (int i = 0; i < 5; ++i) {
+    store.record(
+        report_for(1, wdg::ErrorType::kAliveness, SimTime(10'000 + i)));
+  }
+  EXPECT_EQ(store.count(), 2u);
+  EXPECT_EQ(store.evictions(), 0u);
+  const DtcEntry* entry =
+      store.entry({ApplicationId(1), wdg::ErrorType::kAliveness});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->occurrences, 6u);
+}
+
+TEST(DtcStoreTest, FreezeFrameCapturesFirstOccurrenceOnly) {
+  rte::SignalBus signals;
+  signals.publish("vehicle.speed_kmh", 80.0, SimTime(500));
+  DtcStore store(signals, {"vehicle.speed_kmh"});
+  store.record(report_for(1, wdg::ErrorType::kAliveness, SimTime(1'000)));
+  // The signal changes; a later occurrence of the same DTC must keep the
+  // snapshot taken at the first occurrence.
+  signals.publish("vehicle.speed_kmh", 20.0, SimTime(1'500));
+  store.record(report_for(1, wdg::ErrorType::kAliveness, SimTime(2'000)));
+  const DtcEntry* entry =
+      store.entry({ApplicationId(1), wdg::ErrorType::kAliveness});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->occurrences, 2u);
+  EXPECT_EQ(entry->first_seen, SimTime(1'000));
+  EXPECT_EQ(entry->last_seen, SimTime(2'000));
+  ASSERT_TRUE(entry->freeze_frame.has_value());
+  EXPECT_EQ(entry->freeze_frame->captured_at, SimTime(1'000));
+  ASSERT_EQ(entry->freeze_frame->signals.size(), 1u);
+  EXPECT_DOUBLE_EQ(entry->freeze_frame->signals[0].second, 80.0);
+}
+
+TEST(DtcStoreTest, RestoreReplacesContentAndKeepsFrames) {
+  rte::SignalBus signals;
+  DtcStore store(signals, {"vehicle.speed_kmh"});
+  store.record(report_for(9, wdg::ErrorType::kProgramFlow, SimTime(50)));
+
+  DtcEntry persisted;
+  persisted.key = {ApplicationId(1), wdg::ErrorType::kNvmCorruption};
+  persisted.occurrences = 4;
+  persisted.first_seen = SimTime(10'000);
+  persisted.last_seen = SimTime(40'000);
+  FreezeFrame frame;
+  frame.captured_at = SimTime(10'000);
+  frame.signals.emplace_back("vehicle.speed_kmh", 55.0);
+  persisted.freeze_frame = frame;
+  store.restore({persisted});
+
+  EXPECT_EQ(store.count(), 1u);
+  const DtcEntry* entry =
+      store.entry({ApplicationId(1), wdg::ErrorType::kNvmCorruption});
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->occurrences, 4u);
+  ASSERT_TRUE(entry->freeze_frame.has_value());
+  EXPECT_DOUBLE_EQ(entry->freeze_frame->signals[0].second, 55.0);
+  // Occurrence counting continues from the persisted value.
+  store.record(
+      report_for(1, wdg::ErrorType::kNvmCorruption, SimTime(50'000)));
+  EXPECT_EQ(entry->occurrences, 5u);
+  EXPECT_EQ(entry->freeze_frame->captured_at, SimTime(10'000));
+}
+
+}  // namespace
+}  // namespace easis::fmf

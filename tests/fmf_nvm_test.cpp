@@ -1,0 +1,155 @@
+// Unit tests for the simulated non-volatile fault memory: serialisation
+// round trips, double-buffered commit with fallback, CRC-based corruption
+// detection and capacity overflow handling.
+#include <gtest/gtest.h>
+
+#include "fmf/nvm.hpp"
+
+namespace easis::fmf {
+namespace {
+
+using sim::SimTime;
+
+NvmImage sample_image() {
+  NvmImage image;
+  image.reset_count = 3;
+  image.storm_latched = true;
+  ResetCause cause;
+  cause.source = ResetSource::kHardwareWatchdog;
+  cause.task = TaskId(7);
+  cause.application = ApplicationId(2);
+  cause.error = wdg::ErrorType::kAliveness;
+  cause.time = SimTime(1'234'567);
+  cause.detail = "hardware watchdog expired";
+  image.reset_history.push_back(cause);
+  cause.source = ResetSource::kRecoveryFailure;
+  cause.time = SimTime(2'000'000);
+  cause.detail = "no heartbeat re-announcement inside warm-up window";
+  image.reset_history.push_back(cause);
+  PersistedDtc dtc;
+  dtc.key.application = ApplicationId(2);
+  dtc.key.type = wdg::ErrorType::kArrivalRate;
+  dtc.occurrences = 5;
+  dtc.first_seen = SimTime(100'000);
+  dtc.last_seen = SimTime(900'000);
+  dtc.active = true;
+  FreezeFrame frame;
+  frame.captured_at = SimTime(100'000);
+  frame.signals.emplace_back("vehicle.speed_kmh", 87.5);
+  dtc.freeze_frame = frame;
+  image.dtcs.push_back(dtc);
+  return image;
+}
+
+TEST(NvmStoreTest, BlankStoreLoadsNothing) {
+  NvmStore store;
+  const auto result = store.load();
+  EXPECT_FALSE(result.image.has_value());
+  EXPECT_FALSE(result.corruption_detected);
+}
+
+TEST(NvmStoreTest, CommitLoadRoundTripPreservesImage) {
+  NvmStore store;
+  ASSERT_TRUE(store.commit(sample_image()));
+  const auto result = store.load();
+  EXPECT_FALSE(result.corruption_detected);
+  ASSERT_TRUE(result.image.has_value());
+  const NvmImage& image = *result.image;
+  EXPECT_EQ(image.reset_count, 3u);
+  EXPECT_TRUE(image.storm_latched);
+  ASSERT_EQ(image.reset_history.size(), 2u);
+  EXPECT_EQ(image.reset_history[0].source, ResetSource::kHardwareWatchdog);
+  EXPECT_EQ(image.reset_history[0].task, TaskId(7));
+  EXPECT_EQ(image.reset_history[0].time, SimTime(1'234'567));
+  EXPECT_EQ(image.reset_history[0].detail, "hardware watchdog expired");
+  EXPECT_EQ(image.reset_history[1].source, ResetSource::kRecoveryFailure);
+  ASSERT_EQ(image.dtcs.size(), 1u);
+  const PersistedDtc& dtc = image.dtcs[0];
+  EXPECT_EQ(dtc.key.application, ApplicationId(2));
+  EXPECT_EQ(dtc.key.type, wdg::ErrorType::kArrivalRate);
+  EXPECT_EQ(dtc.occurrences, 5u);
+  ASSERT_TRUE(dtc.freeze_frame.has_value());
+  ASSERT_EQ(dtc.freeze_frame->signals.size(), 1u);
+  EXPECT_EQ(dtc.freeze_frame->signals[0].first, "vehicle.speed_kmh");
+  EXPECT_DOUBLE_EQ(dtc.freeze_frame->signals[0].second, 87.5);
+}
+
+TEST(NvmStoreTest, NewestSequenceWins) {
+  NvmStore store;
+  NvmImage image = sample_image();
+  image.reset_count = 1;
+  ASSERT_TRUE(store.commit(image));
+  image.reset_count = 2;
+  ASSERT_TRUE(store.commit(image));
+  const auto result = store.load();
+  ASSERT_TRUE(result.image.has_value());
+  EXPECT_EQ(result.image->reset_count, 2u);
+}
+
+TEST(NvmStoreTest, CorruptedActiveBankFallsBackToOlderImage) {
+  NvmStore store;
+  NvmImage image = sample_image();
+  image.reset_count = 1;
+  ASSERT_TRUE(store.commit(image));
+  image.reset_count = 2;
+  ASSERT_TRUE(store.commit(image));
+  // Flip a payload bit of the active (newest) bank: its CRC must fail and
+  // the load must fall back to the older, still-valid bank — flagged, not
+  // silently consumed.
+  store.corrupt_bit(20 * 8);
+  const auto result = store.load();
+  EXPECT_TRUE(result.corruption_detected);
+  ASSERT_TRUE(result.image.has_value());
+  EXPECT_EQ(result.image->reset_count, 1u);
+  EXPECT_NE(result.detail.find("failed CRC"), std::string::npos);
+}
+
+TEST(NvmStoreTest, FullyCorruptedStoreYieldsNoImageButDetection) {
+  NvmStore store;
+  ASSERT_TRUE(store.commit(sample_image()));
+  store.corrupt_bit(20 * 8);
+  const auto result = store.load();
+  EXPECT_TRUE(result.corruption_detected);
+  EXPECT_FALSE(result.image.has_value());
+}
+
+TEST(NvmStoreTest, HeaderCorruptionIsDetectedToo) {
+  NvmStore store;
+  ASSERT_TRUE(store.commit(sample_image()));
+  // Damage the sequence field (covered by the bank CRC).
+  store.corrupt_byte(store.active_bank(), 5, 0xFF);
+  const auto result = store.load();
+  EXPECT_TRUE(result.corruption_detected);
+  EXPECT_FALSE(result.image.has_value());
+}
+
+TEST(NvmStoreTest, OversizedImageRejectedWithoutDamage) {
+  NvmStore store(64);
+  NvmImage small;
+  small.reset_count = 9;
+  ASSERT_TRUE(store.commit(small));
+  NvmImage big = small;
+  ResetCause cause;
+  cause.detail = std::string(200, 'x');
+  big.reset_history.push_back(cause);
+  EXPECT_FALSE(store.commit(big));
+  EXPECT_EQ(store.overflows(), 1u);
+  // The previously committed image must still load intact.
+  const auto result = store.load();
+  ASSERT_TRUE(result.image.has_value());
+  EXPECT_EQ(result.image->reset_count, 9u);
+  EXPECT_FALSE(result.corruption_detected);
+}
+
+TEST(NvmStoreTest, EraseClearsBothBanks) {
+  NvmStore store;
+  ASSERT_TRUE(store.commit(sample_image()));
+  ASSERT_TRUE(store.commit(sample_image()));
+  store.erase();
+  const auto result = store.load();
+  EXPECT_FALSE(result.image.has_value());
+  EXPECT_FALSE(result.corruption_detected);
+}
+
+}  // namespace
+}  // namespace easis::fmf

@@ -34,6 +34,8 @@ class FmfTest : public ::testing::Test {
   }()};
   int ecu_resets = 0;
   std::unique_ptr<FaultManagementFramework> fmf;
+  /// Derived fixtures adjust this in their constructor (before SetUp).
+  FmfConfig fmf_config;
 
   ApplicationId app;
   TaskId task;
@@ -65,15 +67,50 @@ class FmfTest : public ::testing::Test {
     wd.add_runnable(m);
 
     fmf = std::make_unique<FaultManagementFramework>(
-        rte, wd, [this] { ++ecu_resets; });
+        rte, wd, [this] { ++ecu_resets; }, fmf_config);
     fmf->attach();
   }
 
   /// Drives enough empty watchdog cycles to cross the aliveness threshold.
+  /// With the fixture thresholds the application turns faulty at the 4th
+  /// cycle, i.e. at SimTime((start_tick + 3) * 10ms).
   void provoke_app_fault(int start_tick = 0) {
     for (int i = 0; i < 4; ++i) {
       wd.main_function(SimTime((start_tick + i) * 10'000));
     }
+  }
+
+  /// A second monitored task so the ECU limit (2 faulty tasks) is reachable.
+  TaskId add_second_monitored_task() {
+    os::TaskConfig tc;
+    tc.name = "T2";
+    tc.priority = 5;
+    const TaskId task2 = kernel.create_task(tc);
+    wdg::RunnableMonitor m;
+    m.runnable = RunnableId(55);
+    m.task = task2;
+    m.application = app;
+    m.name = "R2";
+    m.aliveness_cycles = 2;
+    m.min_heartbeats = 1;
+    m.arrival_cycles = 2;
+    m.max_arrivals = 10;
+    m.program_flow = false;
+    wd.add_runnable(m);
+    return task2;
+  }
+};
+
+class FmfAgingTest : public FmfTest {
+ public:
+  FmfAgingTest() { fmf_config.restart_aging = Duration::millis(100); }
+};
+
+class FmfStormTest : public FmfTest {
+ public:
+  FmfStormTest() {
+    fmf_config.storm_reset_limit = 2;
+    fmf_config.max_ecu_resets = 10;
   }
 };
 
@@ -142,22 +179,7 @@ TEST_F(FmfTest, NonePolicyLeavesApplicationAlone) {
 }
 
 TEST_F(FmfTest, EcuFaultTriggersSoftwareReset) {
-  // A second monitored task so the ECU limit (2 faulty tasks) is reachable.
-  os::TaskConfig tc;
-  tc.name = "T2";
-  tc.priority = 5;
-  const TaskId task2 = kernel.create_task(tc);
-  wdg::RunnableMonitor m;
-  m.runnable = RunnableId(55);
-  m.task = task2;
-  m.application = app;
-  m.name = "R2";
-  m.aliveness_cycles = 2;
-  m.min_heartbeats = 1;
-  m.arrival_cycles = 2;
-  m.max_arrivals = 10;
-  m.program_flow = false;
-  wd.add_runnable(m);
+  add_second_monitored_task();
 
   ApplicationPolicy policy;
   policy.on_faulty = TreatmentAction::kNone;  // let both tasks stay faulty
@@ -178,6 +200,100 @@ TEST_F(FmfTest, EcuResetBudgetBounded) {
 
 TEST_F(FmfTest, AttachTwiceRejected) {
   EXPECT_THROW(fmf->attach(), std::logic_error);
+}
+
+TEST_F(FmfTest, TerminationHappensOnFirstFaultPastExactBudget) {
+  // Off-by-one audit: with max_restarts = 1 exactly one restart is
+  // performed; the very next fault terminates.
+  ApplicationPolicy policy;
+  policy.on_faulty = TreatmentAction::kRestart;
+  policy.max_restarts = 1;
+  fmf->set_application_policy(app, policy);
+  provoke_app_fault(0);
+  EXPECT_EQ(fmf->restarts_performed(app), 1u);
+  EXPECT_EQ(fmf->terminations_performed(app), 0u);
+  provoke_app_fault(10);
+  EXPECT_EQ(fmf->restarts_performed(app), 1u);
+  EXPECT_EQ(fmf->terminations_performed(app), 1u);
+}
+
+TEST_F(FmfTest, ExactlyMaxEcuResetsThenGiveUp) {
+  // Off-by-one audit: max_ecu_resets = 2 performs exactly two resets; the
+  // third request is refused and the ECU stays faulty (no storm involved:
+  // the storm limit of 3 performed resets is never reached).
+  add_second_monitored_task();
+  ApplicationPolicy policy;
+  policy.on_faulty = TreatmentAction::kNone;
+  fmf->set_application_policy(app, policy);
+
+  provoke_app_fault(0);
+  EXPECT_EQ(ecu_resets, 1);
+  wd.reset(SimTime(100'000));  // simulated reboot: monitoring state starts clean
+  provoke_app_fault(10);
+  EXPECT_EQ(ecu_resets, 2);
+  wd.reset(SimTime(200'000));
+  provoke_app_fault(20);
+  EXPECT_EQ(ecu_resets, 2);
+  EXPECT_EQ(fmf->ecu_resets_performed(), 2u);
+  EXPECT_FALSE(fmf->storm_latched());
+}
+
+TEST_F(FmfAgingTest, RestartPressureAgesOutAtExactBoundary) {
+  provoke_app_fault(0);  // restart performed at t = 30 ms
+  EXPECT_EQ(fmf->restarts_performed(app), 1u);
+  // Aging window is 100 ms: one microsecond before the boundary the
+  // restart still counts, at the boundary it is aged out. The monotonic
+  // lifetime counter is unaffected.
+  EXPECT_EQ(fmf->restart_pressure(app, SimTime(130'000 - 1)), 1u);
+  EXPECT_EQ(fmf->restart_pressure(app, SimTime(130'000)), 0u);
+  EXPECT_EQ(fmf->restarts_performed(app), 1u);
+}
+
+TEST_F(FmfAgingTest, AgedRestartsDoNotCountTowardEscalation) {
+  ApplicationPolicy policy;
+  policy.on_faulty = TreatmentAction::kRestart;
+  policy.max_restarts = 1;
+  fmf->set_application_policy(app, policy);
+
+  provoke_app_fault(0);  // restart at t = 30 ms
+  EXPECT_EQ(fmf->restarts_performed(app), 1u);
+  // Next fault at t = 230 ms: the first restart is 200 ms old and aged
+  // out, so the budget is free again and the application restarts.
+  provoke_app_fault(20);
+  EXPECT_EQ(fmf->restarts_performed(app), 2u);
+  EXPECT_EQ(fmf->terminations_performed(app), 0u);
+  // Fault at t = 270 ms: the restart from t = 230 ms is only 40 ms old,
+  // still counts, and the escalation terminates the application.
+  provoke_app_fault(24);
+  EXPECT_EQ(fmf->restarts_performed(app), 2u);
+  EXPECT_EQ(fmf->terminations_performed(app), 1u);
+}
+
+TEST_F(FmfStormTest, StormLatchRefusesFurtherResets) {
+  add_second_monitored_task();
+  ApplicationPolicy policy;
+  policy.on_faulty = TreatmentAction::kNone;
+  fmf->set_application_policy(app, policy);
+  bool safe_state_entered = false;
+  fmf->set_safe_state_hook(
+      [&](const ResetCause&) { safe_state_entered = true; });
+
+  provoke_app_fault(0);
+  wd.reset(SimTime(100'000));
+  provoke_app_fault(10);
+  EXPECT_EQ(ecu_resets, 2);
+  wd.reset(SimTime(200'000));
+  // Third request within the storm window: two resets already performed
+  // reach storm_reset_limit = 2 -> latch instead of resetting again.
+  provoke_app_fault(20);
+  EXPECT_EQ(ecu_resets, 2);
+  EXPECT_TRUE(fmf->storm_latched());
+  EXPECT_TRUE(safe_state_entered);
+  bool storm_record = false;
+  for (const auto& record : fmf->fault_log().snapshot()) {
+    if (record.source == "fmf.storm") storm_record = true;
+  }
+  EXPECT_TRUE(storm_record);
 }
 
 TEST_F(FmfTest, FaultLogIsBounded) {

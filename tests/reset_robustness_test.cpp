@@ -1,0 +1,245 @@
+// Node-level tests for the reset-robustness extensions: hardware-watchdog
+// self-supervision, reboot-storm escalation into the limp-home safe state,
+// post-reset recovery validation, and the NVM-backed fault memory
+// (corruption detection, power-cycle persistence).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "inject/faults.hpp"
+#include "inject/injector.hpp"
+#include "sim/engine.hpp"
+#include "validator/central_node.hpp"
+#include "wdg/self_supervision.hpp"
+
+namespace easis::validator {
+namespace {
+
+using sim::Duration;
+using sim::Engine;
+using sim::SimTime;
+
+/// Minimal node: SafeSpeed only, single faulty task escalates to ECU level.
+CentralNodeConfig lean_config() {
+  CentralNodeConfig config;
+  config.with_safelane = false;
+  config.with_light_control = false;
+  config.with_crash_detection = false;
+  config.watchdog.ecu_faulty_task_limit = 1;
+  return config;
+}
+
+/// SafeSpeed faults must reach the global ECU state untreated.
+void escalate_only(CentralNode& node) {
+  fmf::ApplicationPolicy policy;
+  policy.on_faulty = fmf::TreatmentAction::kNone;
+  node.fault_management()->set_application_policy(
+      node.safespeed().application(), policy);
+}
+
+TEST(SelfSupervisionTest, HungWatchdogCaughtByHardwareLayerAndPersisted) {
+  Engine engine;
+  CentralNodeConfig config = lean_config();
+  config.fmf.max_ecu_resets = 1;
+  CentralNode node(engine, config);
+
+  inject::ErrorInjector injector(engine);
+  // Permanent hang: the watchdog service task never completes again.
+  injector.add(inject::make_watchdog_hang(node.watchdog_service(),
+                                          SimTime(1'000'000),
+                                          Duration::zero()));
+  injector.arm();
+  node.start();
+  engine.run_until(SimTime(3'000'000));
+
+  EXPECT_GE(node.hw_watchdog_resets(), 1u);
+  EXPECT_EQ(node.resets_performed(), 1u);  // budget caps the loop
+
+  auto* fmf = node.fault_management();
+  ASSERT_TRUE(fmf->last_reset_cause().has_value());
+  EXPECT_EQ(fmf->last_reset_cause()->source,
+            fmf::ResetSource::kHardwareWatchdog);
+
+  // The reset cause survived the reset in NVM...
+  const auto loaded = node.nvm()->load();
+  ASSERT_TRUE(loaded.image.has_value());
+  EXPECT_EQ(loaded.image->reset_count, 1u);
+  ASSERT_FALSE(loaded.image->reset_history.empty());
+  EXPECT_EQ(loaded.image->reset_history.back().source,
+            fmf::ResetSource::kHardwareWatchdog);
+  // ...and shows up in the post-boot diagnostic read-out.
+  std::ostringstream dump;
+  fmf->write_diagnostics(dump);
+  EXPECT_NE(dump.str().find("hw_watchdog"), std::string::npos);
+}
+
+TEST(SelfSupervisionTest, CorruptedTokenIsRejectedAndStarvesHardware) {
+  Engine engine;
+  CentralNodeConfig config = lean_config();
+  config.fmf.max_ecu_resets = 1;
+  CentralNode node(engine, config);
+
+  inject::ErrorInjector injector(engine);
+  injector.add(inject::make_watchdog_token_corruption(
+      node.watchdog_service(), SimTime(1'000'000), Duration::zero()));
+  injector.arm();
+  node.start();
+  engine.run_until(SimTime(3'000'000));
+
+  // The watchdog kept running, but its challenge-response tokens were
+  // wrong: every service attempt is rejected instead of kicking.
+  EXPECT_GT(node.self_supervision()->token_violations(), 0u);
+  EXPECT_GE(node.hw_watchdog_resets(), 1u);
+}
+
+TEST(SelfSupervisionTest, TokenDerivedFromCycleCounter) {
+  EXPECT_EQ(wdg::WatchdogSelfSupervision::token_for(42),
+            wdg::WatchdogSelfSupervision::token_for(42));
+  EXPECT_NE(wdg::WatchdogSelfSupervision::token_for(42),
+            wdg::WatchdogSelfSupervision::token_for(43));
+}
+
+TEST(RebootStormTest, StormLatchesPersistentLimpHome) {
+  Engine engine;
+  CentralNodeConfig config = lean_config();
+  config.fmf.max_ecu_resets = 100;
+  config.fmf.storm_reset_limit = 2;
+  config.fmf.storm_window = Duration::seconds(10);
+  config.reboot_delay = Duration::millis(50);
+  CentralNode node(engine, config);
+  escalate_only(node);
+  // The bounded fault log keeps churning after the latch (the suppressed
+  // runnable stays monitored), so observe the storm record via a listener.
+  bool storm_record = false;
+  node.fault_management()->add_fault_listener(
+      [&](const fmf::FaultRecord& record) {
+        if (record.source == "fmf.storm") storm_record = true;
+      });
+
+  inject::ErrorInjector injector(engine);
+  injector.add(inject::make_recurring_post_reset_fault(
+      node.rte(), node.safespeed().safe_cc_process(), SimTime(1'000'000)));
+  injector.arm();
+  node.start();
+  engine.run_until(SimTime(6'000'000));
+
+  auto* fmf = node.fault_management();
+  EXPECT_EQ(node.resets_performed(), 2u);  // capped at storm_reset_limit
+  EXPECT_TRUE(fmf->storm_latched());
+  EXPECT_TRUE(node.in_safe_state());
+  EXPECT_TRUE(node.safespeed().limp_home());
+  // The decision itself was recorded as a DTC-worthy critical fault.
+  EXPECT_TRUE(storm_record);
+  // ...and the latch itself is persisted.
+  const auto loaded = node.nvm()->load();
+  ASSERT_TRUE(loaded.image.has_value());
+  EXPECT_TRUE(loaded.image->storm_latched);
+}
+
+TEST(RecoveryValidationTest, RecurringFaultCaughtWithinWarmupWindow) {
+  Engine engine;
+  CentralNodeConfig config = lean_config();
+  config.fmf.max_ecu_resets = 100;
+  config.fmf.storm_reset_limit = 3;
+  config.fmf.recovery_warmup_cycles = 6;
+  config.reboot_delay = Duration::millis(250);
+  CentralNode node(engine, config);
+  escalate_only(node);
+
+  inject::ErrorInjector injector(engine);
+  injector.add(inject::make_recurring_post_reset_fault(
+      node.rte(), node.safespeed().safe_cc_process(), SimTime(1'000'000)));
+  injector.arm();
+  node.start();
+  engine.run_until(SimTime(10'000'000));
+
+  const auto& history = node.fault_management()->reset_history();
+  ASSERT_GE(history.size(), 2u);
+  // First reset: the threshold path detects the initial fault.
+  EXPECT_EQ(history[0].source, fmf::ResetSource::kEcuFaulty);
+  // Second reset: the post-boot warm-up window flags the recurrence well
+  // before the error thresholds refill.
+  EXPECT_EQ(history[1].source, fmf::ResetSource::kRecoveryFailure);
+  const Duration detect =
+      history[1].time - (history[0].time + config.reboot_delay);
+  EXPECT_GT(detect, Duration::zero());
+  // Warm-up window = 6 watchdog cycles at 10 ms.
+  EXPECT_LE(detect, Duration::millis(70));
+}
+
+TEST(NvmRobustnessTest, CorruptionIsReportedNeverSilentlyConsumed) {
+  fmf::NvmStore nvm;
+  fmf::NvmImage image;
+  image.reset_count = 7;
+  fmf::ResetCause cause;
+  cause.source = fmf::ResetSource::kEcuFaulty;
+  cause.detail = "previous life";
+  image.reset_history.push_back(cause);
+  ASSERT_TRUE(nvm.commit(image));
+  nvm.corrupt_bit(20 * 8);  // flash bit error in the payload
+
+  Engine engine;
+  CentralNodeConfig config = lean_config();
+  config.external_nvm = &nvm;
+  CentralNode node(engine, config);
+  node.start();
+  engine.run_until(SimTime(500'000));
+
+  auto* fmf = node.fault_management();
+  // The damaged counter must not be consumed...
+  EXPECT_EQ(fmf->ecu_resets_performed(), 0u);
+  // ...and the corruption is surfaced as a fault + DTC.
+  bool corruption_fault = false;
+  for (const auto& record : fmf->fault_log().snapshot()) {
+    if (record.report.type == wdg::ErrorType::kNvmCorruption) {
+      corruption_fault = true;
+    }
+  }
+  EXPECT_TRUE(corruption_fault);
+  EXPECT_NE(node.dtc_store()->entry(
+                {ApplicationId{}, wdg::ErrorType::kNvmCorruption}),
+            nullptr);
+}
+
+TEST(NvmRobustnessTest, FaultMemorySurvivesPowerCycle) {
+  fmf::NvmStore nvm;
+  {
+    Engine engine;
+    CentralNodeConfig config = lean_config();
+    config.external_nvm = &nvm;
+    config.fmf.max_ecu_resets = 100;
+    config.fmf.storm_reset_limit = 2;
+    config.reboot_delay = Duration::millis(50);
+    CentralNode node(engine, config);
+    escalate_only(node);
+    inject::ErrorInjector injector(engine);
+    injector.add(inject::make_recurring_post_reset_fault(
+        node.rte(), node.safespeed().safe_cc_process(), SimTime(1'000'000)));
+    injector.arm();
+    node.start();
+    engine.run_until(SimTime(6'000'000));
+    ASSERT_TRUE(node.fault_management()->storm_latched());
+  }
+
+  // Power cycle: a fresh node boots over the same NVM block and must come
+  // up already latched in its safe state, with the history intact.
+  Engine engine;
+  CentralNodeConfig config = lean_config();
+  config.external_nvm = &nvm;
+  CentralNode node(engine, config);
+  node.start();
+  engine.run_until(SimTime(100'000));
+
+  auto* fmf = node.fault_management();
+  EXPECT_TRUE(fmf->storm_latched());
+  EXPECT_TRUE(node.in_safe_state());
+  EXPECT_TRUE(node.safespeed().limp_home());
+  EXPECT_GE(fmf->ecu_resets_performed(), 2u);
+  ASSERT_FALSE(fmf->reset_history().empty());
+  std::ostringstream dump;
+  fmf->write_diagnostics(dump);
+  EXPECT_NE(dump.str().find("ecu_faulty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace easis::validator
