@@ -1,0 +1,114 @@
+// Campaign harness throughput: serial vs parallel speedup.
+//
+// Runs the same randomized network-fault campaign (the per-run workload
+// of exp_network_coverage, ~50 ms of simulation each) once per point of a
+// worker sweep (1, 2, ..., --jobs) and reports wall clock, throughput and
+// speedup over the serial baseline. Because per-run seeds derive from
+// (campaign seed, run index), every sweep point computes the *same* runs —
+// the sweep measures pure harness scaling, not workload variance; the
+// bench cross-checks that by comparing each point's merged coverage CSV
+// against the serial one.
+//
+// Speedup is bounded by the machine: on a single-core CI shell this
+// measures the harness overhead (expect ~1x); on the 4-core CI runner the
+// 4-worker point is the ≥2.5x acceptance measurement.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign_scenarios.hpp"
+#include "harness/campaign_report.hpp"
+#include "harness/campaign_runner.hpp"
+#include "util/argparse.hpp"
+#include "util/csv.hpp"
+
+using namespace easis;
+
+int main(int argc, char** argv) {
+  unsigned max_jobs = 4;
+  std::uint64_t seed = 0xC0FFEE;
+  std::uint64_t runs = 60;
+  std::string csv_path = "campaign_throughput.csv";
+
+  util::ArgParser parser(
+      "bench_campaign_throughput",
+      "serial-vs-parallel campaign speedup on the network-fault workload");
+  parser.add("jobs", &max_jobs, "largest worker count in the sweep");
+  parser.add("seed", &seed, "campaign seed");
+  parser.add("runs", &runs, "randomized injections per sweep point");
+  parser.add("csv", &csv_path, "output CSV path");
+  if (!parser.parse(argc, argv, std::cerr)) return parser.exited() ? 0 : 2;
+  if (max_jobs == 0) max_jobs = 1;
+
+  const auto& classes = bench::network_fault_classes();
+  const auto total = static_cast<std::size_t>(runs);
+  std::vector<harness::RunSpec> specs =
+      harness::CampaignRunner::make_specs(total, seed);
+  for (std::size_t i = 0; i < total; ++i) {
+    specs[i].label = classes[i % classes.size()];
+  }
+
+  std::cout << "=== Campaign throughput: " << total
+            << " network-fault runs per sweep point ===\n"
+            << "jobs  wall_s     runs_per_s  speedup  deterministic\n";
+
+  std::ofstream csv_file(csv_path);
+  util::CsvWriter csv(csv_file, {"jobs", "runs", "wall_s", "runs_per_s",
+                                 "speedup", "deterministic"});
+
+  // Worker sweep: 1, 2, 4, 8, ... up to --jobs (always including --jobs).
+  std::vector<unsigned> sweep;
+  for (unsigned j = 1; j < max_jobs; j *= 2) sweep.push_back(j);
+  sweep.push_back(max_jobs);
+
+  double serial_wall = 0.0;
+  std::string serial_csv;
+  bool all_deterministic = true;
+  double best_speedup = 0.0;
+  for (const unsigned jobs : sweep) {
+    harness::CampaignConfig config;
+    config.jobs = jobs;
+    config.seed = seed;
+    harness::CampaignRunner runner(
+        config, [](const harness::RunContext& ctx) {
+          return bench::run_network_fault(ctx.spec().label, ctx.spec().seed);
+        });
+    const harness::CampaignOutcome outcome = runner.run(specs);
+    const harness::CampaignReport report(specs, outcome);
+
+    std::ostringstream merged_csv;
+    report.write_coverage_csv(merged_csv);
+    if (jobs == 1) {
+      serial_wall = outcome.wall_seconds;
+      serial_csv = merged_csv.str();
+    }
+    const bool deterministic = merged_csv.str() == serial_csv;
+    all_deterministic = all_deterministic && deterministic;
+    const double speedup =
+        outcome.wall_seconds > 0.0 ? serial_wall / outcome.wall_seconds : 0.0;
+    best_speedup = std::max(best_speedup, speedup);
+
+    std::printf("%4u  %8.3f  %10.1f  %7.2fx  %s\n", jobs,
+                outcome.wall_seconds, outcome.runs_per_second(), speedup,
+                deterministic ? "yes" : "NO");
+
+    std::ostringstream wall, rps, sp;
+    wall << outcome.wall_seconds;
+    rps << outcome.runs_per_second();
+    sp << speedup;
+    csv.row({std::to_string(jobs), std::to_string(total), wall.str(),
+             rps.str(), sp.str(), deterministic ? "1" : "0"});
+  }
+
+  std::cout << "\nraw results written to " << csv_path << '\n'
+            << "best speedup over serial: " << best_speedup << "x\n"
+            << "merged coverage identical across all sweep points: "
+            << (all_deterministic ? "PASS" : "FAIL") << '\n';
+  // Determinism is the hard gate; the speedup figure depends on how many
+  // cores the host exposes, so it is reported, not asserted.
+  return all_deterministic ? 0 : 1;
+}

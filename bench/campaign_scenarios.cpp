@@ -1,0 +1,179 @@
+#include "campaign_scenarios.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+#include "inject/campaign.hpp"
+#include "inject/injector.hpp"
+#include "inject/network_faults.hpp"
+#include "sim/engine.hpp"
+#include "util/random.hpp"
+#include "validator/central_node.hpp"
+#include "validator/network.hpp"
+#include "validator/node_supervisor.hpp"
+#include "validator/remote_node.hpp"
+#include "wdg/com_monitor.hpp"
+
+namespace easis::bench {
+
+namespace {
+
+constexpr std::int64_t kInjectAtUs = 2'000'000;
+
+using MakeInjection = std::function<inject::Injection(
+    validator::VehicleNetwork&, util::Rng&, sim::SimTime)>;
+
+MakeInjection injection_factory(const std::string& fault_class) {
+  if (fault_class == "frame_corruption") {
+    return [](validator::VehicleNetwork& network, util::Rng& rng,
+              sim::SimTime at) {
+      return inject::make_frame_corruption(network.can_fault_link(),
+                                           rng.uniform(0.5, 1.0), at,
+                                           sim::Duration::zero());
+    };
+  }
+  if (fault_class == "loss_burst") {
+    return [](validator::VehicleNetwork& network, util::Rng& rng,
+              sim::SimTime at) {
+      return inject::make_loss_burst(
+          network.can_fault_link(),
+          static_cast<std::uint64_t>(rng.uniform_int(5, 40)), at);
+    };
+  }
+  if (fault_class == "babbling_idiot") {
+    return [](validator::VehicleNetwork& network, util::Rng& rng,
+              sim::SimTime at) {
+      return inject::make_babbling_idiot(
+          network.babbler(), at,
+          sim::Duration::millis(rng.uniform_int(500, 2000)));
+    };
+  }
+  if (fault_class == "network_partition") {
+    return [](validator::VehicleNetwork& network, util::Rng& rng,
+              sim::SimTime at) {
+      return inject::make_network_partition(
+          network.can_fault_link(), at,
+          sim::Duration::millis(rng.uniform_int(300, 1500)));
+    };
+  }
+  if (fault_class == "gateway_stall") {
+    return [](validator::VehicleNetwork& network, util::Rng& rng,
+              sim::SimTime at) {
+      return inject::make_gateway_stall(
+          network.gateway(), at,
+          sim::Duration::millis(rng.uniform_int(300, 1500)));
+    };
+  }
+  throw std::invalid_argument("unknown network fault class: " + fault_class);
+}
+
+}  // namespace
+
+const std::vector<std::string>& network_fault_classes() {
+  static const std::vector<std::string> kClasses = {
+      "frame_corruption", "loss_burst", "babbling_idiot", "network_partition",
+      "gateway_stall"};
+  return kClasses;
+}
+
+harness::RunResult run_network_fault(const std::string& fault_class,
+                                     std::uint64_t seed,
+                                     std::int64_t run_until_us) {
+  const MakeInjection make = injection_factory(fault_class);
+
+  sim::Engine engine;
+  validator::CentralNodeConfig config;
+  config.with_fmf = false;
+  config.safespeed.max_speed_deadline = sim::Duration::millis(200);
+  validator::CentralNode node(engine, config);
+
+  validator::NetworkConfig net_config;
+  net_config.e2e_protection = true;
+  net_config.fault_seed = seed;
+  validator::VehicleNetwork network(engine, node.signals(), net_config);
+
+  wdg::CommunicationMonitoringUnit cmu(node.watchdog());
+  const RunnableId channel{1000};
+  wdg::ComChannel ch;
+  ch.channel = channel;
+  ch.task = node.safespeed_task();
+  ch.application = node.safespeed().application();
+  ch.name = "max_speed";
+  ch.timeout = sim::Duration::millis(150);
+  cmu.add_channel(ch, engine.now());
+
+  inject::DetectionRecorder recorder;
+  recorder.add_detector("e2e_check");
+  recorder.add_detector("cmu_report");
+  recorder.add_detector("signal_qualifier");
+  recorder.add_detector("node_supervisor");
+
+  network.set_max_speed_check_listener(
+      [&](bus::E2EStatus status, sim::SimTime now) {
+        cmu.on_check_result(channel, status, now);
+        if (status != bus::E2EStatus::kOk) recorder.record("e2e_check", now);
+      });
+  node.watchdog().add_error_listener([&](const wdg::ErrorReport& report) {
+    if (report.type == wdg::ErrorType::kCommunication) {
+      recorder.record("cmu_report", report.time);
+    }
+  });
+
+  validator::RemoteNodeConfig remote_config;
+  remote_config.name = "dynamics";
+  remote_config.heartbeat_can_id = 0x700;
+  validator::RemoteNode remote(engine, network.can(), remote_config);
+  validator::NodeSupervisor supervisor(engine, network.can());
+  supervisor.register_node("dynamics", 0x700, remote_config.heartbeat_period);
+  supervisor.set_state_callback(
+      [&](NodeId, validator::NodeSupervisor::NodeState state,
+          sim::SimTime now) {
+        if (state == validator::NodeSupervisor::NodeState::kMissing) {
+          recorder.record("node_supervisor", now);
+        }
+      });
+
+  // Steady traffic: a max-speed command every 50 ms, the CMU's timeout
+  // cycle every 50 ms, and a 10 ms sampler of SafeSpeed's qualifier.
+  std::function<void()> command_loop = [&] {
+    network.command_max_speed(120.0);
+    engine.schedule_in(sim::Duration::millis(50), command_loop);
+  };
+  std::function<void()> cmu_loop = [&] {
+    cmu.cycle(engine.now());
+    engine.schedule_in(sim::Duration::millis(50), cmu_loop);
+  };
+  std::function<void()> qualifier_loop = [&] {
+    if (node.safespeed().max_speed_qualifier() !=
+        rte::SignalQualifier::kValid) {
+      recorder.record("signal_qualifier", engine.now());
+    }
+    engine.schedule_in(sim::Duration::millis(10), qualifier_loop);
+  };
+  engine.schedule_in(sim::Duration::millis(50), command_loop);
+  engine.schedule_in(sim::Duration::millis(50), cmu_loop);
+  engine.schedule_in(sim::Duration::millis(10), qualifier_loop);
+
+  util::Rng rng(seed);
+  const sim::SimTime inject_at(kInjectAtUs);
+  inject::ErrorInjector injector(engine);
+  injector.add(make(network, rng, inject_at));
+  injector.arm();
+  recorder.mark_injection(inject_at);
+
+  node.start();
+  network.start();
+  remote.start();
+  supervisor.start();
+  engine.run_until(sim::SimTime(run_until_us));
+
+  harness::RunResult result;
+  for (const auto& detector : recorder.detectors()) {
+    result.coverage.add_result(fault_class, detector,
+                               recorder.detected(detector),
+                               recorder.latency(detector));
+  }
+  return result;
+}
+
+}  // namespace easis::bench

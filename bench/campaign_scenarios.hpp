@@ -1,0 +1,30 @@
+// Reusable campaign scenarios for the harness-ported benches.
+//
+// The network fault-injection world (E2E-protected vehicle network, four
+// detection layers) is shared between exp_network_coverage — which sweeps
+// it for coverage — and bench_campaign_throughput — which uses it as a
+// realistic per-run workload for the serial-vs-parallel speedup
+// measurement. One run is one fresh world; nothing is shared across runs,
+// which is what lets the harness shard them freely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/run_spec.hpp"
+
+namespace easis::bench {
+
+/// The five network fault classes, in campaign order.
+[[nodiscard]] const std::vector<std::string>& network_fault_classes();
+
+/// Executes one randomized network-fault injection run: builds a fresh
+/// vehicle-network world, injects `fault_class` at t=2s parameterized by
+/// an RNG seeded with `seed`, simulates until `run_until_us`, and returns
+/// the run's coverage contribution (fault class x four detectors).
+[[nodiscard]] harness::RunResult run_network_fault(
+    const std::string& fault_class, std::uint64_t seed,
+    std::int64_t run_until_us = 8'000'000);
+
+}  // namespace easis::bench

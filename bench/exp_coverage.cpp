@@ -10,15 +10,24 @@
 // (hang, drop, excessive dispatch, flow corruption) that the task- and
 // ECU-level baselines miss; the hardware watchdog only fires when the
 // whole ECU stops scheduling background work.
+//
+// Ported onto the campaign harness: the 18 injections shard across --jobs
+// workers and --runs repeats the whole campaign for statistical weight.
+// The injections are deterministic (no RNG), so the result CSV is
+// byte-identical to the pre-harness serial bench at default flags.
 #include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baseline/deadline_monitor.hpp"
 #include "baseline/exec_time_monitor.hpp"
 #include "baseline/hw_watchdog.hpp"
+#include "harness/campaign_cli.hpp"
+#include "harness/campaign_report.hpp"
+#include "harness/campaign_runner.hpp"
 #include "inject/campaign.hpp"
 #include "inject/faults.hpp"
 #include "inject/injector.hpp"
@@ -38,8 +47,7 @@ struct FaultSpec {
   int targets = 3;
 };
 
-void run_one(const FaultSpec& spec, int target,
-             inject::CoverageTable& table) {
+harness::RunResult run_one(const FaultSpec& spec, int target) {
   sim::Engine engine;
   validator::CentralNodeConfig config;
   config.with_fmf = false;
@@ -85,10 +93,13 @@ void run_one(const FaultSpec& spec, int target,
   hw.start();
   engine.run_until(sim::SimTime(12'000'000));
 
+  harness::RunResult result;
   for (const auto& detector : recorder.detectors()) {
-    table.add_result(spec.fault_class, detector, recorder.detected(detector),
-                     recorder.latency(detector));
+    result.coverage.add_result(spec.fault_class, detector,
+                               recorder.detected(detector),
+                               recorder.latency(detector));
   }
+  return result;
 }
 
 RunnableId target_runnable(validator::CentralNode& node, int target) {
@@ -101,7 +112,7 @@ RunnableId target_runnable(validator::CentralNode& node, int target) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const std::vector<FaultSpec> specs = {
       {"runnable_hang",
        [](validator::CentralNode& node, int target, sim::SimTime at) {
@@ -157,30 +168,59 @@ int main() {
        1},
   };
 
-  inject::CoverageTable table;
-  int experiments = 0;
-  for (const auto& spec : specs) {
-    for (int target = 0; target < spec.targets; ++target) {
-      run_one(spec, target, table);
-      ++experiments;
+  harness::CampaignCli cli(
+      "exp_coverage",
+      "deterministic computation-fault coverage campaign (8 fault classes "
+      "x their injection targets, 4 detectors each)",
+      /*default_seed=*/0, /*default_runs=*/1,
+      "repetitions of the whole 18-injection campaign", "exp_coverage.csv");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
+  // Flatten (fault class x target) into the run list, repeated --runs
+  // times. The runs are deterministic, so the derived seeds are unused —
+  // but the indexing still fixes the reduction order.
+  std::vector<std::pair<std::size_t, int>> flat;
+  for (std::uint64_t rep = 0; rep < cli.runs; ++rep) {
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      for (int target = 0; target < specs[s].targets; ++target) {
+        flat.emplace_back(s, target);
+      }
     }
   }
+  std::vector<harness::RunSpec> run_specs =
+      harness::CampaignRunner::make_specs(flat.size(), cli.seed);
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    run_specs[i].label = specs[flat[i].first].fault_class;
+  }
+
+  harness::CampaignRunner runner(
+      cli.config(), [&](const harness::RunContext& ctx) {
+        const auto& [spec_idx, target] = flat[ctx.spec().run_index];
+        return run_one(specs[spec_idx], target);
+      });
+  const harness::CampaignOutcome outcome = runner.run(run_specs);
+  const harness::CampaignReport report(run_specs, outcome);
+  const auto& table = report.coverage();
 
   std::cout << "=== Fault detection coverage (paper outlook) ===\n"
-            << experiments << " experiments, 4 detectors each\n\n";
+            << report.completed_runs() << " experiments (" << cli.jobs
+            << " worker(s)), 4 detectors each\n\n";
   table.print(std::cout);
-
-  std::ofstream csv("exp_coverage.csv");
-  csv << "fault_class,detector,detections,experiments,coverage,mean_latency_ms\n";
-  for (const auto& fc : table.fault_classes()) {
-    for (const auto& det : table.detector_names()) {
-      csv << fc << ',' << det << ',' << table.detections(fc, det) << ','
-          << table.experiments(fc, det) << ',' << table.coverage(fc, det);
-      const auto* lat = table.latency_stats(fc, det);
-      csv << ',' << (lat ? lat->mean() : -1.0) << '\n';
-    }
+  if (!report.quarantined().empty()) {
+    std::cout << '\n' << report.quarantine_summary();
   }
-  std::cout << "\nraw results written to exp_coverage.csv\n";
+
+  {
+    std::ofstream csv(cli.csv);
+    report.write_coverage_csv(csv);
+  }
+  std::cout << "\nraw results written to " << cli.csv << '\n';
+  if (!cli.timing_csv.empty()) {
+    std::ofstream timing(cli.timing_csv);
+    report.write_timing_csv(timing, runner.config(), outcome);
+  }
+  std::cout << "campaign wall clock: " << outcome.wall_seconds << " s ("
+            << outcome.runs_per_second() << " runs/s)\n";
 
   // Shape check: the software watchdog must dominate the baselines on
   // runnable-level faults and never miss a fault class entirely.
@@ -204,6 +244,7 @@ int main() {
   shape_ok = shape_ok &&
              table.coverage("runnable_slowdown_x5", "software_watchdog") >=
                  0.6;
+  shape_ok = shape_ok && report.quarantined().empty();
   std::cout << "--- paper vs measured ---\n"
             << "expected shape: software watchdog covers runnable-level "
                "faults the ECU/task-level monitors miss\n"

@@ -20,200 +20,69 @@
 // timeout layers; a gateway stall is invisible to the bus-level node
 // supervisor (heartbeats do not cross the gateway) yet still degrades the
 // application's signal qualifier.
-#include <cstdint>
+//
+// Ported onto the campaign harness: runs shard across --jobs workers, the
+// per-run seed is derive_seed(--seed, run_index), and the result CSV is
+// byte-identical for any --jobs value.
 #include <fstream>
-#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "inject/campaign.hpp"
-#include "inject/injector.hpp"
-#include "inject/network_faults.hpp"
-#include "sim/engine.hpp"
-#include "util/random.hpp"
-#include "validator/central_node.hpp"
-#include "validator/network.hpp"
-#include "validator/node_supervisor.hpp"
-#include "validator/remote_node.hpp"
-#include "wdg/com_monitor.hpp"
+#include "campaign_scenarios.hpp"
+#include "harness/campaign_cli.hpp"
+#include "harness/campaign_report.hpp"
+#include "harness/campaign_runner.hpp"
 
 using namespace easis;
 
-namespace {
+int main(int argc, char** argv) {
+  harness::CampaignCli cli(
+      "exp_network_coverage",
+      "randomized network fault injection campaign (5 fault classes x "
+      "--runs injections, 4 detectors each)",
+      /*default_seed=*/0xC0FFEE, /*default_runs=*/42,
+      "randomized injections per fault class", "exp_network_coverage.csv");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
 
-struct FaultSpec {
-  std::string fault_class;
-  std::function<inject::Injection(validator::VehicleNetwork&, util::Rng&,
-                                  sim::SimTime)>
-      make;
-};
+  const auto& classes = bench::network_fault_classes();
+  const auto runs_per_class = static_cast<std::size_t>(cli.runs);
+  const std::size_t total = classes.size() * runs_per_class;
 
-constexpr std::int64_t kInjectAtUs = 2'000'000;
-constexpr std::int64_t kRunUntilUs = 8'000'000;
-
-void run_one(const FaultSpec& spec, std::uint64_t seed,
-             inject::CoverageTable& table) {
-  sim::Engine engine;
-  validator::CentralNodeConfig config;
-  config.with_fmf = false;
-  config.safespeed.max_speed_deadline = sim::Duration::millis(200);
-  validator::CentralNode node(engine, config);
-
-  validator::NetworkConfig net_config;
-  net_config.e2e_protection = true;
-  net_config.fault_seed = seed;
-  validator::VehicleNetwork network(engine, node.signals(), net_config);
-
-  wdg::CommunicationMonitoringUnit cmu(node.watchdog());
-  const RunnableId channel{1000};
-  wdg::ComChannel ch;
-  ch.channel = channel;
-  ch.task = node.safespeed_task();
-  ch.application = node.safespeed().application();
-  ch.name = "max_speed";
-  ch.timeout = sim::Duration::millis(150);
-  cmu.add_channel(ch, engine.now());
-
-  inject::DetectionRecorder recorder;
-  recorder.add_detector("e2e_check");
-  recorder.add_detector("cmu_report");
-  recorder.add_detector("signal_qualifier");
-  recorder.add_detector("node_supervisor");
-
-  network.set_max_speed_check_listener(
-      [&](bus::E2EStatus status, sim::SimTime now) {
-        cmu.on_check_result(channel, status, now);
-        if (status != bus::E2EStatus::kOk) recorder.record("e2e_check", now);
-      });
-  node.watchdog().add_error_listener([&](const wdg::ErrorReport& report) {
-    if (report.type == wdg::ErrorType::kCommunication) {
-      recorder.record("cmu_report", report.time);
-    }
-  });
-
-  validator::RemoteNodeConfig remote_config;
-  remote_config.name = "dynamics";
-  remote_config.heartbeat_can_id = 0x700;
-  validator::RemoteNode remote(engine, network.can(), remote_config);
-  validator::NodeSupervisor supervisor(engine, network.can());
-  supervisor.register_node("dynamics", 0x700, remote_config.heartbeat_period);
-  supervisor.set_state_callback(
-      [&](NodeId, validator::NodeSupervisor::NodeState state,
-          sim::SimTime now) {
-        if (state == validator::NodeSupervisor::NodeState::kMissing) {
-          recorder.record("node_supervisor", now);
-        }
-      });
-
-  // Steady traffic: a max-speed command every 50 ms, the CMU's timeout
-  // cycle every 50 ms, and a 10 ms sampler of SafeSpeed's qualifier.
-  std::function<void()> command_loop = [&] {
-    network.command_max_speed(120.0);
-    engine.schedule_in(sim::Duration::millis(50), command_loop);
-  };
-  std::function<void()> cmu_loop = [&] {
-    cmu.cycle(engine.now());
-    engine.schedule_in(sim::Duration::millis(50), cmu_loop);
-  };
-  std::function<void()> qualifier_loop = [&] {
-    if (node.safespeed().max_speed_qualifier() !=
-        rte::SignalQualifier::kValid) {
-      recorder.record("signal_qualifier", engine.now());
-    }
-    engine.schedule_in(sim::Duration::millis(10), qualifier_loop);
-  };
-  engine.schedule_in(sim::Duration::millis(50), command_loop);
-  engine.schedule_in(sim::Duration::millis(50), cmu_loop);
-  engine.schedule_in(sim::Duration::millis(10), qualifier_loop);
-
-  util::Rng rng(seed);
-  const sim::SimTime inject_at(kInjectAtUs);
-  inject::ErrorInjector injector(engine);
-  injector.add(spec.make(network, rng, inject_at));
-  injector.arm();
-  recorder.mark_injection(inject_at);
-
-  node.start();
-  network.start();
-  remote.start();
-  supervisor.start();
-  engine.run_until(sim::SimTime(kRunUntilUs));
-
-  for (const auto& detector : recorder.detectors()) {
-    table.add_result(spec.fault_class, detector, recorder.detected(detector),
-                     recorder.latency(detector));
+  std::vector<harness::RunSpec> specs =
+      harness::CampaignRunner::make_specs(total, cli.seed);
+  for (std::size_t i = 0; i < total; ++i) {
+    specs[i].label = classes[i / runs_per_class];
   }
-}
 
-}  // namespace
-
-int main() {
-  const std::vector<FaultSpec> specs = {
-      {"frame_corruption",
-       [](validator::VehicleNetwork& network, util::Rng& rng,
-          sim::SimTime at) {
-         return inject::make_frame_corruption(network.can_fault_link(),
-                                              rng.uniform(0.5, 1.0), at,
-                                              sim::Duration::zero());
-       }},
-      {"loss_burst",
-       [](validator::VehicleNetwork& network, util::Rng& rng,
-          sim::SimTime at) {
-         return inject::make_loss_burst(
-             network.can_fault_link(),
-             static_cast<std::uint64_t>(rng.uniform_int(5, 40)), at);
-       }},
-      {"babbling_idiot",
-       [](validator::VehicleNetwork& network, util::Rng& rng,
-          sim::SimTime at) {
-         return inject::make_babbling_idiot(
-             network.babbler(), at,
-             sim::Duration::millis(rng.uniform_int(500, 2000)));
-       }},
-      {"network_partition",
-       [](validator::VehicleNetwork& network, util::Rng& rng,
-          sim::SimTime at) {
-         return inject::make_network_partition(
-             network.can_fault_link(), at,
-             sim::Duration::millis(rng.uniform_int(300, 1500)));
-       }},
-      {"gateway_stall",
-       [](validator::VehicleNetwork& network, util::Rng& rng,
-          sim::SimTime at) {
-         return inject::make_gateway_stall(
-             network.gateway(), at,
-             sim::Duration::millis(rng.uniform_int(300, 1500)));
-       }},
-  };
-
-  constexpr int kRunsPerClass = 42;  // 5 x 42 = 210 randomized injections
-  inject::CoverageTable table;
-  int experiments = 0;
-  for (const auto& spec : specs) {
-    for (int run = 0; run < kRunsPerClass; ++run) {
-      run_one(spec, 0xC0FFEEu + static_cast<std::uint64_t>(experiments),
-              table);
-      ++experiments;
-    }
-  }
+  harness::CampaignRunner runner(
+      cli.config(), [](const harness::RunContext& ctx) {
+        return bench::run_network_fault(ctx.spec().label, ctx.spec().seed);
+      });
+  const harness::CampaignOutcome outcome = runner.run(specs);
+  const harness::CampaignReport report(specs, outcome);
+  const auto& table = report.coverage();
 
   std::cout << "=== Network fault detection coverage ===\n"
-            << experiments << " randomized injections, 4 detectors each\n\n";
+            << report.completed_runs() << " randomized injections ("
+            << cli.jobs << " worker(s), seed 0x" << std::hex << cli.seed
+            << std::dec << "), 4 detectors each\n\n";
   table.print(std::cout);
-
-  std::ofstream csv("exp_network_coverage.csv");
-  csv << "fault_class,detector,detections,experiments,coverage,"
-         "mean_latency_ms\n";
-  for (const auto& fc : table.fault_classes()) {
-    for (const auto& det : table.detector_names()) {
-      csv << fc << ',' << det << ',' << table.detections(fc, det) << ','
-          << table.experiments(fc, det) << ',' << table.coverage(fc, det);
-      const auto* lat = table.latency_stats(fc, det);
-      csv << ',' << (lat ? lat->mean() : -1.0) << '\n';
-    }
+  if (!report.quarantined().empty()) {
+    std::cout << '\n' << report.quarantine_summary();
   }
-  std::cout << "\nraw results written to exp_network_coverage.csv\n";
+
+  {
+    std::ofstream csv(cli.csv);
+    report.write_coverage_csv(csv);
+  }
+  std::cout << "\nraw results written to " << cli.csv << '\n';
+  if (!cli.timing_csv.empty()) {
+    std::ofstream timing(cli.timing_csv);
+    report.write_timing_csv(timing, runner.config(), outcome);
+  }
+  std::cout << "campaign wall clock: " << outcome.wall_seconds << " s ("
+            << outcome.runs_per_second() << " runs/s)\n";
 
   // Shape check: each fault class must be caught by the layer designed
   // for it, and the blind spots must stay blind.
@@ -240,6 +109,8 @@ int main() {
   shape_ok &= table.coverage("gateway_stall", "node_supervisor") == 0.0;
   shape_ok &= table.coverage("gateway_stall", "e2e_check") == 0.0;
   shape_ok &= table.coverage("gateway_stall", "signal_qualifier") > 0.99;
+  // The harness must not have quarantined anything in a healthy campaign.
+  shape_ok &= report.quarantined().empty();
   std::cout << "--- expected vs measured ---\n"
             << "expected shape: per-frame faults -> E2E check; silence "
                "faults -> timeout layers; gateway faults invisible on the "

@@ -18,10 +18,20 @@
 // of the horizon in reboot blackouts; storm caps the resets at the limit
 // and keeps the (limp-home) function up; recovery detects the recurring
 // fault several times faster than the threshold path.
+//
+// Ported onto the campaign harness: the three policy runs (x --runs
+// repetitions) shard across --jobs workers; each run contributes one CSV
+// row, concatenated in run-index order so the CSV is byte-identical for
+// any --jobs value.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
+#include <vector>
 
+#include "harness/campaign_cli.hpp"
+#include "harness/campaign_report.hpp"
+#include "harness/campaign_runner.hpp"
 #include "inject/faults.hpp"
 #include "inject/injector.hpp"
 #include "sim/engine.hpp"
@@ -37,6 +47,8 @@ constexpr std::uint32_t kWarmupCycles = 6;  // > SafeSpeed aliveness window
 const sim::Duration kRebootDelay = sim::Duration::millis(250);
 
 enum class Policy { kNaive, kStorm, kRecovery };
+constexpr Policy kPolicies[] = {Policy::kNaive, Policy::kStorm,
+                                Policy::kRecovery};
 
 const char* name_of(Policy p) {
   switch (p) {
@@ -120,33 +132,82 @@ Outcome run_policy(Policy policy) {
   return outcome;
 }
 
+std::vector<std::string> to_row(Policy policy, const Outcome& o) {
+  std::ostringstream availability, detect;
+  availability << o.availability;
+  detect << o.detect_ms;
+  return {name_of(policy),          std::to_string(o.resets),
+          availability.str(),       o.limp_home ? "1" : "0",
+          o.storm_latched ? "1" : "0", detect.str()};
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   util::Logger::instance().set_level(util::LogLevel::kOff);
+
+  harness::CampaignCli cli(
+      "exp_reset_storm",
+      "reboot-storm policy comparison (naive / storm / recovery)",
+      /*default_seed=*/0, /*default_runs=*/1,
+      "repetitions per reset policy", "exp_reset_storm.csv");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+  if (cli.runs == 0) cli.runs = 1;  // the shape check needs one run each
+
+  // Policy-major run list: all naive runs, then storm, then recovery, so
+  // the concatenated CSV rows keep the pre-harness order.
+  const std::size_t total = 3 * static_cast<std::size_t>(cli.runs);
+  std::vector<harness::RunSpec> specs =
+      harness::CampaignRunner::make_specs(total, cli.seed);
+  for (std::size_t i = 0; i < total; ++i) {
+    specs[i].label = name_of(kPolicies[i / cli.runs]);
+  }
+
+  // The runs are deterministic; the side vector keeps the numeric
+  // outcomes for the shape check (each slot written by exactly one run).
+  std::vector<Outcome> outcomes(total);
+  harness::CampaignRunner runner(
+      cli.config(), [&](const harness::RunContext& ctx) {
+        const std::size_t i = ctx.spec().run_index;
+        const Policy policy = kPolicies[i / cli.runs];
+        const Outcome o = run_policy(policy);
+        outcomes[i] = o;
+        harness::RunResult result;
+        result.rows.push_back(to_row(policy, o));
+        return result;
+      });
+  const harness::CampaignOutcome outcome = runner.run(specs);
+  const harness::CampaignReport report(specs, outcome);
+
   std::cout << "=== Reboot-storm escalation and recovery validation ===\n"
             << "boot-persistent SafeSpeed fault at t=5s; every reset costs a\n"
             << "250 ms blackout; availability = share of 10 ms slots with a\n"
             << "completed SafeSpeed sensor execution over 60 s\n\n"
             << "policy     resets  availability  limp  storm  detect_ms\n";
-  std::ofstream csv("exp_reset_storm.csv");
-  csv << "policy,resets,availability,limp_home,storm_latched,detect_ms\n";
-
-  Outcome naive, storm, recovery;
-  for (const Policy policy :
-       {Policy::kNaive, Policy::kStorm, Policy::kRecovery}) {
-    const Outcome o = run_policy(policy);
-    std::printf("%-9s  %6u  %11.1f%%  %4s  %5s  %9.1f\n", name_of(policy),
-                o.resets, o.availability * 100.0, o.limp_home ? "yes" : "no",
-                o.storm_latched ? "yes" : "no", o.detect_ms);
-    csv << name_of(policy) << ',' << o.resets << ',' << o.availability << ','
-        << (o.limp_home ? 1 : 0) << ',' << (o.storm_latched ? 1 : 0) << ','
-        << o.detect_ms << '\n';
-    if (policy == Policy::kNaive) naive = o;
-    if (policy == Policy::kStorm) storm = o;
-    if (policy == Policy::kRecovery) recovery = o;
+  for (std::size_t p = 0; p < 3; ++p) {
+    const Outcome& o = outcomes[p * cli.runs];
+    std::printf("%-9s  %6u  %11.1f%%  %4s  %5s  %9.1f\n",
+                name_of(kPolicies[p]), o.resets, o.availability * 100.0,
+                o.limp_home ? "yes" : "no", o.storm_latched ? "yes" : "no",
+                o.detect_ms);
+  }
+  if (!report.quarantined().empty()) {
+    std::cout << '\n' << report.quarantine_summary();
   }
 
+  {
+    std::ofstream csv(cli.csv);
+    report.write_rows_csv(
+        csv, "policy,resets,availability,limp_home,storm_latched,detect_ms");
+  }
+  if (!cli.timing_csv.empty()) {
+    std::ofstream timing(cli.timing_csv);
+    report.write_timing_csv(timing, runner.config(), outcome);
+  }
+
+  const Outcome& naive = outcomes[0];
+  const Outcome& storm = outcomes[1 * cli.runs];
+  const Outcome& recovery = outcomes[2 * cli.runs];
   const double warmup_ms =
       static_cast<double>(kWarmupCycles) * 10.0;  // 10 ms check period
   const bool shape_ok =
@@ -156,8 +217,8 @@ int main() {
       recovery.storm_latched && recovery.limp_home &&
       recovery.availability > naive.availability + 0.2 &&
       recovery.detect_ms > 0.0 && recovery.detect_ms <= warmup_ms + 10.0 &&
-      recovery.detect_ms < naive.detect_ms;
-  std::cout << "\nraw results written to exp_reset_storm.csv\n"
+      recovery.detect_ms < naive.detect_ms && report.quarantined().empty();
+  std::cout << "\nraw results written to " << cli.csv << '\n'
             << "--- expected shape ---\n"
             << "naive resets forever and loses >20% availability to reboot\n"
             << "blackouts; storm caps resets at " << kStormLimit

@@ -1,0 +1,35 @@
+# End-to-end campaign determinism check (ctest: campaign_jobs_determinism).
+#
+# Runs a harness-ported campaign binary twice with the same --seed but
+# --jobs 1 vs --jobs 4 and requires the result CSVs to be byte-identical.
+# The binary's own exit code reflects its *shape* check, which a shrunk
+# --runs sweep may legitimately fail; only a crash (abnormal exit) or a
+# CSV mismatch fails this test.
+#
+# Usage: cmake -DEXE=<binary> -DARGS=<common flags> -DOUT=<prefix>
+#              -P campaign_determinism.cmake
+if(NOT DEFINED EXE OR NOT DEFINED OUT)
+  message(FATAL_ERROR "EXE and OUT must be defined")
+endif()
+separate_arguments(common_args UNIX_COMMAND "${ARGS}")
+
+foreach(jobs 1 4)
+  execute_process(
+    COMMAND ${EXE} ${common_args} --jobs ${jobs} --csv ${OUT}_j${jobs}.csv
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc MATCHES "^[01]$")
+    message(FATAL_ERROR "${EXE} --jobs ${jobs} exited abnormally: ${rc}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT}_j1.csv ${OUT}_j4.csv
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR
+      "campaign CSVs differ between --jobs 1 and --jobs 4 "
+      "(${OUT}_j1.csv vs ${OUT}_j4.csv): parallel execution broke "
+      "determinism")
+endif()
+message(STATUS "campaign CSVs byte-identical across --jobs 1 and --jobs 4")

@@ -1,0 +1,64 @@
+// Shared CLI surface of the campaign binaries: every harness-ported bench
+// exposes the same --jobs/--seed/--runs/--csv quartet (plus --deadline-ms
+// and --timing-csv), so campaign automation can drive any of them
+// uniformly.
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "harness/campaign_runner.hpp"
+#include "util/argparse.hpp"
+
+namespace easis::harness {
+
+class CampaignCli {
+ public:
+  unsigned jobs = 1;
+  std::uint64_t seed = 0;
+  std::uint64_t runs = 0;
+  std::string csv;
+  std::string timing_csv;
+  std::uint64_t deadline_ms = 0;
+
+  CampaignCli(const std::string& program, const std::string& description,
+              std::uint64_t default_seed, std::uint64_t default_runs,
+              const std::string& runs_help, const std::string& default_csv)
+      : seed(default_seed),
+        runs(default_runs),
+        csv(default_csv),
+        parser_(program, description) {
+    parser_.add("jobs", &jobs, "worker threads (1 = serial)");
+    parser_.add("seed", &seed, "campaign seed; per-run seeds derive from it");
+    parser_.add("runs", &runs, runs_help);
+    parser_.add("csv", &csv, "result CSV path (deterministic across --jobs)");
+    parser_.add("timing-csv", &timing_csv,
+                "wall-clock/throughput CSV path (empty = skip)");
+    parser_.add("deadline-ms", &deadline_ms,
+                "per-run wall-clock deadline, 0 = unguarded");
+  }
+
+  /// Returns true when the program should proceed; otherwise exit with
+  /// exit_code().
+  [[nodiscard]] bool parse(int argc, const char* const* argv) {
+    ok_ = parser_.parse(argc, argv, std::cerr);
+    return ok_;
+  }
+
+  [[nodiscard]] int exit_code() const { return parser_.exited() ? 0 : 2; }
+
+  [[nodiscard]] CampaignConfig config() const {
+    CampaignConfig config;
+    config.jobs = jobs;
+    config.seed = seed;
+    config.run_deadline = std::chrono::milliseconds(deadline_ms);
+    return config;
+  }
+
+ private:
+  util::ArgParser parser_;
+  bool ok_ = false;
+};
+
+}  // namespace easis::harness

@@ -1,0 +1,72 @@
+#include "harness/campaign_report.hpp"
+
+#include <sstream>
+
+namespace easis::harness {
+
+CampaignReport::CampaignReport(const std::vector<RunSpec>& specs,
+                               const CampaignOutcome& outcome) {
+  for (std::size_t i = 0; i < outcome.results.size(); ++i) {
+    const RunResult& result = outcome.results[i];
+    if (result.status != RunStatus::kRunOk) {
+      quarantined_.push_back({i, i < specs.size() ? specs[i].label : "",
+                              result.status, result.error});
+      continue;
+    }
+    ++completed_;
+    coverage_.merge(result.coverage);
+    rows_.insert(rows_.end(), result.rows.begin(), result.rows.end());
+  }
+}
+
+void CampaignReport::write_coverage_csv(std::ostream& out) const {
+  out << "fault_class,detector,detections,experiments,coverage,"
+         "mean_latency_ms\n";
+  for (const auto& fc : coverage_.fault_classes()) {
+    for (const auto& det : coverage_.detector_names()) {
+      out << fc << ',' << det << ',' << coverage_.detections(fc, det) << ','
+          << coverage_.experiments(fc, det) << ','
+          << coverage_.coverage(fc, det);
+      const auto* lat = coverage_.latency_stats(fc, det);
+      out << ',' << (lat ? lat->mean() : -1.0) << '\n';
+    }
+  }
+}
+
+void CampaignReport::write_rows_csv(std::ostream& out,
+                                    const std::string& header) const {
+  out << header << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << row[i];
+    }
+    out << '\n';
+  }
+}
+
+void CampaignReport::write_timing_csv(std::ostream& out,
+                                      const CampaignConfig& config,
+                                      const CampaignOutcome& outcome) const {
+  out << "jobs,seed,runs,completed,timeouts,errors,wall_s,runs_per_s\n"
+      << config.jobs << ',' << config.seed << ',' << outcome.results.size()
+      << ',' << completed_ << ',' << outcome.timeouts << ',' << outcome.errors
+      << ',' << outcome.wall_seconds << ',' << outcome.runs_per_second()
+      << '\n';
+}
+
+std::string CampaignReport::quarantine_summary() const {
+  if (quarantined_.empty()) return "";
+  std::ostringstream out;
+  out << quarantined_.size() << " run(s) quarantined:\n";
+  for (const auto& q : quarantined_) {
+    out << "  run " << q.run_index;
+    if (!q.label.empty()) out << " [" << q.label << "]";
+    out << ": " << to_string(q.status);
+    if (!q.error.empty()) out << " — " << q.error;
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace easis::harness

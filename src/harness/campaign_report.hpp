@@ -1,0 +1,70 @@
+// Deterministic reduction of a campaign: per-run partial results fold into
+// one coverage table / row list in run-index order, so the report is
+// bit-identical no matter how many workers produced the partials.
+//
+// Wall-clock and throughput are inherently nondeterministic, so they go to
+// a *separate* timing CSV; the result CSV stays byte-comparable across
+// --jobs values (the property the determinism test locks in).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/campaign_runner.hpp"
+#include "inject/campaign.hpp"
+
+namespace easis::harness {
+
+class CampaignReport {
+ public:
+  /// Reduces the outcome: coverage tables merge and rows concatenate in
+  /// run-index order; quarantined/errored runs contribute only to the
+  /// quarantine list (their partial results are dropped — that is the
+  /// quarantine).
+  CampaignReport(const std::vector<RunSpec>& specs,
+                 const CampaignOutcome& outcome);
+
+  [[nodiscard]] const inject::CoverageTable& coverage() const {
+    return coverage_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
+  struct QuarantinedRun {
+    std::size_t run_index;
+    std::string label;
+    RunStatus status;
+    std::string error;
+  };
+  [[nodiscard]] const std::vector<QuarantinedRun>& quarantined() const {
+    return quarantined_;
+  }
+  [[nodiscard]] std::size_t completed_runs() const { return completed_; }
+
+  /// Writes the canonical coverage CSV (the exp_coverage /
+  /// exp_network_coverage format): fault_class,detector,detections,
+  /// experiments,coverage,mean_latency_ms. Deterministic across --jobs.
+  void write_coverage_csv(std::ostream& out) const;
+
+  /// Writes concatenated per-run rows under the given header.
+  /// Deterministic across --jobs.
+  void write_rows_csv(std::ostream& out, const std::string& header) const;
+
+  /// Writes the nondeterministic side channel: one row of wall-clock,
+  /// throughput and quarantine counters for this execution.
+  void write_timing_csv(std::ostream& out, const CampaignConfig& config,
+                        const CampaignOutcome& outcome) const;
+
+  /// Human-readable quarantine summary (empty string when clean).
+  [[nodiscard]] std::string quarantine_summary() const;
+
+ private:
+  inject::CoverageTable coverage_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<QuarantinedRun> quarantined_;
+  std::size_t completed_ = 0;
+};
+
+}  // namespace easis::harness

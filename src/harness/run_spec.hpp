@@ -1,0 +1,77 @@
+// Job model of the campaign harness: one RunSpec per independent
+// simulation run, one RunResult back.
+//
+// A campaign is a flat list of runs, each fully described by its index and
+// a seed derived as util::derive_seed(campaign_seed, run_index). Because
+// the seed is a pure function of the index, a run computes the same result
+// no matter which worker executes it or in which order — the property the
+// deterministic reduction in CampaignReport relies on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "inject/campaign.hpp"
+
+namespace easis::harness {
+
+/// Immutable description of one run, handed to the campaign's run function.
+struct RunSpec {
+  /// Position in the campaign, 0-based; doubles as the reduction order.
+  std::size_t run_index = 0;
+  /// Per-run seed, util::derive_seed(campaign_seed, run_index).
+  std::uint64_t seed = 0;
+  /// Bench-defined label (e.g. the fault class) carried into diagnostics.
+  std::string label;
+};
+
+enum class RunStatus : std::uint8_t {
+  kRunOk = 0,
+  /// Exceeded the per-run wall-clock deadline; quarantined by the
+  /// supervisor, its (eventual) result discarded.
+  kRunTimeout,
+  /// The run function threw; what() is kept in RunResult::error.
+  kRunError,
+};
+
+[[nodiscard]] constexpr const char* to_string(RunStatus status) {
+  switch (status) {
+    case RunStatus::kRunOk: return "ok";
+    case RunStatus::kRunTimeout: return "timeout";
+    case RunStatus::kRunError: return "error";
+  }
+  return "?";
+}
+
+/// What one run contributes to the campaign. Coverage campaigns fill
+/// `coverage`; row-per-run campaigns (e.g. the reset-storm policies) fill
+/// `rows`, which the reduction concatenates in run-index order.
+struct RunResult {
+  RunStatus status = RunStatus::kRunOk;
+  inject::CoverageTable coverage;
+  std::vector<std::vector<std::string>> rows;
+  std::string error;
+};
+
+/// Execution context passed alongside the spec. Long-running simulations
+/// that want to cooperate with hang quarantine can poll cancelled(); the
+/// harness never interrupts a run that doesn't — it abandons the worker
+/// and keeps the campaign moving instead.
+class RunContext {
+ public:
+  RunContext(const RunSpec& spec, const std::atomic<bool>& cancel)
+      : spec_(spec), cancel_(cancel) {}
+
+  [[nodiscard]] const RunSpec& spec() const { return spec_; }
+  [[nodiscard]] bool cancelled() const {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const RunSpec& spec_;
+  const std::atomic<bool>& cancel_;
+};
+
+}  // namespace easis::harness

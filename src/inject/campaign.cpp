@@ -56,6 +56,27 @@ void CoverageTable::add_result(const std::string& fault_class,
   }
 }
 
+void CoverageTable::merge(const CoverageTable& other) {
+  if (&other == this) {
+    // Self-merge doubles every cell; take a snapshot so the loop below
+    // doesn't walk a map it is mutating.
+    merge(CoverageTable(other));
+    return;
+  }
+  for (const auto& [key, other_cell] : other.cells_) {
+    Cell& mine = cells_[key];
+    mine.experiments += other_cell.experiments;
+    mine.detections += other_cell.detections;
+    mine.latency_ms.merge(other_cell.latency_ms);
+  }
+}
+
+std::size_t CoverageTable::total_experiments() const {
+  std::size_t total = 0;
+  for (const auto& [key, cell] : cells_) total += cell.experiments;
+  return total;
+}
+
 const CoverageTable::Cell* CoverageTable::cell(
     const std::string& fault_class, const std::string& detector) const {
   auto it = cells_.find({fault_class, detector});

@@ -49,6 +49,15 @@ class CoverageTable {
   void add_result(const std::string& fault_class, const std::string& detector,
                   bool detected, std::optional<sim::Duration> latency);
 
+  /// Folds another table's cells into this one (counts add up, latency
+  /// samples replay through util::Stats::merge). Campaign shards merged in
+  /// run-index order reproduce the serial table exactly; any other merge
+  /// order yields the same counts and the same latency stats up to fp
+  /// rounding of mean/variance.
+  void merge(const CoverageTable& other);
+
+  [[nodiscard]] std::size_t total_experiments() const;
+
   [[nodiscard]] std::uint32_t experiments(const std::string& fault_class,
                                           const std::string& detector) const;
   [[nodiscard]] std::uint32_t detections(const std::string& fault_class,

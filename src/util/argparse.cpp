@@ -1,0 +1,146 @@
+#include "util/argparse.hpp"
+
+#include <charconv>
+#include <cstdlib>
+#include <iomanip>
+
+namespace easis::util {
+
+namespace {
+
+template <typename T>
+bool parse_integer(const std::string& text, T* out) {
+  T value{};
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end) return false;
+  *out = value;
+  return true;
+}
+
+bool parse_double(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_flag(Flag flag) { flags_.push_back(std::move(flag)); }
+
+ArgParser::Flag* ArgParser::find(const std::string& name) {
+  for (auto& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+void ArgParser::add(const std::string& name, std::uint64_t* value,
+                    const std::string& help) {
+  add_flag({name, help, std::to_string(*value), true,
+            [value](const std::string& t) { return parse_integer(t, value); }});
+}
+
+void ArgParser::add(const std::string& name, std::int64_t* value,
+                    const std::string& help) {
+  add_flag({name, help, std::to_string(*value), true,
+            [value](const std::string& t) { return parse_integer(t, value); }});
+}
+
+void ArgParser::add(const std::string& name, unsigned* value,
+                    const std::string& help) {
+  add_flag({name, help, std::to_string(*value), true,
+            [value](const std::string& t) { return parse_integer(t, value); }});
+}
+
+void ArgParser::add(const std::string& name, double* value,
+                    const std::string& help) {
+  add_flag({name, help, std::to_string(*value), true,
+            [value](const std::string& t) { return parse_double(t, value); }});
+}
+
+void ArgParser::add(const std::string& name, bool* value,
+                    const std::string& help) {
+  add_flag({name, help, *value ? "true" : "false", false,
+            [value](const std::string&) {
+              *value = true;
+              return true;
+            }});
+}
+
+void ArgParser::add(const std::string& name, std::string* value,
+                    const std::string& help) {
+  add_flag({name, help, *value, true, [value](const std::string& t) {
+              *value = t;
+              return true;
+            }});
+}
+
+bool ArgParser::parse(int argc, const char* const* argv, std::ostream& err) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      print_usage(err);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      err << program_ << ": unexpected positional argument '" << arg << "'\n";
+      return false;
+    }
+    std::string name = arg.substr(2);
+    std::string inline_value;
+    bool has_inline = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline = true;
+    }
+    Flag* flag = find(name);
+    if (flag == nullptr) {
+      err << program_ << ": unknown flag '--" << name << "'\n";
+      return false;
+    }
+    std::string value;
+    if (flag->takes_value) {
+      if (has_inline) {
+        value = inline_value;
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        err << program_ << ": flag '--" << name << "' expects a value\n";
+        return false;
+      }
+    } else if (has_inline) {
+      err << program_ << ": flag '--" << name << "' takes no value\n";
+      return false;
+    }
+    if (!flag->assign(value)) {
+      err << program_ << ": invalid value '" << value << "' for '--" << name
+          << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+void ArgParser::print_usage(std::ostream& out) const {
+  out << "usage: " << program_ << " [flags]\n";
+  if (!description_.empty()) out << description_ << "\n";
+  out << "flags:\n";
+  for (const auto& flag : flags_) {
+    std::string left = "  --" + flag.name + (flag.takes_value ? " <value>" : "");
+    out << std::left << std::setw(28) << left << flag.help << " (default: "
+        << (flag.default_text.empty() ? "\"\"" : flag.default_text) << ")\n";
+  }
+  out << std::left << std::setw(28) << "  --help" << "print this text\n";
+}
+
+}  // namespace easis::util

@@ -1,0 +1,64 @@
+// Minimal shared CLI-flag parser for the bench/campaign binaries.
+//
+// Every campaign binary takes the same quartet (--jobs, --seed, --runs,
+// --csv); before this existed each bench hand-rolled its own argv walk.
+// Flags are long-form only, `--name value` or `--name=value`; `--help`
+// prints a generated usage text and parse() reports it via exited().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace easis::util {
+
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program, std::string description = "");
+
+  /// Registers a flag bound to `value`; the bound default is what --help
+  /// shows. Supported types: std::uint64_t, std::int64_t, unsigned, double,
+  /// bool (value-less switch), std::string.
+  void add(const std::string& name, std::uint64_t* value,
+           const std::string& help);
+  void add(const std::string& name, std::int64_t* value,
+           const std::string& help);
+  void add(const std::string& name, unsigned* value, const std::string& help);
+  void add(const std::string& name, double* value, const std::string& help);
+  void add(const std::string& name, bool* value, const std::string& help);
+  void add(const std::string& name, std::string* value,
+           const std::string& help);
+
+  /// Parses argv. Returns false on an unknown flag, a missing or malformed
+  /// value, or --help; diagnostics/usage go to `err`. Callers should exit
+  /// with exited() ? 0 : 2 when parse() fails.
+  [[nodiscard]] bool parse(int argc, const char* const* argv,
+                           std::ostream& err);
+
+  /// True when parse() returned false because of --help (exit 0, not 2).
+  [[nodiscard]] bool exited() const { return help_requested_; }
+
+  void print_usage(std::ostream& out) const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string help;
+    std::string default_text;
+    bool takes_value = true;
+    // Returns false when `text` does not parse as the flag's type.
+    std::function<bool(const std::string& text)> assign;
+  };
+
+  void add_flag(Flag flag);
+  [[nodiscard]] Flag* find(const std::string& name);
+
+  std::string program_;
+  std::string description_;
+  std::vector<Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace easis::util

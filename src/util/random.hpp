@@ -7,6 +7,26 @@
 
 namespace easis::util {
 
+/// SplitMix64 finalizer (Steele/Lea/Flood; the PCG/xoshiro seeding mixer).
+/// Bijective on 64-bit words, so distinct inputs never collide.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Derives the per-run seed for run `run_index` of a campaign seeded with
+/// `campaign_seed`. Pure function of (campaign_seed, run_index): the seed a
+/// run gets is independent of worker count and scheduling order, which is
+/// what makes sharded campaigns bit-identical to serial ones. Two mixing
+/// rounds decorrelate adjacent run indices (a single round already avalanches,
+/// the second guards the low bits that std::mt19937_64 seeds from).
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t campaign_seed,
+                                                  std::uint64_t run_index) {
+  return splitmix64(splitmix64(campaign_seed) ^ splitmix64(run_index));
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}
@@ -28,6 +48,11 @@ class Rng {
   [[nodiscard]] bool bernoulli(double p) {
     return std::bernoulli_distribution(p)(engine_);
   }
+
+  /// Forks an independent child stream. Advances this engine by one draw
+  /// and seeds the child through SplitMix64, so parent and child sequences
+  /// are decorrelated and repeated split() calls yield distinct streams.
+  [[nodiscard]] Rng split() { return Rng(splitmix64(engine_())); }
 
   [[nodiscard]] std::mt19937_64& engine() { return engine_; }
 

@@ -16,6 +16,16 @@ void Stats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void Stats::merge(const Stats& other) {
+  // Replaying through add() (instead of Chan's parallel combine) keeps the
+  // merged state bitwise-equal to a serial accumulator when shards are
+  // folded in order — the determinism contract the campaign harness needs.
+  const std::size_t n = other.samples_.size();
+  samples_.reserve(samples_.size() + n);
+  // Index loop (not iterators): add() grows samples_, and other may be *this.
+  for (std::size_t i = 0; i < n; ++i) add(other.samples_[i]);
+}
+
 double Stats::variance() const {
   if (samples_.size() < 2) return 0.0;
   return m2_ / static_cast<double>(samples_.size() - 1);

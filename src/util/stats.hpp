@@ -11,6 +11,12 @@ class Stats {
  public:
   void add(double x);
 
+  /// Folds another accumulator's samples into this one, replaying them
+  /// through add() in their insertion order. Merging per-shard partials in
+  /// run-index order therefore reproduces the serial accumulator bit for
+  /// bit; merging in any other order changes only fp rounding, not counts.
+  void merge(const Stats& other);
+
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   [[nodiscard]] bool empty() const { return samples_.empty(); }
   [[nodiscard]] double mean() const { return mean_; }

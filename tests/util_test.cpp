@@ -4,6 +4,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "util/argparse.hpp"
 #include "util/csv.hpp"
 #include "util/ids.hpp"
 #include "util/logging.hpp"
@@ -299,6 +300,196 @@ TEST(Rng, BernoulliExtremes) {
     EXPECT_FALSE(rng.bernoulli(0.0));
     EXPECT_TRUE(rng.bernoulli(1.0));
   }
+}
+
+// --- derive_seed / Rng::split -----------------------------------------------
+
+TEST(DeriveSeed, PureFunctionOfCampaignSeedAndIndex) {
+  EXPECT_EQ(util::derive_seed(42, 7), util::derive_seed(42, 7));
+  EXPECT_NE(util::derive_seed(42, 7), util::derive_seed(42, 8));
+  EXPECT_NE(util::derive_seed(42, 7), util::derive_seed(43, 7));
+}
+
+TEST(DeriveSeed, AdjacentRunIndicesNeverCollide) {
+  // Campaigns index runs densely from 0; the derived streams must be
+  // distinct across a window far larger than any real campaign.
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 100'000; ++i) {
+    EXPECT_TRUE(seen.insert(util::derive_seed(0xC0FFEE, i)).second)
+        << "seed collision at run index " << i;
+  }
+}
+
+TEST(DeriveSeed, AdjacentIndicesYieldDecorrelatedStreams) {
+  // First draws of adjacent per-run RNGs must not be correlated; a mean
+  // this far off 0.5 (50k draws) would signal a broken mixer.
+  double sum = 0.0;
+  constexpr int kRuns = 50'000;
+  for (int i = 0; i < kRuns; ++i) {
+    util::Rng rng(util::derive_seed(1, static_cast<std::uint64_t>(i)));
+    sum += rng.uniform(0.0, 1.0);
+  }
+  EXPECT_NEAR(sum / kRuns, 0.5, 0.01);
+}
+
+TEST(RngSplit, ChildStreamDiffersFromParent) {
+  util::Rng parent(99);
+  util::Rng child = parent.split();
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    any_diff |= parent.uniform_int(0, 1'000'000) !=
+                child.uniform_int(0, 1'000'000);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngSplit, RepeatedSplitsAreDistinct) {
+  util::Rng parent(99);
+  util::Rng a = parent.split();
+  util::Rng b = parent.split();
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) {
+    any_diff |= a.uniform_int(0, 1'000'000) != b.uniform_int(0, 1'000'000);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngSplit, ReproducibleFromSameParentState) {
+  util::Rng p1(5), p2(5);
+  util::Rng c1 = p1.split(), c2 = p2.split();
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(c1.uniform_int(0, 1'000'000), c2.uniform_int(0, 1'000'000));
+  }
+}
+
+// --- Stats::merge ------------------------------------------------------------
+
+TEST(StatsMerge, InOrderMergeMatchesSerialBitwise) {
+  util::Stats serial;
+  util::Stats shard_a, shard_b;
+  const double xs[] = {1.5, 2.25, -3.0, 7.125, 0.5, 42.0};
+  for (int i = 0; i < 6; ++i) {
+    serial.add(xs[i]);
+    (i < 3 ? shard_a : shard_b).add(xs[i]);
+  }
+  util::Stats merged;
+  merged.merge(shard_a);
+  merged.merge(shard_b);
+  EXPECT_EQ(merged.count(), serial.count());
+  // In-order replay is the determinism contract: bitwise, not just near.
+  EXPECT_EQ(merged.mean(), serial.mean());
+  EXPECT_EQ(merged.variance(), serial.variance());
+  EXPECT_EQ(merged.sum(), serial.sum());
+  EXPECT_EQ(merged.percentile(75.0), serial.percentile(75.0));
+}
+
+TEST(StatsMerge, OutOfOrderMergeMatchesWithinTolerance) {
+  util::Stats serial;
+  util::Stats shard_a, shard_b, shard_c;
+  for (int i = 0; i < 30; ++i) {
+    const double x = 0.1 * i * (i % 3 == 0 ? -1.0 : 1.0);
+    serial.add(x);
+    (i % 3 == 0 ? shard_a : i % 3 == 1 ? shard_b : shard_c).add(x);
+  }
+  util::Stats merged;
+  merged.merge(shard_c);
+  merged.merge(shard_a);
+  merged.merge(shard_b);
+  EXPECT_EQ(merged.count(), serial.count());
+  EXPECT_EQ(merged.min(), serial.min());
+  EXPECT_EQ(merged.max(), serial.max());
+  EXPECT_EQ(merged.median(), serial.median());
+  EXPECT_NEAR(merged.mean(), serial.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), serial.variance(), 1e-12);
+}
+
+TEST(StatsMerge, EmptyAndSelfMergeAreSafe) {
+  util::Stats stats;
+  stats.add(1.0);
+  stats.add(3.0);
+  util::Stats empty;
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 2u);
+  stats.merge(stats);
+  EXPECT_EQ(stats.count(), 4u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+}
+
+// --- ArgParser ---------------------------------------------------------------
+
+TEST(ArgParser, ParsesCampaignFlagQuartet) {
+  unsigned jobs = 1;
+  std::uint64_t seed = 0;
+  std::uint64_t runs = 42;
+  std::string csv = "default.csv";
+  util::ArgParser parser("prog");
+  parser.add("jobs", &jobs, "workers");
+  parser.add("seed", &seed, "campaign seed");
+  parser.add("runs", &runs, "runs");
+  parser.add("csv", &csv, "output");
+  const char* argv[] = {"prog", "--jobs", "4", "--seed=12345", "--csv",
+                        "out.csv"};
+  std::ostringstream err;
+  ASSERT_TRUE(parser.parse(6, argv, err)) << err.str();
+  EXPECT_EQ(jobs, 4u);
+  EXPECT_EQ(seed, 12345u);
+  EXPECT_EQ(runs, 42u);  // untouched default
+  EXPECT_EQ(csv, "out.csv");
+}
+
+TEST(ArgParser, BoolFlagTakesNoValue) {
+  bool verbose = false;
+  util::ArgParser parser("prog");
+  parser.add("verbose", &verbose, "chatty");
+  const char* argv[] = {"prog", "--verbose"};
+  std::ostringstream err;
+  ASSERT_TRUE(parser.parse(2, argv, err));
+  EXPECT_TRUE(verbose);
+}
+
+TEST(ArgParser, RejectsUnknownFlag) {
+  util::ArgParser parser("prog");
+  const char* argv[] = {"prog", "--nope"};
+  std::ostringstream err;
+  EXPECT_FALSE(parser.parse(2, argv, err));
+  EXPECT_FALSE(parser.exited());
+  EXPECT_NE(err.str().find("unknown flag"), std::string::npos);
+}
+
+TEST(ArgParser, RejectsMissingAndMalformedValues) {
+  unsigned jobs = 1;
+  util::ArgParser parser("prog");
+  parser.add("jobs", &jobs, "workers");
+  {
+    const char* argv[] = {"prog", "--jobs"};
+    std::ostringstream err;
+    EXPECT_FALSE(parser.parse(2, argv, err));
+  }
+  {
+    const char* argv[] = {"prog", "--jobs", "four"};
+    std::ostringstream err;
+    EXPECT_FALSE(parser.parse(3, argv, err));
+    EXPECT_NE(err.str().find("invalid value"), std::string::npos);
+  }
+}
+
+TEST(ArgParser, HelpPrintsUsageAndExits) {
+  unsigned jobs = 1;
+  util::ArgParser parser("prog", "a test program");
+  parser.add("jobs", &jobs, "workers");
+  const char* argv[] = {"prog", "--help"};
+  std::ostringstream err;
+  EXPECT_FALSE(parser.parse(2, argv, err));
+  EXPECT_TRUE(parser.exited());
+  EXPECT_NE(err.str().find("--jobs"), std::string::npos);
+  EXPECT_NE(err.str().find("default: 1"), std::string::npos);
+}
+
+TEST(ArgParser, RejectsPositionalArguments) {
+  util::ArgParser parser("prog");
+  const char* argv[] = {"prog", "stray"};
+  std::ostringstream err;
+  EXPECT_FALSE(parser.parse(2, argv, err));
 }
 
 }  // namespace
