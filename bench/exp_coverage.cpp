@@ -94,10 +94,17 @@ harness::RunResult run_one(const FaultSpec& spec, int target) {
   engine.run_until(sim::SimTime(12'000'000));
 
   harness::RunResult result;
+  bool any_detected = false;
   for (const auto& detector : recorder.detectors()) {
     result.coverage.add_result(spec.fault_class, detector,
                                recorder.detected(detector),
                                recorder.latency(detector));
+    any_detected = any_detected || recorder.detected(detector);
+  }
+  if (!any_detected) {
+    // A completely invisible injection is the anomaly the flight recorder
+    // exists for; flag it so the harness dumps this run's events.
+    result.misdetect = "no detector fired for " + spec.fault_class;
   }
   return result;
 }
@@ -219,6 +226,7 @@ int main(int argc, char** argv) {
     std::ofstream timing(cli.timing_csv);
     report.write_timing_csv(timing, runner.config(), outcome);
   }
+  cli.write_artifacts(report, std::cout);
   std::cout << "campaign wall clock: " << outcome.wall_seconds << " s ("
             << outcome.runs_per_second() << " runs/s)\n";
 

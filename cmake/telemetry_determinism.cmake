@@ -1,0 +1,46 @@
+# End-to-end telemetry determinism check (ctest: telemetry_jobs_determinism).
+#
+# Runs a harness-ported campaign binary with the same --seed but --jobs 1
+# vs --jobs 4, each time exporting the structured event log and the
+# metrics file, and requires both artifacts to be byte-identical. This
+# locks in the telemetry determinism contract: events are sim-time
+# stamped, sequence numbers restart per run, and exports are ordered by
+# run index — so worker scheduling must not leak into the files.
+# The binary's own exit code reflects its *shape* check, which a shrunk
+# --runs sweep may legitimately fail; only a crash (abnormal exit) or an
+# artifact mismatch fails this test.
+#
+# Usage: cmake -DEXE=<binary> -DARGS=<common flags> -DOUT=<prefix>
+#              -P telemetry_determinism.cmake
+if(NOT DEFINED EXE OR NOT DEFINED OUT)
+  message(FATAL_ERROR "EXE and OUT must be defined")
+endif()
+separate_arguments(common_args UNIX_COMMAND "${ARGS}")
+
+foreach(jobs 1 4)
+  execute_process(
+    COMMAND ${EXE} ${common_args} --jobs ${jobs}
+      --csv ${OUT}_j${jobs}.csv
+      --events-out ${OUT}_j${jobs}.events
+      --metrics-out ${OUT}_j${jobs}.metrics
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc MATCHES "^[01]$")
+    message(FATAL_ERROR "${EXE} --jobs ${jobs} exited abnormally: ${rc}")
+  endif()
+endforeach()
+
+foreach(artifact events metrics)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+      ${OUT}_j1.${artifact} ${OUT}_j4.${artifact}
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+        "telemetry ${artifact} files differ between --jobs 1 and --jobs 4 "
+        "(${OUT}_j1.${artifact} vs ${OUT}_j4.${artifact}): parallel "
+        "execution broke the telemetry determinism contract")
+  endif()
+endforeach()
+message(STATUS
+    "telemetry event logs and metrics byte-identical across --jobs 1 and 4")

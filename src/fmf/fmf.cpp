@@ -2,13 +2,31 @@
 
 #include <stdexcept>
 
+#include "telemetry/event_bus.hpp"
 #include "util/logging.hpp"
 
 namespace easis::fmf {
 
 namespace {
+
 constexpr std::string_view kLog = "fmf";
+
+void emit_fmf_event(telemetry::EventKind kind, sim::SimTime now,
+                    std::string detail,
+                    ApplicationId app = ApplicationId{},
+                    TaskId task = TaskId{}) {
+  if (!telemetry::enabled()) return;
+  telemetry::Event event;
+  event.time = now;
+  event.component = telemetry::Component::kFmf;
+  event.kind = kind;
+  event.task = task;
+  event.application = app;
+  event.detail = std::move(detail);
+  telemetry::emit(std::move(event));
 }
+
+}  // namespace
 
 FaultManagementFramework::FaultManagementFramework(
     rte::Rte& rte, wdg::SoftwareWatchdog& watchdog,
@@ -124,10 +142,17 @@ void FaultManagementFramework::on_ecu_state(wdg::Health health,
 
 void FaultManagementFramework::request_reset(ResetCause cause,
                                              sim::SimTime now) {
+  emit_fmf_event(telemetry::EventKind::kResetRequested, now,
+                 std::string(to_string(cause.source)) +
+                     (cause.detail.empty() ? "" : ": " + cause.detail),
+                 cause.application, cause.task);
   if (storm_latched_) {
     EASIS_LOG(util::LogLevel::kError, kLog)
         << "reset requested (" << to_string(cause.source)
         << ") but reboot storm is latched; staying in safe state";
+    emit_fmf_event(telemetry::EventKind::kResetRefused, now,
+                   "reboot storm latched; staying in safe state",
+                   cause.application, cause.task);
     return;
   }
   if (recent_resets(now) >= config_.storm_reset_limit) {
@@ -137,14 +162,24 @@ void FaultManagementFramework::request_reset(ResetCause cause,
   if (ecu_resets_ >= config_.max_ecu_resets) {
     EASIS_LOG(util::LogLevel::kError, kLog)
         << "ECU faulty but reset budget exhausted; staying faulty";
+    emit_fmf_event(telemetry::EventKind::kResetRefused, now,
+                   "reset budget exhausted", cause.application, cause.task);
     return;
   }
   ++ecu_resets_;
   EASIS_LOG(util::LogLevel::kWarn, kLog)
       << "ECU software reset #" << ecu_resets_ << " ("
       << to_string(cause.source) << "): " << cause.detail;
+  emit_fmf_event(telemetry::EventKind::kResetPerformed, now,
+                 "reset #" + std::to_string(ecu_resets_) + " (" +
+                     std::string(to_string(cause.source)) + ")",
+                 cause.application, cause.task);
   record_reset_cause(std::move(cause));
   persist();  // the reset-cause record must survive the reset it explains
+  if (nvm_ != nullptr) {
+    emit_fmf_event(telemetry::EventKind::kNvmCommit, now,
+                   "reset-cause record persisted");
+  }
   if (ecu_reset_) ecu_reset_();
 }
 
@@ -175,7 +210,13 @@ void FaultManagementFramework::latch_storm(const ResetCause& cause,
   if (dtc_store_ != nullptr) dtc_store_->record(storm_report);
   for (const auto& listener : listeners_) listener(record);
 
+  emit_fmf_event(telemetry::EventKind::kStormLatched, now, decision.detail,
+                 cause.application, cause.task);
   persist();  // the latch itself must survive power cycles
+  if (nvm_ != nullptr) {
+    emit_fmf_event(telemetry::EventKind::kNvmCommit, now,
+                   "storm latch persisted");
+  }
   if (safe_state_hook_) safe_state_hook_(decision);
 }
 
@@ -214,6 +255,10 @@ void FaultManagementFramework::restart_application(ApplicationId app,
   EASIS_LOG(util::LogLevel::kWarn, kLog)
       << "restarting application " << rte_.application_name(app)
       << " (restart #" << restarts_[app] << ")";
+  emit_fmf_event(telemetry::EventKind::kTreatmentAction, now,
+                 "restart " + rte_.application_name(app) + " (#" +
+                     std::to_string(restarts_[app]) + ")",
+                 app);
   rte_.restart_application(app);
   // Clear monitoring state so the restarted application starts clean.
   clear_monitoring_state(app, now);
@@ -316,6 +361,8 @@ void FaultManagementFramework::degrade_application(ApplicationId app,
   EASIS_LOG(util::LogLevel::kWarn, kLog)
       << "reconfiguring application " << rte_.application_name(app)
       << " into degraded mode";
+  emit_fmf_event(telemetry::EventKind::kTreatmentAction, now,
+                 "degrade " + rte_.application_name(app), app);
   mode.enter();
   clear_monitoring_state(app, now);
 }
@@ -328,6 +375,10 @@ void FaultManagementFramework::recover_application(ApplicationId app,
   EASIS_LOG(util::LogLevel::kInfo, kLog)
       << "recovering application " << rte_.application_name(app)
       << " from degraded mode";
+  emit_fmf_event(telemetry::EventKind::kTreatmentAction, now,
+                 "recover " + rte_.application_name(app) +
+                     " from degraded mode",
+                 app);
   if (it->second.exit) it->second.exit();
   clear_monitoring_state(app, now);
 }
@@ -337,6 +388,8 @@ void FaultManagementFramework::terminate_application(ApplicationId app,
   ++terminations_[app];
   EASIS_LOG(util::LogLevel::kWarn, kLog)
       << "terminating application " << rte_.application_name(app);
+  emit_fmf_event(telemetry::EventKind::kTreatmentAction, now,
+                 "terminate " + rte_.application_name(app), app);
   // Deactivate monitoring first so the dead runnables do not keep
   // generating aliveness errors.
   for (RunnableId runnable : rte_.runnables_of_application(app)) {
@@ -387,6 +440,11 @@ void FaultManagementFramework::boot_from_nvm(sim::SimTime now) {
       }
       dtc_store_->restore(entries);
     }
+    emit_fmf_event(telemetry::EventKind::kNvmRestore, now,
+                   "restored " + std::to_string(image.reset_count) +
+                       " reset(s), " + std::to_string(image.dtcs.size()) +
+                       " DTC(s), storm " +
+                       (image.storm_latched ? "latched" : "clear"));
     if (image.storm_latched && !storm_latched_) {
       // The latch is persistent: a power cycle must not re-enter the
       // naive reset loop. Re-enter the safe state right at boot.

@@ -1,13 +1,16 @@
 // Shared CLI surface of the campaign binaries: every harness-ported bench
 // exposes the same --jobs/--seed/--runs/--csv quartet (plus --deadline-ms
-// and --timing-csv), so campaign automation can drive any of them
-// uniformly.
+// and --timing-csv) and the util::TelemetryFlags group (--log-level,
+// --events-out, --metrics-out, --flight-prefix), so campaign automation
+// can drive any of them uniformly.
 #pragma once
 
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "harness/campaign_report.hpp"
 #include "harness/campaign_runner.hpp"
 #include "util/argparse.hpp"
 
@@ -21,6 +24,7 @@ class CampaignCli {
   std::string csv;
   std::string timing_csv;
   std::uint64_t deadline_ms = 0;
+  util::TelemetryFlags telemetry;
 
   CampaignCli(const std::string& program, const std::string& description,
               std::uint64_t default_seed, std::uint64_t default_runs,
@@ -37,12 +41,14 @@ class CampaignCli {
                 "wall-clock/throughput CSV path (empty = skip)");
     parser_.add("deadline-ms", &deadline_ms,
                 "per-run wall-clock deadline, 0 = unguarded");
+    telemetry.register_flags(parser_);
   }
 
   /// Returns true when the program should proceed; otherwise exit with
   /// exit_code().
   [[nodiscard]] bool parse(int argc, const char* const* argv) {
-    ok_ = parser_.parse(argc, argv, std::cerr);
+    ok_ = parser_.parse(argc, argv, std::cerr) &&
+          telemetry.apply_log_level(std::cerr);
     return ok_;
   }
 
@@ -54,6 +60,43 @@ class CampaignCli {
     config.seed = seed;
     config.run_deadline = std::chrono::milliseconds(deadline_ms);
     return config;
+  }
+
+  /// The prefix flight-recorder dumps are written under: --flight-prefix
+  /// when given, else the result CSV path with a trailing ".csv" stripped.
+  [[nodiscard]] std::string flight_prefix() const {
+    if (!telemetry.flight_prefix.empty()) return telemetry.flight_prefix;
+    std::string prefix = csv;
+    if (prefix.size() > 4 && prefix.rfind(".csv") == prefix.size() - 4) {
+      prefix.resize(prefix.size() - 4);
+    }
+    return prefix;
+  }
+
+  /// Writes the telemetry artifacts the flags requested: the event log
+  /// (--events-out), the metrics export (--metrics-out; ".csv" suffix
+  /// selects CSV, else Prometheus text), and — always — one flight dump
+  /// per failed/misdetecting/quarantined run. Progress notes go to `log`.
+  void write_artifacts(const CampaignReport& report, std::ostream& log) const {
+    if (!telemetry.events_out.empty()) {
+      std::ofstream out(telemetry.events_out);
+      report.write_event_log(out);
+      log << "event log: " << telemetry.events_out << '\n';
+    }
+    if (!telemetry.metrics_out.empty()) {
+      std::ofstream out(telemetry.metrics_out);
+      const bool as_csv =
+          telemetry.metrics_out.size() > 4 &&
+          telemetry.metrics_out.rfind(".csv") ==
+              telemetry.metrics_out.size() - 4;
+      report.write_metrics(out, as_csv);
+      log << "metrics: " << telemetry.metrics_out << '\n';
+    }
+    const std::size_t dumps = report.write_flight_dumps(flight_prefix());
+    if (dumps > 0) {
+      log << dumps << " flight-recorder dump(s): " << flight_prefix()
+          << ".run<index>.flight.txt\n";
+    }
   }
 
  private:

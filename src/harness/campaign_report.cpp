@@ -1,6 +1,10 @@
 #include "harness/campaign_report.hpp"
 
+#include <fstream>
 #include <sstream>
+
+#include "telemetry/attribution.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace easis::harness {
 
@@ -8,6 +12,14 @@ CampaignReport::CampaignReport(const std::vector<RunSpec>& specs,
                                const CampaignOutcome& outcome) {
   for (std::size_t i = 0; i < outcome.results.size(); ++i) {
     const RunResult& result = outcome.results[i];
+    runs_.push_back(RunRecord{i,
+                              i < specs.size() ? specs[i].label : "",
+                              i < specs.size() ? specs[i].seed : 0,
+                              result.status,
+                              result.error,
+                              result.misdetect,
+                              result.events,
+                              result.events_truncated});
     if (result.status != RunStatus::kRunOk) {
       quarantined_.push_back({i, i < specs.size() ? specs[i].label : "",
                               result.status, result.error});
@@ -67,6 +79,79 @@ std::string CampaignReport::quarantine_summary() const {
     out << '\n';
   }
   return out.str();
+}
+
+void CampaignReport::write_event_log(std::ostream& out) const {
+  out << "# easis campaign event log v1\n";
+  out << "# runs=" << runs_.size() << '\n';
+  for (const RunRecord& run : runs_) {
+    out << "# run index=" << run.run_index << " label=" << run.label
+        << " seed=" << run.seed << " status=" << to_string(run.status)
+        << " events=" << run.events.size()
+        << " truncated=" << (run.events_truncated ? 1 : 0) << '\n';
+    for (const telemetry::Event& event : run.events) {
+      telemetry::write_event_line(out, event);
+      out << '\n';
+    }
+  }
+}
+
+void CampaignReport::write_metrics(std::ostream& out, bool csv) const {
+  telemetry::MetricsRegistry registry;
+  registry.counter("easis_campaign_runs_total").inc(runs_.size());
+  for (const RunRecord& run : runs_) {
+    registry
+        .counter("easis_campaign_run_status_total",
+                 "status=\"" + std::string(to_string(run.status)) + "\"")
+        .inc();
+    telemetry::replay_into_metrics(run.events, registry);
+  }
+  if (csv) {
+    registry.write_csv(out);
+  } else {
+    registry.write_prometheus(out);
+  }
+}
+
+std::vector<std::size_t> CampaignReport::flight_dump_candidates() const {
+  std::vector<std::size_t> out;
+  for (const RunRecord& run : runs_) {
+    if (run.status != RunStatus::kRunOk || !run.misdetect.empty()) {
+      out.push_back(run.run_index);
+    }
+  }
+  return out;
+}
+
+void CampaignReport::write_flight_dump(std::ostream& out,
+                                       std::size_t run_index) const {
+  if (run_index >= runs_.size()) return;
+  const RunRecord& run = runs_[run_index];
+  out << "flight recorder dump — run " << run.run_index;
+  if (!run.label.empty()) out << " [" << run.label << "]";
+  out << " seed=" << run.seed << " status=" << to_string(run.status) << '\n';
+  if (!run.error.empty()) out << "error: " << run.error << '\n';
+  if (!run.misdetect.empty()) out << "misdetect: " << run.misdetect << '\n';
+  out << run.events.size() << " event(s)";
+  if (run.events_truncated) out << " (older events dropped by the ring)";
+  out << '\n';
+  for (const telemetry::Event& event : run.events) {
+    telemetry::write_event_line(out, event);
+    out << '\n';
+  }
+}
+
+std::size_t CampaignReport::write_flight_dumps(
+    const std::string& prefix) const {
+  std::size_t written = 0;
+  for (std::size_t run_index : flight_dump_candidates()) {
+    std::ofstream out(prefix + ".run" + std::to_string(run_index) +
+                      ".flight.txt");
+    if (!out) continue;
+    write_flight_dump(out, run_index);
+    ++written;
+  }
+  return written;
 }
 
 }  // namespace easis::harness

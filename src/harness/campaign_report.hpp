@@ -4,7 +4,10 @@
 //
 // Wall-clock and throughput are inherently nondeterministic, so they go to
 // a *separate* timing CSV; the result CSV stays byte-comparable across
-// --jobs values (the property the determinism test locks in).
+// --jobs values (the property the determinism test locks in). The same
+// split governs telemetry: the event log and the metrics export contain
+// only sim-time-stamped, run-index-ordered data and are byte-comparable
+// too, while flight-recorder dumps exist per failed run.
 #pragma once
 
 #include <ostream>
@@ -13,6 +16,7 @@
 
 #include "harness/campaign_runner.hpp"
 #include "inject/campaign.hpp"
+#include "telemetry/event.hpp"
 
 namespace easis::harness {
 
@@ -21,7 +25,8 @@ class CampaignReport {
   /// Reduces the outcome: coverage tables merge and rows concatenate in
   /// run-index order; quarantined/errored runs contribute only to the
   /// quarantine list (their partial results are dropped — that is the
-  /// quarantine).
+  /// quarantine). Telemetry events are kept for every run, including
+  /// quarantined ones (their ring snapshot is all that survives).
   CampaignReport(const std::vector<RunSpec>& specs,
                  const CampaignOutcome& outcome);
 
@@ -60,10 +65,46 @@ class CampaignReport {
   /// Human-readable quarantine summary (empty string when clean).
   [[nodiscard]] std::string quarantine_summary() const;
 
+  /// Writes the structured event log: a per-run `# run ...` header line
+  /// followed by the run's canonical event lines, in run-index order.
+  /// Deterministic across --jobs (runs quarantined under a wall-clock
+  /// deadline are the one documented exception — the snapshot depends on
+  /// when the supervisor fired).
+  void write_event_log(std::ostream& out) const;
+
+  /// Replays every run's events into a fresh MetricsRegistry (event
+  /// counters, chain counters, latency histograms, campaign run counters)
+  /// and writes it to `out` — CSV when `csv`, else Prometheus text.
+  void write_metrics(std::ostream& out, bool csv = false) const;
+
+  /// Runs that warrant a flight-recorder dump: quarantined, errored, or
+  /// self-flagged as misdetecting.
+  [[nodiscard]] std::vector<std::size_t> flight_dump_candidates() const;
+
+  /// Writes one run's flight-recorder dump (header + event lines).
+  void write_flight_dump(std::ostream& out, std::size_t run_index) const;
+
+  /// Writes `<prefix>.run<index>.flight.txt` for every dump candidate;
+  /// returns the number of files written.
+  std::size_t write_flight_dumps(const std::string& prefix) const;
+
  private:
+  /// Everything the telemetry exports need, one entry per run.
+  struct RunRecord {
+    std::size_t run_index;
+    std::string label;
+    std::uint64_t seed;
+    RunStatus status;
+    std::string error;
+    std::string misdetect;
+    std::vector<telemetry::Event> events;
+    bool events_truncated;
+  };
+
   inject::CoverageTable coverage_;
   std::vector<std::vector<std::string>> rows_;
   std::vector<QuarantinedRun> quarantined_;
+  std::vector<RunRecord> runs_;
   std::size_t completed_ = 0;
 };
 

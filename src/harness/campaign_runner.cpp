@@ -8,6 +8,8 @@
 #include <thread>
 #include <utility>
 
+#include "telemetry/event_bus.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "util/random.hpp"
 
 namespace easis::harness {
@@ -42,6 +44,16 @@ struct CampaignState {
     /// steady_clock time the current run started, as ns-since-epoch rep.
     std::atomic<Clock::rep> started_ns{0};
     bool abandoned = false;
+
+    /// Per-run telemetry capture. The bus sink and the supervisor's
+    /// quarantine snapshot both take `telemetry_mutex`, so the ring of a
+    /// hung run can be copied out while the run is still emitting. Only
+    /// the worker itself resets/harvests between runs.
+    std::mutex telemetry_mutex;
+    telemetry::EventBus bus;
+    telemetry::FlightRecorder flight;
+    std::vector<telemetry::Event> event_log;
+    bool bus_wired = false;
   };
 
   CampaignConfig config;
@@ -92,6 +104,24 @@ void worker_main(const std::shared_ptr<CampaignState>& state,
     const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= state->specs.size()) break;
 
+    {
+      // Fresh telemetry per run: seq restarts at 0 and the correlation
+      // state clears, so the captured log depends only on the run itself
+      // (the determinism contract across --jobs values).
+      std::lock_guard<std::mutex> lock(self->telemetry_mutex);
+      self->bus.reset();
+      self->flight.clear();
+      self->event_log.clear();
+      if (!self->bus_wired) {
+        self->bus_wired = true;
+        self->bus.add_sink([self](const telemetry::Event& event) {
+          std::lock_guard<std::mutex> sink_lock(self->telemetry_mutex);
+          self->flight.on_event(event);
+          self->event_log.push_back(event);
+        });
+      }
+    }
+
     // started_ns is published before current_run so the supervisor's
     // acquire-load of current_run always sees a matching start time.
     self->started_ns.store(now_ns(), std::memory_order_relaxed);
@@ -99,6 +129,7 @@ void worker_main(const std::shared_ptr<CampaignState>& state,
 
     RunResult result;
     try {
+      telemetry::EventScope scope(self->bus);
       result = state->fn(RunContext(state->specs[i], self->cancel));
     } catch (const std::exception& e) {
       result = RunResult{};
@@ -108,6 +139,14 @@ void worker_main(const std::shared_ptr<CampaignState>& state,
       result = RunResult{};
       result.status = RunStatus::kRunError;
       result.error = "unknown exception";
+    }
+
+    {
+      // Completed (or errored) runs carry their full event log; a
+      // quarantined run's late log is discarded with its result.
+      std::lock_guard<std::mutex> lock(self->telemetry_mutex);
+      result.events = std::move(self->event_log);
+      self->event_log.clear();
     }
 
     self->current_run.store(kIdle, std::memory_order_release);
@@ -149,6 +188,14 @@ void supervisor_main(const std::shared_ptr<CampaignState>& state) {
       timed_out.status = RunStatus::kRunTimeout;
       timed_out.error =
           "exceeded run deadline on '" + state->specs[run].label + "'";
+      {
+        // The hung run never returns its log; its flight-recorder ring is
+        // the only record of what it was doing. Snapshot it before the
+        // settle so the dump lands in the quarantined result.
+        std::lock_guard<std::mutex> tlock(worker->telemetry_mutex);
+        timed_out.events = worker->flight.snapshot();
+        timed_out.events_truncated = worker->flight.dropped() > 0;
+      }
       worker->cancel.store(true, std::memory_order_release);
       worker->abandoned = true;
       state->settle(run, std::move(timed_out));

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "inject/campaign.hpp"
+#include "telemetry/event.hpp"
 
 namespace easis::harness {
 
@@ -53,6 +54,15 @@ struct RunResult {
   inject::CoverageTable coverage;
   std::vector<std::vector<std::string>> rows;
   std::string error;
+  /// Telemetry events the run emitted (harvested by the harness from the
+  /// per-worker bus). Completed runs carry the full log; quarantined runs
+  /// only the flight-recorder ring the supervisor could snapshot.
+  std::vector<telemetry::Event> events;
+  /// True when `events` is a bounded ring snapshot that lost older events.
+  bool events_truncated = false;
+  /// Set by the run function when its own result looks wrong (e.g. an
+  /// injection no detector saw); flagged runs get a flight-recorder dump.
+  std::string misdetect;
 };
 
 /// Execution context passed alongside the spec. Long-running simulations

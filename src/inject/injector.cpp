@@ -2,16 +2,32 @@
 
 #include <stdexcept>
 
+#include "telemetry/event_bus.hpp"
 #include "util/logging.hpp"
 
 namespace easis::inject {
 
 namespace {
+
 constexpr std::string_view kLog = "inject";
+
+void emit_injection_event(telemetry::EventKind kind,
+                          const Injection& injection, sim::SimTime now) {
+  if (!telemetry::enabled()) return;
+  telemetry::Event event;
+  event.time = now;
+  event.component = telemetry::Component::kInjector;
+  event.kind = kind;
+  event.injection = injection.id;
+  event.detail = injection.name;
+  telemetry::emit(std::move(event));
 }
+
+}  // namespace
 
 void ErrorInjector::add(Injection injection) {
   if (armed_) throw std::logic_error("ErrorInjector: already armed");
+  injection.id = InjectionId(static_cast<std::uint32_t>(injections_.size()));
   injections_.push_back(std::move(injection));
 }
 
@@ -19,12 +35,16 @@ void ErrorInjector::arm() {
   if (armed_) throw std::logic_error("ErrorInjector: already armed");
   armed_ = true;
   for (const Injection& injection : injections_) {
+    emit_injection_event(telemetry::EventKind::kFaultArmed, injection,
+                         engine_.now());
     engine_.schedule_at(
         injection.start,
         [this, &injection] {
           EASIS_LOG(util::LogLevel::kInfo, kLog)
               << "apply " << injection.name << " at " << engine_.now();
           ++applied_;
+          emit_injection_event(telemetry::EventKind::kFaultApplied, injection,
+                               engine_.now());
           if (injection.apply) injection.apply();
           if (injection.duration > sim::Duration::zero() &&
               injection.revert) {
@@ -32,6 +52,8 @@ void ErrorInjector::arm() {
               EASIS_LOG(util::LogLevel::kInfo, kLog)
                   << "revert " << injection.name << " at " << engine_.now();
               ++reverted_;
+              emit_injection_event(telemetry::EventKind::kFaultReverted,
+                                   injection, engine_.now());
               injection.revert();
             });
           }

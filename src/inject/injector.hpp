@@ -13,6 +13,7 @@
 
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
+#include "util/ids.hpp"
 
 namespace easis::inject {
 
@@ -24,6 +25,9 @@ struct Injection {
   sim::Duration duration = sim::Duration::zero();
   std::function<void()> apply;
   std::function<void()> revert;
+  /// Monotonic per-injector id, assigned by add(); correlates every
+  /// telemetry event of this fault's detection chain.
+  InjectionId id;
 };
 
 class ErrorInjector {

@@ -1,0 +1,18 @@
+#include "telemetry/event.hpp"
+
+namespace easis::telemetry {
+
+void write_event_line(std::ostream& out, const Event& event) {
+  out << event.seq << " t=" << event.time.as_micros() << ' '
+      << to_string(event.component) << ' ' << to_string(event.kind)
+      << " inj=" << event.injection << " run=" << event.runnable
+      << " task=" << event.task << " app=" << event.application << " | "
+      << event.detail;
+}
+
+std::ostream& operator<<(std::ostream& out, const Event& event) {
+  write_event_line(out, event);
+  return out;
+}
+
+}  // namespace easis::telemetry

@@ -1,0 +1,156 @@
+// Structured fault-telemetry event record.
+//
+// One Event is one observable step of a detection chain: an injection being
+// armed/applied, a watchdog unit detecting an error, the TSI tripping a
+// threshold or changing a derived state, the FMF carrying out a treatment
+// or reset. Events are stamped with *simulation* time only — never wall
+// clock — and with a per-run monotonic sequence number, so the event log
+// of a run is byte-identical no matter which worker thread produced it
+// (the telemetry extension of the campaign determinism contract).
+//
+// Correlation: every event carries the InjectionId of the fault it belongs
+// to (stamped by the EventBus from the most recently applied injection)
+// plus the runnable/task/application the emitting component was looking
+// at, so a chain injection -> first detection -> escalation -> treatment
+// can be reconstructed from the log alone.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+#include "util/ids.hpp"
+
+namespace easis::telemetry {
+
+/// The platform component that emitted an event.
+enum class Component : std::uint8_t {
+  kInjector = 0,
+  /// Heartbeat Monitoring Unit (aliveness side).
+  kHeartbeatUnit,
+  /// Arrival-rate monitoring side of the HBM.
+  kArrivalRateUnit,
+  kProgramFlowUnit,
+  kDeadlineUnit,
+  kComMonitor,
+  kRecoveryUnit,
+  kSelfSupervision,
+  kTsi,
+  kFmf,
+  kHarness,
+};
+
+inline constexpr std::size_t kComponentCount = 11;
+
+[[nodiscard]] constexpr std::string_view to_string(Component c) {
+  switch (c) {
+    case Component::kInjector: return "injector";
+    case Component::kHeartbeatUnit: return "hbm";
+    case Component::kArrivalRateUnit: return "arm";
+    case Component::kProgramFlowUnit: return "pfc";
+    case Component::kDeadlineUnit: return "deadline";
+    case Component::kComMonitor: return "com_monitor";
+    case Component::kRecoveryUnit: return "recovery";
+    case Component::kSelfSupervision: return "self_supervision";
+    case Component::kTsi: return "tsi";
+    case Component::kFmf: return "fmf";
+    case Component::kHarness: return "harness";
+  }
+  return "?";
+}
+
+/// What happened. Kinds group into three chain stages: injection
+/// (armed/applied/reverted), detection (error_detected, token_violation,
+/// hw_watchdog_expired, recovery_result), escalation/treatment (threshold
+/// trips, state changes, treatment actions, resets, storm latch).
+enum class EventKind : std::uint8_t {
+  kFaultArmed = 0,
+  kFaultApplied,
+  kFaultReverted,
+  kErrorDetected,
+  kTokenViolation,
+  kHwWatchdogExpired,
+  kThresholdTrip,
+  kTaskStateChange,
+  kAppStateChange,
+  kEcuStateChange,
+  kTreatmentAction,
+  kResetRequested,
+  kResetPerformed,
+  kResetRefused,
+  kStormLatched,
+  kRecoveryWindowOpened,
+  kRecoveryResult,
+  kNvmCommit,
+  kNvmRestore,
+};
+
+inline constexpr std::size_t kEventKindCount = 19;
+
+[[nodiscard]] constexpr std::string_view to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kFaultArmed: return "fault_armed";
+    case EventKind::kFaultApplied: return "fault_applied";
+    case EventKind::kFaultReverted: return "fault_reverted";
+    case EventKind::kErrorDetected: return "error_detected";
+    case EventKind::kTokenViolation: return "token_violation";
+    case EventKind::kHwWatchdogExpired: return "hw_watchdog_expired";
+    case EventKind::kThresholdTrip: return "threshold_trip";
+    case EventKind::kTaskStateChange: return "task_state_change";
+    case EventKind::kAppStateChange: return "app_state_change";
+    case EventKind::kEcuStateChange: return "ecu_state_change";
+    case EventKind::kTreatmentAction: return "treatment_action";
+    case EventKind::kResetRequested: return "reset_requested";
+    case EventKind::kResetPerformed: return "reset_performed";
+    case EventKind::kResetRefused: return "reset_refused";
+    case EventKind::kStormLatched: return "storm_latched";
+    case EventKind::kRecoveryWindowOpened: return "recovery_window_opened";
+    case EventKind::kRecoveryResult: return "recovery_result";
+    case EventKind::kNvmCommit: return "nvm_commit";
+    case EventKind::kNvmRestore: return "nvm_restore";
+  }
+  return "?";
+}
+
+/// A detection event marks the first observable recognition of a fault by
+/// a monitoring layer.
+[[nodiscard]] constexpr bool is_detection(EventKind k) {
+  return k == EventKind::kErrorDetected || k == EventKind::kTokenViolation ||
+         k == EventKind::kHwWatchdogExpired;
+}
+
+/// A treatment event marks the platform acting on a diagnosed fault.
+[[nodiscard]] constexpr bool is_treatment(EventKind k) {
+  return k == EventKind::kTreatmentAction ||
+         k == EventKind::kResetPerformed || k == EventKind::kStormLatched;
+}
+
+struct Event {
+  /// Per-run monotonic sequence number, assigned by the EventBus.
+  std::uint64_t seq = 0;
+  /// Simulation time of the observation. Never wall clock.
+  sim::SimTime time;
+  Component component = Component::kHarness;
+  EventKind kind = EventKind::kErrorDetected;
+  /// Correlation to the causal fault: the emitting injector sets it
+  /// explicitly; for all other events the EventBus stamps the most
+  /// recently applied injection (sticky across revert — fault effects
+  /// outlive the fault's active window).
+  InjectionId injection;
+  RunnableId runnable;
+  TaskId task;
+  ApplicationId application;
+  /// Free-text context (fault name, error class, treatment, ...). Must be
+  /// derived from deterministic inputs only.
+  std::string detail;
+};
+
+/// Writes the canonical one-line text form:
+/// `<seq> t=<us> <component> <kind> inj=<id> run=<id> task=<id> app=<id> | <detail>`
+void write_event_line(std::ostream& out, const Event& event);
+
+std::ostream& operator<<(std::ostream& out, const Event& event);
+
+}  // namespace easis::telemetry

@@ -1,0 +1,24 @@
+#include "telemetry/event_bus.hpp"
+
+#include <utility>
+
+namespace easis::telemetry {
+
+namespace {
+thread_local EventBus* g_current_bus = nullptr;
+}
+
+EventScope::EventScope(EventBus& bus)
+    : previous_(std::exchange(g_current_bus, &bus)) {}
+
+EventScope::~EventScope() { g_current_bus = previous_; }
+
+EventBus* current_bus() { return g_current_bus; }
+
+bool enabled() { return g_current_bus != nullptr; }
+
+void emit(Event event) {
+  if (g_current_bus != nullptr) g_current_bus->publish(std::move(event));
+}
+
+}  // namespace easis::telemetry

@@ -1,0 +1,87 @@
+// Event bus with pluggable sinks and ambient per-run scoping.
+//
+// The platform components (injector, watchdog units, TSI, FMF) emit events
+// through the free function telemetry::emit(), which routes to the bus
+// installed for the current thread by an EventScope — or drops the event
+// when none is installed. This keeps the instrumentation sites free of
+// plumbing: a CentralNode built inside a campaign run function reports
+// into that run's bus automatically, and the exact same code emits nothing
+// when telemetry is off (unit tests, microbenches).
+//
+// The bus is intentionally NOT thread safe: one bus belongs to one run,
+// which executes on one worker thread. Cross-thread consumers (the hang
+// supervisor's flight-recorder snapshot) synchronise in the sink.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "telemetry/event.hpp"
+
+namespace easis::telemetry {
+
+class EventBus {
+ public:
+  using Sink = std::function<void(const Event&)>;
+
+  /// Sinks see every published event, in publish order.
+  void add_sink(Sink sink) { sinks_.push_back(std::move(sink)); }
+
+  /// Stamps the per-run sequence number, correlates the event to the most
+  /// recently applied injection when the emitter did not set one, and
+  /// fans out to the sinks.
+  void publish(Event event) {
+    event.seq = seq_++;
+    if (event.kind == EventKind::kFaultApplied) {
+      active_injection_ = event.injection;
+    } else if (!event.injection.valid()) {
+      event.injection = active_injection_;
+    }
+    for (const auto& sink : sinks_) sink(event);
+  }
+
+  /// Rewinds the sequence counter and injection correlation for a fresh
+  /// run; the sinks stay attached.
+  void reset() {
+    seq_ = 0;
+    active_injection_ = InjectionId{};
+  }
+
+  [[nodiscard]] std::uint64_t events_published() const { return seq_; }
+  [[nodiscard]] InjectionId active_injection() const {
+    return active_injection_;
+  }
+
+ private:
+  std::vector<Sink> sinks_;
+  std::uint64_t seq_ = 0;
+  /// Last applied injection; sticky after revert because fault effects
+  /// (queued errors, tripped thresholds) outlive the active window.
+  InjectionId active_injection_;
+};
+
+/// Installs `bus` as the current thread's emit() target for the scope's
+/// lifetime; restores the previous target (usually none) on destruction.
+/// Scopes nest, innermost wins.
+class EventScope {
+ public:
+  explicit EventScope(EventBus& bus);
+  ~EventScope();
+  EventScope(const EventScope&) = delete;
+  EventScope& operator=(const EventScope&) = delete;
+
+ private:
+  EventBus* previous_;
+};
+
+/// The bus installed for this thread, or nullptr.
+[[nodiscard]] EventBus* current_bus();
+
+/// True when an EventScope is active on this thread. Instrumentation sites
+/// use this to skip building detail strings when nobody listens.
+[[nodiscard]] bool enabled();
+
+/// Publishes to the current thread's bus; no-op without an active scope.
+void emit(Event event);
+
+}  // namespace easis::telemetry

@@ -1,0 +1,90 @@
+// Metrics registry: counters, gauges and fixed-bucket histograms with
+// deterministic text export.
+//
+// Two export formats: Prometheus-style exposition text (easy to scrape or
+// diff) and a flat CSV. Both iterate the registry in lexicographic
+// (name, labels) order and derive every number from deterministic inputs,
+// so a metrics file is byte-identical across --jobs values — the same
+// contract as the campaign result CSVs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace easis::telemetry {
+
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { value_ += by; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double value) { value_ = value; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram with Prometheus `le` semantics: an observation v
+/// lands in every bucket with v <= upper bound, plus the implicit +Inf.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value);
+
+  [[nodiscard]] const std::vector<double>& upper_bounds() const {
+    return bounds_;
+  }
+  /// Cumulative count of observations <= bounds()[i].
+  [[nodiscard]] std::uint64_t cumulative_count(std::size_t i) const;
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::vector<double> bounds_;
+  /// Per-bucket (non-cumulative) counts; back() is the +Inf overflow.
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Finds or creates the metric for (name, labels). `labels` is the
+  /// pre-rendered Prometheus label body without braces, e.g.
+  /// `component="hbm",kind="error_detected"` — or empty for none.
+  Counter& counter(const std::string& name, const std::string& labels = "");
+  Gauge& gauge(const std::string& name, const std::string& labels = "");
+  /// `upper_bounds` must be sorted ascending; only consulted on creation.
+  Histogram& histogram(const std::string& name, const std::string& labels,
+                       std::vector<double> upper_bounds);
+
+  [[nodiscard]] bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Prometheus exposition text, (name, labels)-sorted.
+  void write_prometheus(std::ostream& out) const;
+  /// Flat CSV: metric,labels,field,value — one row per exported number.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  using Key = std::pair<std::string, std::string>;
+  // std::map for sorted deterministic export and stable references.
+  std::map<Key, Counter> counters_;
+  std::map<Key, Gauge> gauges_;
+  std::map<Key, Histogram> histograms_;
+};
+
+}  // namespace easis::telemetry

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <iomanip>
 
+#include "util/logging.hpp"
+
 namespace easis::util {
 
 namespace {
@@ -141,6 +143,30 @@ void ArgParser::print_usage(std::ostream& out) const {
         << (flag.default_text.empty() ? "\"\"" : flag.default_text) << ")\n";
   }
   out << std::left << std::setw(28) << "  --help" << "print this text\n";
+}
+
+void TelemetryFlags::register_flags(ArgParser& parser) {
+  parser.add("log-level", &log_level,
+             "logger level (trace/debug/info/warn/error/off; empty = keep)");
+  parser.add("events-out", &events_out,
+             "structured event log path (empty = skip)");
+  parser.add("metrics-out", &metrics_out,
+             "metrics export path, .csv = CSV else Prometheus text "
+             "(empty = skip)");
+  parser.add("flight-prefix", &flight_prefix,
+             "flight-recorder dump prefix (empty = derive from --csv)");
+}
+
+bool TelemetryFlags::apply_log_level(std::ostream& err) const {
+  if (log_level.empty()) return true;
+  const auto level = parse_log_level(log_level);
+  if (!level) {
+    err << "unknown log level '" << log_level
+        << "' (expected trace/debug/info/warn/error/off)\n";
+    return false;
+  }
+  Logger::instance().set_level(*level);
+  return true;
 }
 
 }  // namespace easis::util

@@ -61,4 +61,28 @@ class ArgParser {
   bool help_requested_ = false;
 };
 
+/// Shared telemetry flag group: every campaign binary exposes the same
+/// --log-level / --events-out / --metrics-out / --flight-prefix surface.
+/// register_flags() adds them to a parser; after a successful parse, call
+/// apply_log_level() to push --log-level into the global Logger.
+struct TelemetryFlags {
+  /// Logger level name; empty = leave the process default untouched
+  /// (benches that silence logging before parsing rely on that).
+  std::string log_level;
+  /// Structured event log path; empty = skip the export.
+  std::string events_out;
+  /// Metrics export path; empty = skip. ".csv" suffix selects the CSV
+  /// format, anything else gets Prometheus exposition text.
+  std::string metrics_out;
+  /// Prefix for per-run flight-recorder dumps; empty = derive from the
+  /// result CSV path.
+  std::string flight_prefix;
+
+  void register_flags(ArgParser& parser);
+
+  /// Applies --log-level to Logger::instance(). Returns false (with a
+  /// diagnostic on `err`) for an unknown level name.
+  [[nodiscard]] bool apply_log_level(std::ostream& err) const;
+};
+
 }  // namespace easis::util

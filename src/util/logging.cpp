@@ -31,14 +31,27 @@ Logger& Logger::instance() {
   return logger;
 }
 
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
 Logger::Sink Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex_);
   std::swap(sink, sink_);
   return sink;
 }
 
 void Logger::log(LogLevel level, std::string_view component,
                  std::string_view message) {
-  if (enabled(level) && sink_) sink_(level, component, message);
+  if (!enabled(level)) return;
+  std::lock_guard<std::mutex> lock(sink_mutex_);
+  if (sink_) sink_(level, component, message);
 }
 
 }  // namespace easis::util

@@ -1,10 +1,15 @@
 // Lightweight leveled logging with pluggable sinks.
 //
-// The simulation is single-threaded, so the logger is deliberately not
-// thread safe. Default sink is stderr; tests install a capturing sink.
+// Thread safe: the campaign harness logs from worker threads. The level is
+// an atomic (so the EASIS_LOG fast path stays lock-free) and a mutex
+// serialises sink replacement against sink invocation. Default sink is
+// stderr; tests install a capturing sink.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -15,6 +20,10 @@ enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
 
 [[nodiscard]] std::string_view to_string(LogLevel level);
 
+/// Parses a lowercase level name ("trace", "debug", "info", "warn",
+/// "error", "off"); nullopt on anything else.
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view name);
+
 class Logger {
  public:
   using Sink = std::function<void(LogLevel, std::string_view component,
@@ -22,20 +31,29 @@ class Logger {
 
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  [[nodiscard]] LogLevel level() const { return level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel level() const {
+    return level_.load(std::memory_order_relaxed);
+  }
 
   /// Replaces the output sink; returns the previous one.
   Sink set_sink(Sink sink);
 
-  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return level >= level_.load(std::memory_order_relaxed);
+  }
 
   void log(LogLevel level, std::string_view component, std::string_view message);
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
   Sink sink_;
+  /// Guards sink_ — concurrent log() calls serialise here, and set_sink()
+  /// cannot swap a sink out from under a running invocation.
+  std::mutex sink_mutex_;
 };
 
 /// Stream-style log statement: LOG_AT(kInfo, "wdg") << "x=" << x;

@@ -1,5 +1,6 @@
 #include "validator/controldesk.hpp"
 
+#include <memory>
 #include <stdexcept>
 
 namespace easis::validator {
@@ -46,6 +47,29 @@ void ControlDesk::watch_runnable(const wdg::SoftwareWatchdog& watchdog,
     return static_cast<double>(
         tsi.error_count(runnable, wdg::ErrorType::kProgramFlow));
   });
+}
+
+void ControlDesk::watch_event_bus(telemetry::EventBus& bus,
+                                  const std::string& prefix) {
+  // The counters are shared between the bus sink and the probes so the
+  // ControlDesk can be destroyed before the bus without dangling.
+  struct Counts {
+    std::uint64_t events = 0;
+    std::uint64_t detections = 0;
+    std::uint64_t treatments = 0;
+  };
+  auto counts = std::make_shared<Counts>();
+  bus.add_sink([counts](const telemetry::Event& event) {
+    ++counts->events;
+    if (telemetry::is_detection(event.kind)) ++counts->detections;
+    if (telemetry::is_treatment(event.kind)) ++counts->treatments;
+  });
+  watch(prefix + ".events",
+        [counts] { return static_cast<double>(counts->events); });
+  watch(prefix + ".detections",
+        [counts] { return static_cast<double>(counts->detections); });
+  watch(prefix + ".treatments",
+        [counts] { return static_cast<double>(counts->treatments); });
 }
 
 void ControlDesk::start(sim::Duration horizon) {

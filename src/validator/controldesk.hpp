@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "sim/engine.hpp"
+#include "telemetry/event_bus.hpp"
 #include "util/ids.hpp"
 #include "util/trace.hpp"
 #include "wdg/watchdog.hpp"
@@ -28,6 +29,14 @@ class ControlDesk {
   /// "<prefix>.AM Result", "<prefix>.ARM Result", "<prefix>.PFC Result".
   void watch_runnable(const wdg::SoftwareWatchdog& watchdog,
                       RunnableId runnable, const std::string& prefix);
+
+  /// Event-sourced probes: subscribes a counting sink to `bus` and samples
+  /// three cumulative signals every period — "<prefix>.events" (all
+  /// events), "<prefix>.detections" (detection kinds), and
+  /// "<prefix>.treatments" (treatment kinds). The plotted curves show
+  /// *when* the detection chain progressed, on the same time axis as the
+  /// watchdog counter plots. The bus must outlive the ControlDesk.
+  void watch_event_bus(telemetry::EventBus& bus, const std::string& prefix);
 
   /// Begins sampling; stops after `horizon` from now.
   void start(sim::Duration horizon);

@@ -1,5 +1,6 @@
 #include "wdg/recovery.hpp"
 
+#include "telemetry/event_bus.hpp"
 #include "util/logging.hpp"
 
 namespace easis::wdg {
@@ -21,6 +22,16 @@ void RecoverySupervisionUnit::begin(std::vector<RunnableId> required,
   EASIS_LOG(util::LogLevel::kInfo, kLog)
       << "warm-up window opened: " << required_.size() << " runnables, "
       << cycles << " cycles";
+  if (telemetry::enabled()) {
+    telemetry::Event event;
+    event.time = now;
+    event.component = telemetry::Component::kRecoveryUnit;
+    event.kind = telemetry::EventKind::kRecoveryWindowOpened;
+    event.application = scope_app;
+    event.detail = std::to_string(required_.size()) + " runnables, " +
+                   std::to_string(cycles) + " cycles";
+    telemetry::emit(std::move(event));
+  }
 }
 
 void RecoverySupervisionUnit::on_heartbeat(RunnableId runnable) {
@@ -66,6 +77,19 @@ void RecoverySupervisionUnit::finish(bool ok, const ErrorReport& cause,
   EASIS_LOG(ok ? util::LogLevel::kInfo : util::LogLevel::kWarn, kLog)
       << "warm-up window " << (ok ? "passed" : "FAILED") << " after "
       << (now - started_at_) << (ok ? "" : ": " + cause.detail);
+  if (telemetry::enabled()) {
+    telemetry::Event event;
+    event.time = now;
+    event.component = telemetry::Component::kRecoveryUnit;
+    event.kind = telemetry::EventKind::kRecoveryResult;
+    event.runnable = cause.runnable;
+    event.task = cause.task;
+    event.application = scope_app_;
+    event.detail =
+        ok ? "passed" : "failed: " + std::string(to_string(cause.type)) +
+                            (cause.detail.empty() ? "" : " — " + cause.detail);
+    telemetry::emit(std::move(event));
+  }
   if (callback_) callback_(ok, scope_app_, cause, now);
 }
 

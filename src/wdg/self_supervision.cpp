@@ -1,6 +1,7 @@
 #include "wdg/self_supervision.hpp"
 
 #include "bus/e2e.hpp"
+#include "telemetry/event_bus.hpp"
 #include "util/logging.hpp"
 
 namespace easis::wdg {
@@ -21,6 +22,22 @@ std::uint8_t WatchdogSelfSupervision::token_for(std::uint64_t cycle) {
   return bus::crc8_j1850(bytes, sizeof bytes);
 }
 
+void WatchdogSelfSupervision::set_expire_callback(
+    baseline::HardwareWatchdog::ExpireCallback cb) {
+  hw_.set_expire_callback(
+      [cb = std::move(cb)](sim::SimTime now) {
+        if (telemetry::enabled()) {
+          telemetry::Event event;
+          event.time = now;
+          event.component = telemetry::Component::kSelfSupervision;
+          event.kind = telemetry::EventKind::kHwWatchdogExpired;
+          event.detail = "hardware watchdog expired";
+          telemetry::emit(std::move(event));
+        }
+        if (cb) cb(now);
+      });
+}
+
 void WatchdogSelfSupervision::service(std::uint64_t cycle, std::uint8_t token,
                                       sim::SimTime now) {
   const bool stale = any_accepted_ && cycle <= last_cycle_;
@@ -29,6 +46,15 @@ void WatchdogSelfSupervision::service(std::uint64_t cycle, std::uint8_t token,
     EASIS_LOG(util::LogLevel::kWarn, kLog)
         << "refused watchdog service at " << now << ": "
         << (stale ? "cycle counter did not advance" : "bad response token");
+    if (telemetry::enabled()) {
+      telemetry::Event event;
+      event.time = now;
+      event.component = telemetry::Component::kSelfSupervision;
+      event.kind = telemetry::EventKind::kTokenViolation;
+      event.detail = stale ? "cycle counter did not advance"
+                           : "bad response token";
+      telemetry::emit(std::move(event));
+    }
     return;  // deliberately no kick — let the HW timer starve
   }
   any_accepted_ = true;

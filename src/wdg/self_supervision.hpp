@@ -37,10 +37,9 @@ class WatchdogSelfSupervision {
   /// state cannot produce an acceptable kick.
   [[nodiscard]] static std::uint8_t token_for(std::uint64_t cycle);
 
-  /// Fires on HW expiry — wire this to the ECU reset path.
-  void set_expire_callback(baseline::HardwareWatchdog::ExpireCallback cb) {
-    hw_.set_expire_callback(std::move(cb));
-  }
+  /// Fires on HW expiry — wire this to the ECU reset path. The unit
+  /// interposes on the callback to emit a telemetry event first.
+  void set_expire_callback(baseline::HardwareWatchdog::ExpireCallback cb);
 
   void start() { hw_.start(); }
   void stop() { hw_.stop(); }

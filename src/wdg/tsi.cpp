@@ -2,6 +2,9 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <string>
+
+#include "telemetry/event_bus.hpp"
 
 namespace easis::wdg {
 
@@ -28,7 +31,22 @@ void TaskStateIndicationUnit::report_error(RunnableId runnable, ErrorType type,
                                            sim::SimTime now) {
   auto it = elements_.find(runnable);
   if (it == elements_.end()) return;
-  ++it->second.counts[static_cast<std::size_t>(type)];
+  const std::uint32_t count =
+      ++it->second.counts[static_cast<std::size_t>(type)];
+  const std::uint32_t threshold =
+      thresholds_.by_type[static_cast<std::size_t>(type)];
+  if (threshold > 0 && count == threshold && telemetry::enabled()) {
+    telemetry::Event event;
+    event.time = now;
+    event.component = telemetry::Component::kTsi;
+    event.kind = telemetry::EventKind::kThresholdTrip;
+    event.runnable = runnable;
+    event.task = it->second.task;
+    event.application = it->second.application;
+    event.detail = std::string(to_string(type)) + " count reached " +
+                   std::to_string(threshold);
+    telemetry::emit(std::move(event));
+  }
   derive_states(now);
 }
 
@@ -63,17 +81,43 @@ void TaskStateIndicationUnit::derive_states(sim::SimTime now) {
   for (const auto& [task, health] : new_task) {
     if (task_health_.at(task) != health) {
       task_health_[task] = health;
+      if (telemetry::enabled()) {
+        telemetry::Event event;
+        event.time = now;
+        event.component = telemetry::Component::kTsi;
+        event.kind = telemetry::EventKind::kTaskStateChange;
+        event.task = task;
+        event.detail = to_string(health);
+        telemetry::emit(std::move(event));
+      }
       if (task_cb_) task_cb_(task, health, now);
     }
   }
   for (const auto& [app, health] : new_app) {
     if (app_health_.at(app) != health) {
       app_health_[app] = health;
+      if (telemetry::enabled()) {
+        telemetry::Event event;
+        event.time = now;
+        event.component = telemetry::Component::kTsi;
+        event.kind = telemetry::EventKind::kAppStateChange;
+        event.application = app;
+        event.detail = to_string(health);
+        telemetry::emit(std::move(event));
+      }
       if (app_cb_) app_cb_(app, health, now);
     }
   }
   if (new_ecu != ecu_health_) {
     ecu_health_ = new_ecu;
+    if (telemetry::enabled()) {
+      telemetry::Event event;
+      event.time = now;
+      event.component = telemetry::Component::kTsi;
+      event.kind = telemetry::EventKind::kEcuStateChange;
+      event.detail = to_string(new_ecu);
+      telemetry::emit(std::move(event));
+    }
     if (ecu_cb_) ecu_cb_(new_ecu, now);
   }
 }

@@ -3,13 +3,36 @@
 #include <algorithm>
 #include <cassert>
 
+#include "telemetry/event_bus.hpp"
 #include "util/logging.hpp"
 
 namespace easis::wdg {
 
 namespace {
+
 constexpr std::string_view kLog = "wdg";
+
+/// Which monitoring unit an error class originates from, for telemetry.
+telemetry::Component detector_component(ErrorType type) {
+  switch (type) {
+    case ErrorType::kAliveness:
+    case ErrorType::kAccumulatedAliveness:
+      return telemetry::Component::kHeartbeatUnit;
+    case ErrorType::kArrivalRate:
+      return telemetry::Component::kArrivalRateUnit;
+    case ErrorType::kProgramFlow:
+      return telemetry::Component::kProgramFlowUnit;
+    case ErrorType::kDeadline:
+      return telemetry::Component::kDeadlineUnit;
+    case ErrorType::kCommunication:
+      return telemetry::Component::kComMonitor;
+    case ErrorType::kNvmCorruption:
+      return telemetry::Component::kFmf;
+  }
+  return telemetry::Component::kHarness;
 }
+
+}  // namespace
 
 SoftwareWatchdog::SoftwareWatchdog(WatchdogConfig config)
     : config_(config),
@@ -155,6 +178,20 @@ void SoftwareWatchdog::emit(ErrorReport report) {
   EASIS_LOG(util::LogLevel::kDebug, kLog)
       << to_string(report.type) << " error, runnable " << report.runnable
       << " task " << report.task << " at " << report.time;
+  if (telemetry::enabled()) {
+    // Single funnel for every detection in the stack, so one emit site
+    // covers HBM/ARM/PFC/deadline/com-monitor and external reports.
+    telemetry::Event event;
+    event.time = report.time;
+    event.component = detector_component(report.type);
+    event.kind = telemetry::EventKind::kErrorDetected;
+    event.runnable = report.runnable;
+    event.task = report.task;
+    event.application = report.application;
+    event.detail = std::string(to_string(report.type));
+    if (!report.detail.empty()) event.detail += ": " + report.detail;
+    telemetry::emit(std::move(event));
+  }
   // Report the error to the FMF before the TSI derives new states: state
   // transitions may trigger treatments, and the causal fault must already
   // be on record (fault log, DTC store) when they run.

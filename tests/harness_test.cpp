@@ -14,6 +14,7 @@
 #include "harness/campaign_runner.hpp"
 #include "inject/campaign.hpp"
 #include "sim/time.hpp"
+#include "telemetry/event_bus.hpp"
 #include "util/random.hpp"
 
 namespace easis {
@@ -341,6 +342,150 @@ TEST(CampaignReportTiming, TimingCsvCarriesThroughputColumns) {
             std::string::npos);
   EXPECT_NE(csv.find("\n2,0,8,8,0,0,"), std::string::npos);
   EXPECT_GT(outcome.runs_per_second(), 0.0);
+}
+
+// --- telemetry ---------------------------------------------------------------
+
+// Emits a deterministic event trail (sim-time stamped, seeded by the run
+// index) into whatever bus the worker installed for this run.
+RunResult telemetric_run(const RunContext& ctx) {
+  const auto base = static_cast<std::int64_t>(ctx.spec().run_index) * 1'000;
+  telemetry::Event applied;
+  applied.kind = telemetry::EventKind::kFaultApplied;
+  applied.component = telemetry::Component::kInjector;
+  applied.time = sim::SimTime(base);
+  applied.injection = InjectionId(0);
+  applied.detail = "synthetic_fault";
+  telemetry::emit(applied);
+
+  telemetry::Event detected;
+  detected.kind = telemetry::EventKind::kErrorDetected;
+  detected.component = telemetry::Component::kHeartbeatUnit;
+  detected.time = sim::SimTime(base + 40);
+  detected.detail = "aliveness";
+  telemetry::emit(detected);
+  return synthetic_run(ctx);
+}
+
+TEST(CampaignTelemetry, EventsAreCapturedPerRun) {
+  CampaignConfig config;
+  config.jobs = 2;
+  CampaignRunner runner(config, telemetric_run);
+  const auto specs = CampaignRunner::make_specs(6, 5);
+  const CampaignOutcome outcome = runner.run(specs);
+  for (std::size_t i = 0; i < outcome.results.size(); ++i) {
+    const auto& events = outcome.results[i].events;
+    ASSERT_EQ(events.size(), 2u) << "run " << i;
+    // Per-run sequence restarts at 0 and the bus back-fills the injection
+    // correlation from the applied fault.
+    EXPECT_EQ(events[0].seq, 0u);
+    EXPECT_EQ(events[1].seq, 1u);
+    EXPECT_EQ(events[1].injection, InjectionId(0));
+    EXPECT_EQ(events[0].time.as_micros(), static_cast<std::int64_t>(i) * 1'000);
+  }
+}
+
+TEST(CampaignTelemetry, EventLogAndMetricsAreJobsInvariant) {
+  const auto specs = CampaignRunner::make_specs(10, 3);
+  std::string logs[2], metrics[2];
+  const unsigned jobs[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    CampaignConfig config;
+    config.jobs = jobs[i];
+    CampaignRunner runner(config, telemetric_run);
+    const CampaignOutcome outcome = runner.run(specs);
+    const CampaignReport report(specs, outcome);
+    std::ostringstream log, prom;
+    report.write_event_log(log);
+    report.write_metrics(prom);
+    logs[i] = log.str();
+    metrics[i] = prom.str();
+  }
+  EXPECT_EQ(logs[0], logs[1]);
+  EXPECT_EQ(metrics[0], metrics[1]);
+  EXPECT_NE(logs[0].find("# run index=0"), std::string::npos);
+  EXPECT_NE(logs[0].find("synthetic_fault"), std::string::npos);
+  EXPECT_NE(metrics[0].find("easis_campaign_runs_total 10"), std::string::npos);
+  EXPECT_NE(metrics[0].find("easis_fault_to_detection_latency_ms_bucket"),
+            std::string::npos);
+}
+
+TEST(CampaignTelemetry, HungRunLeavesFlightRecorderSnapshot) {
+  // The hung run emits its trail and then spins: the full log never comes
+  // back, but the supervisor must snapshot the flight-recorder ring into
+  // the quarantined result.
+  constexpr std::size_t kHungRun = 2;
+  CampaignConfig config;
+  config.jobs = 2;
+  config.run_deadline = std::chrono::milliseconds(100);
+  config.supervisor_poll = std::chrono::milliseconds(5);
+  CampaignRunner runner(config, [&](const RunContext& ctx) {
+    if (ctx.spec().run_index == kHungRun) {
+      telemetry::Event last_words;
+      last_words.kind = telemetry::EventKind::kErrorDetected;
+      last_words.component = telemetry::Component::kDeadlineUnit;
+      last_words.time = sim::SimTime(123);
+      last_words.detail = "about to hang";
+      telemetry::emit(last_words);
+      while (!ctx.cancelled()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return RunResult{};
+    }
+    return telemetric_run(ctx);
+  });
+
+  auto specs = CampaignRunner::make_specs(6, 11);
+  specs[kHungRun].label = "deliberate_hang";
+  const CampaignOutcome outcome = runner.run(specs);
+  ASSERT_EQ(outcome.results[kHungRun].status, RunStatus::kRunTimeout);
+  const auto& ring = outcome.results[kHungRun].events;
+  ASSERT_FALSE(ring.empty());
+  EXPECT_EQ(ring.back().detail, "about to hang");
+
+  const CampaignReport report(specs, outcome);
+  const auto candidates = report.flight_dump_candidates();
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], kHungRun);
+  std::ostringstream dump;
+  report.write_flight_dump(dump, kHungRun);
+  EXPECT_NE(dump.str().find("deliberate_hang"), std::string::npos);
+  EXPECT_NE(dump.str().find("about to hang"), std::string::npos);
+  EXPECT_NE(dump.str().find("status=timeout"), std::string::npos);
+}
+
+TEST(CampaignTelemetry, MisdetectingRunBecomesDumpCandidate) {
+  CampaignConfig config;
+  config.jobs = 1;
+  CampaignRunner runner(config, [](const RunContext& ctx) {
+    RunResult result = telemetric_run(ctx);
+    if (ctx.spec().run_index == 1) {
+      result.misdetect = "no detector fired";
+    }
+    return result;
+  });
+  const auto specs = CampaignRunner::make_specs(3, 7);
+  const CampaignOutcome outcome = runner.run(specs);
+  const CampaignReport report(specs, outcome);
+  const auto candidates = report.flight_dump_candidates();
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], 1u);
+  std::ostringstream dump;
+  report.write_flight_dump(dump, 1);
+  EXPECT_NE(dump.str().find("misdetect: no detector fired"),
+            std::string::npos);
+}
+
+TEST(CampaignTelemetry, CleanCampaignWritesNoFlightDumps) {
+  CampaignConfig config;
+  config.jobs = 1;
+  CampaignRunner runner(config, telemetric_run);
+  const auto specs = CampaignRunner::make_specs(3, 7);
+  const CampaignOutcome outcome = runner.run(specs);
+  const CampaignReport report(specs, outcome);
+  EXPECT_TRUE(report.flight_dump_candidates().empty());
+  // No candidates — the prefix is never used, so no files appear.
+  EXPECT_EQ(report.write_flight_dumps("/nonexistent-dir/never-touched"), 0u);
 }
 
 }  // namespace

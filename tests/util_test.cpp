@@ -1,8 +1,11 @@
 // Unit tests for the util foundation library.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <thread>
 #include <unordered_set>
+#include <vector>
 
 #include "util/argparse.hpp"
 #include "util/csv.hpp"
@@ -238,6 +241,41 @@ TEST(TraceRecorder, UnknownSignalThrows) {
   EXPECT_THROW((void)rec.signal("nope"), std::out_of_range);
 }
 
+TEST(TraceRecorder, EmptyRecorderCsvHasHeaderAndZeroRow) {
+  util::TraceRecorder rec;
+  std::ostringstream out;
+  rec.write_csv(out, 10);
+  // No signals: the time column alone, over the degenerate [0, 0] span.
+  EXPECT_EQ(out.str(), "time\n0\n");
+}
+
+TEST(TraceRecorder, SingleSampleCsvHasOneRow) {
+  util::TraceRecorder rec;
+  rec.record("x", 5, 2.5);
+  std::ostringstream out;
+  rec.write_csv(out, 10);
+  EXPECT_EQ(out.str(), "time,x\n5,2.5\n");
+}
+
+TEST(TraceRecorder, AsciiRenderDegenerateWindowSaysNoData) {
+  util::TraceRecorder rec;
+  rec.record("sig", 0, 1.0);
+  rec.record("sig", 100, 2.0);
+  std::ostringstream out;
+  rec.render_ascii(out, "sig", 50, 50);  // t1 == t0
+  EXPECT_EQ(out.str(), "sig: <no data>\n");
+  std::ostringstream inverted;
+  rec.render_ascii(inverted, "sig", 100, 0);  // t1 < t0
+  EXPECT_EQ(inverted.str(), "sig: <no data>\n");
+}
+
+TEST(TraceSignal, EmptySignalHasNoValue) {
+  util::TraceSignal sig;
+  EXPECT_TRUE(sig.empty());
+  EXPECT_FALSE(sig.value_at(0).has_value());
+  EXPECT_FALSE(sig.value_at(1'000'000).has_value());
+}
+
 TEST(TraceRecorder, AsciiRenderProducesPlot) {
   util::TraceRecorder rec;
   for (int t = 0; t <= 100; t += 10) {
@@ -274,6 +312,53 @@ TEST(Logger, RespectsLevel) {
 TEST(Logger, LevelNames) {
   EXPECT_EQ(util::to_string(util::LogLevel::kDebug), "DEBUG");
   EXPECT_EQ(util::to_string(util::LogLevel::kError), "ERROR");
+}
+
+TEST(Logger, ParseLogLevel) {
+  EXPECT_EQ(util::parse_log_level("trace"), util::LogLevel::kTrace);
+  EXPECT_EQ(util::parse_log_level("debug"), util::LogLevel::kDebug);
+  EXPECT_EQ(util::parse_log_level("info"), util::LogLevel::kInfo);
+  EXPECT_EQ(util::parse_log_level("warn"), util::LogLevel::kWarn);
+  EXPECT_EQ(util::parse_log_level("error"), util::LogLevel::kError);
+  EXPECT_EQ(util::parse_log_level("off"), util::LogLevel::kOff);
+  EXPECT_FALSE(util::parse_log_level("loud").has_value());
+  EXPECT_FALSE(util::parse_log_level("").has_value());
+}
+
+// Campaign workers log concurrently; the logger serializes sink calls and
+// keeps level reads lock-free. Run under TSan via the ci "util" filter.
+TEST(Logger, ConcurrentLoggingIsThreadSafe) {
+  auto& logger = util::Logger::instance();
+  std::atomic<int> received{0};
+  auto old_sink = logger.set_sink(
+      [&](util::LogLevel, std::string_view, std::string_view msg) {
+        received += static_cast<int>(msg.size() > 0);
+      });
+  const auto old_level = logger.level();
+  logger.set_level(util::LogLevel::kInfo);
+
+  constexpr int kThreads = 4;
+  constexpr int kLines = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&logger, t] {
+      for (int i = 0; i < kLines; ++i) {
+        EASIS_LOG(util::LogLevel::kInfo, "worker") << t << ':' << i;
+        // Concurrent level *reads* race against the set_level below.
+        (void)logger.level();
+      }
+    });
+  }
+  // Writer thread exercises the atomic level store while readers log.
+  for (int i = 0; i < 100; ++i) {
+    logger.set_level(util::LogLevel::kInfo);
+  }
+  for (auto& thread : threads) thread.join();
+
+  logger.set_level(old_level);
+  logger.set_sink(old_sink);
+  EXPECT_EQ(received.load(), kThreads * kLines);
 }
 
 // --- Rng -----------------------------------------------------------------------------
