@@ -1,9 +1,15 @@
 #include "campaign_scenarios.hpp"
 
 #include <functional>
+#include <optional>
 #include <stdexcept>
 
+#include "bus/can.hpp"
+#include "diag/protocol.hpp"
+#include "diag/tester.hpp"
 #include "inject/campaign.hpp"
+#include "inject/diag_faults.hpp"
+#include "inject/faults.hpp"
 #include "inject/injector.hpp"
 #include "inject/network_faults.hpp"
 #include "sim/engine.hpp"
@@ -172,6 +178,258 @@ harness::RunResult run_network_fault(const std::string& fault_class,
     result.coverage.add_result(fault_class, detector,
                                recorder.detected(detector),
                                recorder.latency(detector));
+  }
+  return result;
+}
+
+namespace {
+
+/// Everything the t=3s readout collects; the verdict derives from it after
+/// the simulation finishes.
+struct ReadoutTranscript {
+  int timeouts = 0;
+  int negatives = 0;
+  bool service_not_supported = false;
+  std::optional<diag::DtcReadout> count;
+  std::optional<diag::DtcReadout> list;
+  bool freeze_frame_ok = false;
+  int pending = 0;
+  bool done = false;
+  sim::SimTime completed;
+};
+
+void note_response(ReadoutTranscript& transcript,
+                   const std::optional<diag::Response>& response) {
+  if (!response) {
+    ++transcript.timeouts;
+    return;
+  }
+  if (!response->positive) {
+    ++transcript.negatives;
+    if (response->nrc == diag::Nrc::kServiceNotSupported) {
+      transcript.service_not_supported = true;
+    }
+  }
+}
+
+RunnableId diag_target_runnable(validator::CentralNode& node, int target) {
+  switch (target % 3) {
+    case 0: return node.safespeed().get_sensor_value();
+    case 1: return node.safespeed().safe_cc_process();
+    default: return node.safespeed().speed_process();
+  }
+}
+
+wdg::ErrorType expected_error_type(const std::string& fault_class) {
+  if (fault_class == "arrival_rate") return wdg::ErrorType::kArrivalRate;
+  if (fault_class == "program_flow") return wdg::ErrorType::kProgramFlow;
+  return wdg::ErrorType::kAliveness;
+}
+
+std::string expected_verdict(const std::string& fault_class) {
+  if (fault_class == "diag_request_corruption") {
+    return "flagged_negative_response";
+  }
+  if (fault_class == "diag_response_drop" ||
+      fault_class == "diag_reset_blackout") {
+    return "readout_timeout";
+  }
+  return "correct_dtc";
+}
+
+}  // namespace
+
+const std::vector<std::string>& diag_fault_classes() {
+  static const std::vector<std::string> kClasses = {
+      "aliveness",        "arrival_rate",       "program_flow",
+      "diag_request_corruption", "diag_response_drop", "diag_reset_blackout"};
+  return kClasses;
+}
+
+const std::string& diag_readout_csv_header() {
+  static const std::string kHeader =
+      "fault_class,expected,verdict,dtc_total,dtc_active,freeze_frame,"
+      "timeouts,negative_responses,accurate";
+  return kHeader;
+}
+
+harness::RunResult run_diag_readout(const std::string& fault_class,
+                                    std::uint64_t seed) {
+  util::Rng rng(seed);
+
+  sim::Engine engine;
+  validator::CentralNodeConfig config;
+  config.dtc_capacity = 8;
+  config.reboot_delay = sim::Duration::millis(50);
+  validator::CentralNode node(engine, config);
+
+  // The diagnostic CAN: the node's UDS-lite server plus a workshop tester.
+  bus::CanBus diag_can(engine);
+  diag::DiagServer& server = node.attach_diag(diag_can);
+  diag::DiagTesterConfig tester_config;
+  tester_config.name = "workshop";
+  diag::DiagTester tester(engine, diag_can, tester_config);
+
+  // The computation fault under diagnosis. Each class uses the injection
+  // that manifests *uniquely* as its error type — a dropped or repeated
+  // runnable also breaks the program-flow graph, and whichever monitor
+  // fires first owns the DTC, which is misclassification, not diagnosis.
+  // The three diag-layer classes attack the readout of an aliveness
+  // fault's memory instead, so every run has a fault to read out.
+  const int target = static_cast<int>(rng.uniform_int(0, 2));
+  const sim::SimTime inject_at(1'000'000);
+  const sim::Duration fault_duration =
+      sim::Duration::millis(rng.uniform_int(200, 800));
+
+  inject::ErrorInjector injector(engine);
+  if (fault_class == "arrival_rate") {
+    // Excessive dispatch: the task runs 3-6x too fast; every job still
+    // executes its correct sequence, so only the arrival counters trip.
+    injector.add(inject::make_period_scale(
+        node.kernel(), node.safespeed_alarm(), node.safespeed_period_ticks(),
+        1.0 / static_cast<double>(rng.uniform_int(3, 6)), inject_at,
+        fault_duration));
+  } else if (fault_class == "program_flow") {
+    injector.add(inject::make_invalid_branch(
+        node.rte(), node.safespeed_task(), diag_target_runnable(node, target),
+        diag_target_runnable(node, target + 2), inject_at, fault_duration));
+  } else {
+    // "aliveness" itself and the companion fault of the diag-layer
+    // classes: the runnable keeps executing, only its heartbeat glue is
+    // suppressed. The target must be the *last* runnable of the job —
+    // the PFC clears its context at the task boundary, so a missing tail
+    // indication is invisible to it and the aliveness monitor alone
+    // owns the DTC.
+    injector.add(inject::make_heartbeat_suppression(
+        node.rte(), node.safespeed().speed_process(), inject_at,
+        fault_duration));
+  }
+
+  constexpr std::int64_t kReadoutAtUs = 3'000'000;
+  if (fault_class == "diag_request_corruption") {
+    injector.add(inject::make_diag_request_corruption(
+        tester, sim::SimTime(kReadoutAtUs - 10'000),
+        sim::Duration::millis(rng.uniform_int(300, 600))));
+  } else if (fault_class == "diag_response_drop") {
+    injector.add(inject::make_diag_response_drop(
+        server, sim::SimTime(kReadoutAtUs - 10'000),
+        sim::Duration::millis(rng.uniform_int(300, 600))));
+  } else if (fault_class == "diag_reset_blackout") {
+    injector.add(inject::make_diag_blackout(
+        server, sim::SimTime(kReadoutAtUs - 10'000),
+        sim::Duration::millis(rng.uniform_int(60, 200))));
+  }
+  injector.arm();
+
+  // Post-run diagnostic readout: session open, DTC count, DTC list, and
+  // the freeze frame of the expected DTC when the list advertises one.
+  ReadoutTranscript transcript;
+  const wdg::ErrorType expected_type = expected_error_type(fault_class);
+  const std::uint16_t expected_app = static_cast<std::uint16_t>(
+      node.safespeed().application().value());
+  auto finish_one = [&] {
+    if (--transcript.pending == 0) {
+      transcript.done = true;
+      transcript.completed = engine.now();
+    }
+  };
+  engine.schedule_at(sim::SimTime(kReadoutAtUs), [&] {
+    transcript.pending = 3;
+    tester.tester_present([&](const std::optional<diag::Response>& response) {
+      note_response(transcript, response);
+      finish_one();
+    });
+    tester.read_dtc_count(
+        [&](const std::optional<diag::Response>& response) {
+          note_response(transcript, response);
+          if (response && response->positive) {
+            transcript.count = diag::decode_dtc_readout(response->data);
+          }
+          finish_one();
+        });
+    tester.read_dtcs([&](const std::optional<diag::Response>& response) {
+      note_response(transcript, response);
+      if (response && response->positive) {
+        transcript.list = diag::decode_dtc_readout(response->data);
+      }
+      // Chase the freeze frame of the expected DTC while the session is
+      // still fresh (only when the list advertises one).
+      bool chase = false;
+      if (transcript.list) {
+        for (const auto& record : transcript.list->records) {
+          if (record.type == expected_type && record.has_freeze_frame) {
+            chase = true;
+            break;
+          }
+        }
+      }
+      if (chase) {
+        ++transcript.pending;
+        tester.read_freeze_frame(
+            expected_app, expected_type,
+            [&](const std::optional<diag::Response>& response) {
+              note_response(transcript, response);
+              if (response && response->positive) {
+                const auto frame = diag::decode_freeze_frame(response->data);
+                transcript.freeze_frame_ok =
+                    frame.has_value() && !frame->signals.empty();
+              }
+              finish_one();
+            });
+      }
+      finish_one();
+    });
+  });
+
+  node.start();
+  engine.run_until(sim::SimTime(5'000'000));
+
+  // --- verdict ---------------------------------------------------------------
+  std::string verdict;
+  if (!transcript.done) {
+    verdict = "readout_incomplete";
+  } else if (transcript.timeouts > 0) {
+    verdict = "readout_timeout";
+  } else if (transcript.service_not_supported) {
+    verdict = "flagged_negative_response";
+  } else if (transcript.negatives > 0) {
+    verdict = "readout_rejected";
+  } else if (!transcript.list) {
+    verdict = "readout_undecodable";
+  } else {
+    bool matched = false;
+    for (const auto& record : transcript.list->records) {
+      if (record.type == expected_type && record.application == expected_app) {
+        matched = true;
+        break;
+      }
+    }
+    if (matched) {
+      verdict = "correct_dtc";
+    } else {
+      verdict = transcript.list->records.empty() ? "missing_dtc" : "wrong_dtc";
+    }
+  }
+
+  const std::string expected = expected_verdict(fault_class);
+  const bool accurate = verdict == expected;
+
+  harness::RunResult result;
+  std::optional<sim::Duration> latency;
+  if (transcript.done) {
+    latency = transcript.completed - sim::SimTime(kReadoutAtUs);
+  }
+  result.coverage.add_result(fault_class, "diag_readout", accurate, latency);
+  result.rows.push_back(
+      {fault_class, expected, verdict,
+       transcript.count ? std::to_string(transcript.count->total) : "",
+       transcript.count ? std::to_string(transcript.count->active) : "",
+       transcript.freeze_frame_ok ? "1" : "0",
+       std::to_string(transcript.timeouts),
+       std::to_string(transcript.negatives), accurate ? "1" : "0"});
+  if (!accurate) {
+    result.misdetect = "diag readout verdict '" + verdict + "' != expected '" +
+                       expected + "' for " + fault_class;
   }
   return result;
 }

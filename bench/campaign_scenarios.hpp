@@ -27,4 +27,22 @@ namespace easis::bench {
     const std::string& fault_class, std::uint64_t seed,
     std::int64_t run_until_us = 8'000'000);
 
+/// The diagnostic readout fault classes, in campaign order: three
+/// computation classes whose stored DTC the post-run readout must match,
+/// and three diag-layer classes that must degrade into an explicit flag.
+[[nodiscard]] const std::vector<std::string>& diag_fault_classes();
+
+/// Executes one diagnostic-readout run: builds a central node with fault
+/// memory plus a UDS-lite server and workshop tester on a diagnostic CAN,
+/// injects `fault_class` (computation fault at t=1s, or a diag-layer fault
+/// covering the readout window), performs a full readout at t=3s
+/// (TesterPresent, DTC count, DTC list, freeze frame), and cross-checks
+/// the read-out fault memory against the injected class. The run's verdict
+/// row and its diagnosis-accuracy coverage cell go into the result.
+[[nodiscard]] harness::RunResult run_diag_readout(
+    const std::string& fault_class, std::uint64_t seed);
+
+/// Header of the per-run verdict rows run_diag_readout() produces.
+[[nodiscard]] const std::string& diag_readout_csv_header();
+
 }  // namespace easis::bench

@@ -1,6 +1,10 @@
 #include "bus/e2e.hpp"
 
+#include "util/crc8.hpp"
+
 namespace easis::bus {
+
+using util::crc8_j1850;
 
 const char* to_string(E2EStatus status) {
   switch (status) {
@@ -11,18 +15,6 @@ const char* to_string(E2EStatus status) {
     case E2EStatus::kNoNewData: return "no_new_data";
   }
   return "?";
-}
-
-std::uint8_t crc8_j1850(const std::uint8_t* data, std::size_t length,
-                        std::uint8_t crc) {
-  for (std::size_t i = 0; i < length; ++i) {
-    crc ^= data[i];
-    for (int bit = 0; bit < 8; ++bit) {
-      crc = static_cast<std::uint8_t>(
-          (crc & 0x80u) ? (crc << 1) ^ 0x1Du : crc << 1);
-    }
-  }
-  return static_cast<std::uint8_t>(crc ^ 0xFFu);
 }
 
 namespace {

@@ -43,11 +43,6 @@ enum class E2EStatus : std::uint8_t {
 
 [[nodiscard]] const char* to_string(E2EStatus status);
 
-/// CRC-8 SAE J1850: poly 0x1D, init 0xFF, final XOR 0xFF.
-[[nodiscard]] std::uint8_t crc8_j1850(const std::uint8_t* data,
-                                      std::size_t length,
-                                      std::uint8_t crc = 0xFF);
-
 struct E2EConfig {
   /// Channel identity mixed into the CRC; never transmitted.
   std::uint16_t data_id = 0;

@@ -1,0 +1,113 @@
+// Fleet health monitoring master.
+//
+// The diagnostic counterpart of the node supervisor: a master that
+// periodically polls every registered ECU's DiagServer (DTC count + ECU
+// health data identifier) and maintains a fleet health table. An ECU whose
+// poll resolves entirely in timeouts is flagged *silent* — the diagnostic
+// stack's detection of a dead or unreachable node — and flagged again as
+// *recovered* on the first successful poll afterwards. Both transitions
+// emit telemetry events (kDiagNodeSilent is a detection kind) and invoke
+// the registered state callback.
+//
+// Every polling period the master polls the whole fleet in registration
+// order (round-robin within the cycle), so a silenced node is flagged
+// within one polling period plus the response timeout.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "diag/tester.hpp"
+
+namespace easis::diag {
+
+struct HealthMonitorConfig {
+  /// One full fleet poll per period.
+  sim::Duration poll_period = sim::Duration::millis(100);
+  /// Per-transaction response timeout handed to the internal testers.
+  sim::Duration response_timeout = sim::Duration::millis(20);
+  /// Poll cycles that must time out completely before a node is declared
+  /// silent (1 = first fully-dead cycle flags it).
+  std::uint32_t silent_after = 1;
+};
+
+/// One row of the fleet health table.
+struct FleetEntry {
+  std::string name;
+  enum class State : std::uint8_t { kUnknown, kAlive, kSilent } state =
+      State::kUnknown;
+  sim::SimTime last_response;
+  std::uint32_t polls = 0;
+  std::uint32_t consecutive_timeout_cycles = 0;
+  std::uint32_t silent_transitions = 0;
+  std::uint32_t recoveries = 0;
+  double dtc_total = 0;
+  double dtc_active = 0;
+  /// kDidEcuHealth read-out: 0 ok, 1 faulty (latest successful poll).
+  double health = 0;
+};
+
+[[nodiscard]] std::string_view to_string(FleetEntry::State state);
+
+class HealthMonitorMaster {
+ public:
+  /// `name, silent, now`: invoked on every silent/recovered transition.
+  using StateCallback =
+      std::function<void(const std::string&, bool, sim::SimTime)>;
+
+  HealthMonitorMaster(sim::Engine& engine, bus::CanBus& can,
+                      HealthMonitorConfig config = {});
+  HealthMonitorMaster(const HealthMonitorMaster&) = delete;
+  HealthMonitorMaster& operator=(const HealthMonitorMaster&) = delete;
+
+  /// Registers an ECU to poll; `client` mirrors the ECU's DiagServer
+  /// channel configuration (timeout is overridden from the master config).
+  /// The master owns one DiagTester per ECU. Register before start().
+  void register_ecu(const std::string& name, DiagTesterConfig client);
+
+  void set_state_callback(StateCallback callback) {
+    state_callback_ = std::move(callback);
+  }
+
+  /// Schedules the periodic fleet poll (first cycle one period from now).
+  void start();
+
+  // --- introspection --------------------------------------------------------
+  [[nodiscard]] const std::vector<FleetEntry>& fleet() const { return fleet_; }
+  [[nodiscard]] const FleetEntry* entry(const std::string& name) const;
+  [[nodiscard]] std::size_t silent_count() const;
+  [[nodiscard]] std::uint64_t poll_cycles() const { return cycles_; }
+  [[nodiscard]] const HealthMonitorConfig& config() const { return config_; }
+
+  /// Renders the fleet health table (ControlDesk read-out).
+  void write_table(std::ostream& out) const;
+
+ private:
+  struct Ecu {
+    std::unique_ptr<DiagTester> tester;
+    /// Per-cycle bookkeeping: transactions resolved / responses seen.
+    std::uint32_t cycle_resolved = 0;
+    std::uint32_t cycle_responses = 0;
+  };
+
+  sim::Engine& engine_;
+  bus::CanBus& can_;
+  HealthMonitorConfig config_;
+  std::vector<FleetEntry> fleet_;
+  std::vector<Ecu> ecus_;
+  StateCallback state_callback_;
+  bool started_ = false;
+  std::uint64_t cycles_ = 0;
+
+  void poll_cycle();
+  void poll_ecu(std::size_t index);
+  void on_transaction(std::size_t index,
+                      const std::optional<Response>& response);
+  void finish_cycle(std::size_t index, sim::SimTime now);
+};
+
+}  // namespace easis::diag

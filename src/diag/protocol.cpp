@@ -1,0 +1,204 @@
+#include "diag/protocol.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace easis::diag {
+
+std::string_view service_name(std::uint8_t sid) {
+  switch (sid) {
+    case kSidEcuReset: return "ECUReset";
+    case kSidClearDiagnosticInformation: return "ClearDiagnosticInformation";
+    case kSidReadDtcInformation: return "ReadDTCInformation";
+    case kSidReadDataByIdentifier: return "ReadDataByIdentifier";
+    case kSidTesterPresent: return "TesterPresent";
+    case kSidNegativeResponse: return "NegativeResponse";
+    default: return "UnknownService";
+  }
+}
+
+std::string_view to_string(Nrc nrc) {
+  switch (nrc) {
+    case Nrc::kServiceNotSupported: return "serviceNotSupported";
+    case Nrc::kSubFunctionNotSupported: return "subFunctionNotSupported";
+    case Nrc::kIncorrectMessageLength: return "incorrectMessageLength";
+    case Nrc::kConditionsNotCorrect: return "conditionsNotCorrect";
+    case Nrc::kRequestOutOfRange: return "requestOutOfRange";
+  }
+  return "?";
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_f32(std::vector<std::uint8_t>& out, double v) {
+  put_u32(out, std::bit_cast<std::uint32_t>(static_cast<float>(v)));
+}
+
+std::optional<std::uint16_t> get_u16(const std::vector<std::uint8_t>& in,
+                                     std::size_t offset) {
+  if (in.size() < offset + 2) return std::nullopt;
+  return static_cast<std::uint16_t>(in[offset] |
+                                    (static_cast<std::uint16_t>(in[offset + 1])
+                                     << 8));
+}
+
+std::optional<std::uint32_t> get_u32(const std::vector<std::uint8_t>& in,
+                                     std::size_t offset) {
+  if (in.size() < offset + 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[offset + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  return v;
+}
+
+std::optional<double> get_f32(const std::vector<std::uint8_t>& in,
+                              std::size_t offset) {
+  const auto bits = get_u32(in, offset);
+  if (!bits) return std::nullopt;
+  return static_cast<double>(std::bit_cast<float>(*bits));
+}
+
+std::vector<std::uint8_t> encode_request(const Request& request) {
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + request.data.size());
+  out.push_back(request.sid);
+  out.insert(out.end(), request.data.begin(), request.data.end());
+  return out;
+}
+
+std::optional<Request> decode_request(const std::vector<std::uint8_t>& payload,
+                                      std::size_t offset) {
+  if (payload.size() <= offset) return std::nullopt;
+  Request request;
+  request.sid = payload[offset];
+  request.data.assign(payload.begin() + static_cast<std::ptrdiff_t>(offset) + 1,
+                      payload.end());
+  return request;
+}
+
+std::vector<std::uint8_t> encode_response(const Response& response) {
+  std::vector<std::uint8_t> out;
+  if (!response.positive) {
+    out = {kSidNegativeResponse, response.sid,
+           static_cast<std::uint8_t>(response.nrc)};
+    return out;
+  }
+  out.reserve(1 + response.data.size());
+  out.push_back(static_cast<std::uint8_t>(response.sid +
+                                          kPositiveResponseOffset));
+  out.insert(out.end(), response.data.begin(), response.data.end());
+  return out;
+}
+
+std::optional<Response> decode_response(
+    const std::vector<std::uint8_t>& payload, std::size_t offset) {
+  if (payload.size() <= offset) return std::nullopt;
+  Response response;
+  const std::uint8_t first = payload[offset];
+  if (first == kSidNegativeResponse) {
+    if (payload.size() < offset + 3) return std::nullopt;
+    response.positive = false;
+    response.sid = payload[offset + 1];
+    response.nrc = static_cast<Nrc>(payload[offset + 2]);
+    return response;
+  }
+  if (first < kPositiveResponseOffset) return std::nullopt;
+  response.positive = true;
+  response.sid = static_cast<std::uint8_t>(first - kPositiveResponseOffset);
+  response.data.assign(payload.begin() + static_cast<std::ptrdiff_t>(offset) +
+                           1,
+                       payload.end());
+  return response;
+}
+
+void encode_dtc_record(std::vector<std::uint8_t>& out, const DtcRecord& dtc) {
+  put_u16(out, dtc.application);
+  out.push_back(static_cast<std::uint8_t>(dtc.type));
+  std::uint8_t status = 0;
+  if (dtc.active) status |= 0x01;
+  if (dtc.has_freeze_frame) status |= 0x02;
+  out.push_back(status);
+  put_u16(out, dtc.occurrences);
+  put_u32(out, dtc.last_seen_ms);
+}
+
+namespace {
+inline constexpr std::size_t kDtcRecordBytes = 10;
+
+std::optional<DtcRecord> decode_dtc_record(
+    const std::vector<std::uint8_t>& data, std::size_t offset) {
+  const auto application = get_u16(data, offset);
+  if (!application || data.size() < offset + kDtcRecordBytes) {
+    return std::nullopt;
+  }
+  DtcRecord dtc;
+  dtc.application = *application;
+  dtc.type = static_cast<wdg::ErrorType>(data[offset + 2]);
+  dtc.active = (data[offset + 3] & 0x01) != 0;
+  dtc.has_freeze_frame = (data[offset + 3] & 0x02) != 0;
+  dtc.occurrences = *get_u16(data, offset + 4);
+  dtc.last_seen_ms = *get_u32(data, offset + 6);
+  return dtc;
+}
+}  // namespace
+
+std::optional<DtcReadout> decode_dtc_readout(
+    const std::vector<std::uint8_t>& data) {
+  if (data.size() < 3) return std::nullopt;
+  DtcReadout readout;
+  const std::uint8_t sub = data[0];
+  readout.total = data[1];
+  readout.active = data[2];
+  if (sub == kReportDtcCount) {
+    return data.size() == 3 ? std::optional<DtcReadout>(readout) : std::nullopt;
+  }
+  if (sub != kReportDtcs) return std::nullopt;
+  std::size_t offset = 3;
+  while (offset < data.size()) {
+    const auto dtc = decode_dtc_record(data, offset);
+    if (!dtc) return std::nullopt;  // truncated trailing record
+    readout.records.push_back(*dtc);
+    offset += kDtcRecordBytes;
+  }
+  if (readout.records.size() != readout.total) return std::nullopt;
+  return readout;
+}
+
+std::optional<FreezeFrameReadout> decode_freeze_frame(
+    const std::vector<std::uint8_t>& data) {
+  // [sub=0x04 | app u16 | type u8 | captured_ms u32 | n u8 | n x signal]
+  // signal: [name_len u8 | name bytes | value f32]
+  if (data.size() < 9 || data[0] != kReportFreezeFrame) return std::nullopt;
+  FreezeFrameReadout frame;
+  frame.application = *get_u16(data, 1);
+  frame.type = static_cast<wdg::ErrorType>(data[3]);
+  frame.captured_ms = *get_u32(data, 4);
+  const std::uint8_t count = data[8];
+  std::size_t offset = 9;
+  for (std::uint8_t i = 0; i < count; ++i) {
+    if (offset >= data.size()) return std::nullopt;
+    const std::uint8_t name_len = data[offset++];
+    if (data.size() < offset + name_len + 4) return std::nullopt;
+    std::string name(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                     data.begin() +
+                         static_cast<std::ptrdiff_t>(offset + name_len));
+    offset += name_len;
+    frame.signals.emplace_back(std::move(name), *get_f32(data, offset));
+    offset += 4;
+  }
+  if (offset != data.size()) return std::nullopt;
+  return frame;
+}
+
+}  // namespace easis::diag

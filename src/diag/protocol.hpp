@@ -1,0 +1,151 @@
+// UDS-lite diagnostic protocol (ISO 14229 flavoured).
+//
+// The paper's fault chain ends inside the ECU; a deployed EASIS node also
+// exposes its fault memory to the outside world. This is the wire half of
+// that: a request/response protocol carried over the existing
+// E2E-protected bus, shrunk to the services a dependability validator
+// needs:
+//
+//   0x19 ReadDTCInformation        DTC counts, DTC records, freeze frames
+//   0x14 ClearDiagnosticInformation  workshop "clear fault memory"
+//   0x22 ReadDataByIdentifier      watchdog/TSI counters, metric snapshots
+//   0x11 ECUReset                  commanded software reset
+//   0x3E TesterPresent             opens/refreshes the diagnostic session
+//
+// Framing: one request is one bus frame whose application payload (behind
+// the 2-byte E2E header) is [SID | service data...]. A positive response
+// echoes SID + 0x40; a negative response is [0x7F | original SID | NRC].
+// All multi-byte integers are little-endian, matching the platform's
+// signal codec.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wdg/types.hpp"
+
+namespace easis::diag {
+
+// --- service identifiers -----------------------------------------------------
+inline constexpr std::uint8_t kSidEcuReset = 0x11;
+inline constexpr std::uint8_t kSidClearDiagnosticInformation = 0x14;
+inline constexpr std::uint8_t kSidReadDtcInformation = 0x19;
+inline constexpr std::uint8_t kSidReadDataByIdentifier = 0x22;
+inline constexpr std::uint8_t kSidTesterPresent = 0x3E;
+/// Positive responses echo the request SID plus this offset.
+inline constexpr std::uint8_t kPositiveResponseOffset = 0x40;
+/// First byte of every negative response.
+inline constexpr std::uint8_t kSidNegativeResponse = 0x7F;
+
+[[nodiscard]] std::string_view service_name(std::uint8_t sid);
+
+// --- ReadDTCInformation sub-functions ---------------------------------------
+inline constexpr std::uint8_t kReportDtcCount = 0x01;
+inline constexpr std::uint8_t kReportDtcs = 0x02;
+inline constexpr std::uint8_t kReportFreezeFrame = 0x04;
+
+// --- negative response codes -------------------------------------------------
+enum class Nrc : std::uint8_t {
+  kServiceNotSupported = 0x11,
+  kSubFunctionNotSupported = 0x12,
+  kIncorrectMessageLength = 0x13,
+  kConditionsNotCorrect = 0x22,
+  kRequestOutOfRange = 0x31,
+};
+
+[[nodiscard]] std::string_view to_string(Nrc nrc);
+
+// --- standard data identifiers (ReadDataByIdentifier) ------------------------
+inline constexpr std::uint16_t kDidWatchdogCycles = 0x0100;
+inline constexpr std::uint16_t kDidWatchdogErrors = 0x0101;
+inline constexpr std::uint16_t kDidEcuHealth = 0x0102;  // 0 ok, 1 faulty
+inline constexpr std::uint16_t kDidResetCount = 0x0103;
+inline constexpr std::uint16_t kDidStormLatched = 0x0104;
+inline constexpr std::uint16_t kDidDtcCount = 0x0105;
+inline constexpr std::uint16_t kDidActiveDtcCount = 0x0106;
+inline constexpr std::uint16_t kDidHeartbeatsSent = 0x0107;
+/// Base for telemetry metric snapshot identifiers (campaign wiring).
+inline constexpr std::uint16_t kDidMetricBase = 0x0200;
+/// Built-in: 1 while a diagnostic session is active, else 0.
+inline constexpr std::uint16_t kDidSessionState = 0xF186;
+
+// --- wire structures ---------------------------------------------------------
+
+/// A decoded request: service id plus the service-specific bytes.
+struct Request {
+  std::uint8_t sid = 0;
+  std::vector<std::uint8_t> data;
+};
+
+/// A decoded response. Positive responses carry the service data; negative
+/// ones carry the rejected SID and the NRC.
+struct Response {
+  std::uint8_t sid = 0;  // the *request* SID this answers
+  bool positive = true;
+  Nrc nrc = Nrc::kServiceNotSupported;  // valid when !positive
+  std::vector<std::uint8_t> data;       // valid when positive
+};
+
+/// One DTC as it travels in a kReportDtcs response (10 bytes).
+struct DtcRecord {
+  std::uint16_t application = 0;
+  wdg::ErrorType type = wdg::ErrorType::kAliveness;
+  bool active = false;
+  bool has_freeze_frame = false;
+  std::uint16_t occurrences = 0;
+  std::uint32_t last_seen_ms = 0;
+};
+
+/// Parsed kReportDtcCount / kReportDtcs payloads.
+struct DtcReadout {
+  std::uint8_t total = 0;
+  std::uint8_t active = 0;
+  std::vector<DtcRecord> records;
+};
+
+/// Parsed kReportFreezeFrame payload: the signal snapshot taken at the
+/// DTC's first occurrence.
+struct FreezeFrameReadout {
+  std::uint16_t application = 0;
+  wdg::ErrorType type = wdg::ErrorType::kAliveness;
+  std::uint32_t captured_ms = 0;
+  std::vector<std::pair<std::string, double>> signals;
+};
+
+// --- codec -------------------------------------------------------------------
+
+[[nodiscard]] std::vector<std::uint8_t> encode_request(const Request& request);
+[[nodiscard]] std::optional<Request> decode_request(
+    const std::vector<std::uint8_t>& payload, std::size_t offset = 0);
+
+[[nodiscard]] std::vector<std::uint8_t> encode_response(
+    const Response& response);
+[[nodiscard]] std::optional<Response> decode_response(
+    const std::vector<std::uint8_t>& payload, std::size_t offset = 0);
+
+/// Appends one 10-byte DTC record to `out`.
+void encode_dtc_record(std::vector<std::uint8_t>& out, const DtcRecord& dtc);
+
+/// Parses the data of a positive ReadDTCInformation response (the leading
+/// sub-function byte selects the layout). Returns nullopt on a truncated
+/// or malformed payload.
+[[nodiscard]] std::optional<DtcReadout> decode_dtc_readout(
+    const std::vector<std::uint8_t>& data);
+[[nodiscard]] std::optional<FreezeFrameReadout> decode_freeze_frame(
+    const std::vector<std::uint8_t>& data);
+
+/// Little-endian scalar helpers shared by the codec and the server.
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v);
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v);
+void put_f32(std::vector<std::uint8_t>& out, double v);
+[[nodiscard]] std::optional<std::uint16_t> get_u16(
+    const std::vector<std::uint8_t>& in, std::size_t offset);
+[[nodiscard]] std::optional<std::uint32_t> get_u32(
+    const std::vector<std::uint8_t>& in, std::size_t offset);
+[[nodiscard]] std::optional<double> get_f32(
+    const std::vector<std::uint8_t>& in, std::size_t offset);
+
+}  // namespace easis::diag

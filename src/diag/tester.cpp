@@ -1,0 +1,113 @@
+#include "diag/tester.hpp"
+
+#include <utility>
+
+namespace easis::diag {
+
+namespace {
+/// SID used for the corrupted-request fault: not assigned to any service.
+inline constexpr std::uint8_t kCorruptSid = 0xBB;
+}  // namespace
+
+DiagTester::DiagTester(sim::Engine& engine, bus::CanBus& can,
+                       DiagTesterConfig config)
+    : engine_(engine),
+      can_(can),
+      config_(std::move(config)),
+      endpoint_(can.attach(config_.name,
+                           [this](const bus::Frame& frame, sim::SimTime now) {
+                             on_frame(frame, now);
+                           })),
+      tx_(bus::E2EConfig{config_.request_data_id, 1}),
+      rx_(bus::E2EConfig{config_.response_data_id,
+                         bus::kE2ECounterModulo - 1}) {}
+
+void DiagTester::send(Request request, ResponseCallback callback) {
+  queue_.push_back(Transaction{std::move(request), std::move(callback)});
+  if (!in_flight_) start_next();
+}
+
+void DiagTester::read_dtc_count(ResponseCallback callback) {
+  send(Request{kSidReadDtcInformation, {kReportDtcCount}},
+       std::move(callback));
+}
+
+void DiagTester::read_dtcs(ResponseCallback callback) {
+  send(Request{kSidReadDtcInformation, {kReportDtcs}}, std::move(callback));
+}
+
+void DiagTester::read_freeze_frame(std::uint16_t application,
+                                   wdg::ErrorType type,
+                                   ResponseCallback callback) {
+  Request request{kSidReadDtcInformation, {kReportFreezeFrame}};
+  put_u16(request.data, application);
+  request.data.push_back(static_cast<std::uint8_t>(type));
+  send(std::move(request), std::move(callback));
+}
+
+void DiagTester::read_data(std::uint16_t did, ResponseCallback callback) {
+  Request request{kSidReadDataByIdentifier, {}};
+  put_u16(request.data, did);
+  send(std::move(request), std::move(callback));
+}
+
+void DiagTester::clear_dtcs(ResponseCallback callback) {
+  send(Request{kSidClearDiagnosticInformation, {}}, std::move(callback));
+}
+
+void DiagTester::tester_present(ResponseCallback callback) {
+  send(Request{kSidTesterPresent, {0x00}}, std::move(callback));
+}
+
+void DiagTester::ecu_reset(ResponseCallback callback) {
+  send(Request{kSidEcuReset, {0x01}}, std::move(callback));
+}
+
+void DiagTester::start_next() {
+  if (queue_.empty()) return;
+  in_flight_ = true;
+  Request wire = queue_.front().request;
+  if (corrupt_sid_) wire.sid = kCorruptSid;
+  bus::Frame frame;
+  frame.id = config_.request_can_id;
+  frame.payload = encode_request(wire);
+  tx_.protect(frame);
+  ++sent_;
+  can_.transmit(endpoint_, frame);
+  timeout_event_ = engine_.schedule_in(
+      config_.response_timeout,
+      [this] {
+        timeout_event_ = 0;
+        ++timeouts_;
+        resolve(std::nullopt);
+      },
+      sim::EventPriority::kMonitor);
+}
+
+void DiagTester::on_frame(const bus::Frame& frame, sim::SimTime now) {
+  (void)now;
+  if (frame.id != config_.response_can_id) return;
+  if (rx_.check(frame) != bus::E2EStatus::kOk) return;  // silent discard
+  if (!in_flight_) return;  // late response after timeout: drop
+  const auto response = decode_response(frame.payload, bus::kE2EHeaderBytes);
+  if (!response) return;
+  // A corrupted-SID request is answered for the wire SID; accept the
+  // response for the transaction at the head either way.
+  if (!corrupt_sid_ && response->sid != queue_.front().request.sid) return;
+  if (timeout_event_ != 0) {
+    engine_.cancel(timeout_event_);
+    timeout_event_ = 0;
+  }
+  ++received_;
+  resolve(*response);
+}
+
+void DiagTester::resolve(const std::optional<Response>& response) {
+  Transaction transaction = std::move(queue_.front());
+  queue_.pop_front();
+  in_flight_ = false;
+  if (transaction.callback) transaction.callback(response);
+  if (!in_flight_ && !queue_.empty()) start_next();
+}
+
+}  // namespace easis::diag

@@ -1,0 +1,100 @@
+// Diagnostic tester (client) side of the UDS-lite stack.
+//
+// Sends requests onto a DiagServer's request channel and matches responses
+// on its response channel. Transactions are strictly FIFO with one frame
+// outstanding at a time: further requests queue until the head transaction
+// resolves with a response or a timeout (the callback then receives
+// nullopt). The E2E alive counter is per-channel sender state, so exactly
+// one tester must own a server's request channel (the health master builds
+// one tester per polled ECU for this reason).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "bus/can.hpp"
+#include "bus/e2e.hpp"
+#include "diag/protocol.hpp"
+#include "sim/engine.hpp"
+
+namespace easis::diag {
+
+struct DiagTesterConfig {
+  std::string name = "tester";
+  /// Must mirror the target DiagServer's configuration.
+  std::uint32_t request_can_id = 0x600;
+  std::uint32_t response_can_id = 0x608;
+  std::uint16_t request_data_id = 0x60;
+  std::uint16_t response_data_id = 0x61;
+  /// A transaction with no response within this window times out.
+  sim::Duration response_timeout = sim::Duration::millis(20);
+};
+
+class DiagTester {
+ public:
+  /// Invoked exactly once per transaction: with the decoded response, or
+  /// with nullopt on timeout.
+  using ResponseCallback =
+      std::function<void(const std::optional<Response>&)>;
+
+  DiagTester(sim::Engine& engine, bus::CanBus& can,
+             DiagTesterConfig config = {});
+  DiagTester(const DiagTester&) = delete;
+  DiagTester& operator=(const DiagTester&) = delete;
+
+  /// Queues an arbitrary request.
+  void send(Request request, ResponseCallback callback);
+
+  // --- convenience wrappers for the supported services ----------------------
+  void read_dtc_count(ResponseCallback callback);
+  void read_dtcs(ResponseCallback callback);
+  void read_freeze_frame(std::uint16_t application, wdg::ErrorType type,
+                         ResponseCallback callback);
+  void read_data(std::uint16_t did, ResponseCallback callback);
+  void clear_dtcs(ResponseCallback callback);
+  void tester_present(ResponseCallback callback);
+  void ecu_reset(ResponseCallback callback);
+
+  // --- fault hooks (diag-layer injection) -----------------------------------
+  /// While set, outgoing SIDs are overwritten with an unassigned service id
+  /// *before* E2E protection: the frame is transport-valid, the request is
+  /// semantically broken (the server answers NRC serviceNotSupported).
+  void set_corrupt_sid(bool corrupt) { corrupt_sid_ = corrupt; }
+
+  // --- introspection --------------------------------------------------------
+  [[nodiscard]] std::uint64_t requests_sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t responses_received() const { return received_; }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] const bus::E2EReceiver& receiver() const { return rx_; }
+  [[nodiscard]] const DiagTesterConfig& config() const { return config_; }
+
+ private:
+  struct Transaction {
+    Request request;
+    ResponseCallback callback;
+  };
+
+  sim::Engine& engine_;
+  bus::CanBus& can_;
+  DiagTesterConfig config_;
+  bus::CanBus::EndpointId endpoint_;
+  bus::E2ESender tx_;
+  bus::E2EReceiver rx_;
+  std::deque<Transaction> queue_;
+  bool in_flight_ = false;
+  sim::EventId timeout_event_ = 0;
+  bool corrupt_sid_ = false;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t timeouts_ = 0;
+
+  void on_frame(const bus::Frame& frame, sim::SimTime now);
+  void start_next();
+  void resolve(const std::optional<Response>& response);
+};
+
+}  // namespace easis::diag

@@ -2,7 +2,7 @@
 
 #include <cstring>
 
-#include "bus/e2e.hpp"
+#include "util/crc8.hpp"
 
 namespace easis::fmf {
 
@@ -198,8 +198,8 @@ void write_u32_at(std::vector<std::uint8_t>& bank, std::size_t offset,
 /// CRC over seq + len + payload (everything after the magic and CRC byte).
 std::uint8_t bank_crc(const std::vector<std::uint8_t>& bank,
                       std::size_t payload_len) {
-  const std::uint8_t crc_header = bus::crc8_j1850(bank.data() + 4, 8);
-  return bus::crc8_j1850(bank.data() + kHeaderBytes, payload_len,
+  const std::uint8_t crc_header = util::crc8_j1850(bank.data() + 4, 8);
+  return util::crc8_j1850(bank.data() + kHeaderBytes, payload_len,
                          static_cast<std::uint8_t>(crc_header ^ 0xFF));
 }
 

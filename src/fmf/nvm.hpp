@@ -38,6 +38,8 @@ enum class ResetSource : std::uint8_t {
   kHardwareWatchdog = 2,
   /// Post-reset recovery validation failed inside the warm-up window.
   kRecoveryFailure = 3,
+  /// Commanded over the diagnostic protocol (UDS-lite ECUReset, 0x11).
+  kDiagnosticRequest = 4,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(ResetSource s) {
@@ -46,6 +48,7 @@ enum class ResetSource : std::uint8_t {
     case ResetSource::kEcuFaulty: return "ecu_faulty";
     case ResetSource::kHardwareWatchdog: return "hw_watchdog";
     case ResetSource::kRecoveryFailure: return "recovery_failure";
+    case ResetSource::kDiagnosticRequest: return "diag_request";
   }
   return "?";
 }

@@ -1,0 +1,39 @@
+#include "inject/diag_faults.hpp"
+
+namespace easis::inject {
+
+Injection make_diag_request_corruption(diag::DiagTester& tester,
+                                       sim::SimTime start,
+                                       sim::Duration duration) {
+  Injection injection;
+  injection.name = "diag_request_corruption(" + tester.config().name + ")";
+  injection.start = start;
+  injection.duration = duration;
+  injection.apply = [&tester] { tester.set_corrupt_sid(true); };
+  injection.revert = [&tester] { tester.set_corrupt_sid(false); };
+  return injection;
+}
+
+Injection make_diag_response_drop(diag::DiagServer& server, sim::SimTime start,
+                                  sim::Duration duration) {
+  Injection injection;
+  injection.name = "diag_response_drop(" + server.config().name + ")";
+  injection.start = start;
+  injection.duration = duration;
+  injection.apply = [&server] { server.set_response_drop(true); };
+  injection.revert = [&server] { server.set_response_drop(false); };
+  return injection;
+}
+
+Injection make_diag_blackout(diag::DiagServer& server, sim::SimTime start,
+                             sim::Duration duration) {
+  Injection injection;
+  injection.name = "diag_blackout(" + server.config().name + ")";
+  injection.start = start;
+  injection.duration = duration;
+  injection.apply = [&server] { server.set_blackout(true); };
+  injection.revert = [&server] { server.set_blackout(false); };
+  return injection;
+}
+
+}  // namespace easis::inject

@@ -1,0 +1,36 @@
+// Diagnostic-layer fault injections: attacks against the UDS-lite stack
+// itself rather than the computation it reads out. The diagnostic chain is
+// a dependability service too — a corrupted request, a lost response or a
+// readout racing an ECU reset must degrade into an explicit flag (negative
+// response or tester timeout), never into silently wrong fault memory.
+#pragma once
+
+#include "diag/server.hpp"
+#include "diag/tester.hpp"
+#include "inject/injector.hpp"
+
+namespace easis::inject {
+
+/// Corrupts the service id of every request the tester sends while active
+/// (stuck tester software / flipped identifier upstream of the transport).
+/// The frames stay E2E-valid, so the server must flag the broken *content*
+/// with NRC serviceNotSupported.
+[[nodiscard]] Injection make_diag_request_corruption(diag::DiagTester& tester,
+                                                     sim::SimTime start,
+                                                     sim::Duration duration);
+
+/// The server processes requests but its responses never reach the bus
+/// (TX path failure): every transaction in the window times out at the
+/// tester.
+[[nodiscard]] Injection make_diag_response_drop(diag::DiagServer& server,
+                                                sim::SimTime start,
+                                                sim::Duration duration);
+
+/// Diagnostic blackout, as during the reboot window of an ECU reset: the
+/// server drops requests entirely; the tester sees timeouts until the
+/// window ends.
+[[nodiscard]] Injection make_diag_blackout(diag::DiagServer& server,
+                                           sim::SimTime start,
+                                           sim::Duration duration);
+
+}  // namespace easis::inject

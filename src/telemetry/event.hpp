@@ -40,9 +40,11 @@ enum class Component : std::uint8_t {
   kTsi,
   kFmf,
   kHarness,
+  /// UDS-lite diagnostic stack: DiagServer, DiagTester, health master.
+  kDiag,
 };
 
-inline constexpr std::size_t kComponentCount = 11;
+inline constexpr std::size_t kComponentCount = 12;
 
 [[nodiscard]] constexpr std::string_view to_string(Component c) {
   switch (c) {
@@ -57,6 +59,7 @@ inline constexpr std::size_t kComponentCount = 11;
     case Component::kTsi: return "tsi";
     case Component::kFmf: return "fmf";
     case Component::kHarness: return "harness";
+    case Component::kDiag: return "diag";
   }
   return "?";
 }
@@ -85,9 +88,17 @@ enum class EventKind : std::uint8_t {
   kRecoveryResult,
   kNvmCommit,
   kNvmRestore,
+  /// Diagnostic stack (UDS-lite): request accepted by a DiagServer,
+  /// response sent (positive or negative), tester session expired without
+  /// TesterPresent, health master fleet-state transitions.
+  kDiagRequest,
+  kDiagResponse,
+  kDiagSessionExpired,
+  kDiagNodeSilent,
+  kDiagNodeRecovered,
 };
 
-inline constexpr std::size_t kEventKindCount = 19;
+inline constexpr std::size_t kEventKindCount = 24;
 
 [[nodiscard]] constexpr std::string_view to_string(EventKind k) {
   switch (k) {
@@ -110,15 +121,22 @@ inline constexpr std::size_t kEventKindCount = 19;
     case EventKind::kRecoveryResult: return "recovery_result";
     case EventKind::kNvmCommit: return "nvm_commit";
     case EventKind::kNvmRestore: return "nvm_restore";
+    case EventKind::kDiagRequest: return "diag_request";
+    case EventKind::kDiagResponse: return "diag_response";
+    case EventKind::kDiagSessionExpired: return "diag_session_expired";
+    case EventKind::kDiagNodeSilent: return "diag_node_silent";
+    case EventKind::kDiagNodeRecovered: return "diag_node_recovered";
   }
   return "?";
 }
 
 /// A detection event marks the first observable recognition of a fault by
-/// a monitoring layer.
+/// a monitoring layer. The health master declaring a node silent is the
+/// diagnostic stack's detection of a node-level fault.
 [[nodiscard]] constexpr bool is_detection(EventKind k) {
   return k == EventKind::kErrorDetected || k == EventKind::kTokenViolation ||
-         k == EventKind::kHwWatchdogExpired;
+         k == EventKind::kHwWatchdogExpired ||
+         k == EventKind::kDiagNodeSilent;
 }
 
 /// A treatment event marks the platform acting on a diagnosed fault.

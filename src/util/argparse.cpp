@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cstdlib>
 #include <iomanip>
+#include <stdexcept>
 
 #include "util/logging.hpp"
 
@@ -35,7 +36,15 @@ bool parse_double(const std::string& text, double* out) {
 ArgParser::ArgParser(std::string program, std::string description)
     : program_(std::move(program)), description_(std::move(description)) {}
 
-void ArgParser::add_flag(Flag flag) { flags_.push_back(std::move(flag)); }
+void ArgParser::add_flag(Flag flag) {
+  if (find(flag.name) != nullptr) {
+    // A silently shadowed flag would bind user input to the wrong value;
+    // registration collisions are programming errors, so fail loudly.
+    throw std::logic_error(program_ + ": duplicate flag registration '--" +
+                           flag.name + "'");
+  }
+  flags_.push_back(std::move(flag));
+}
 
 ArgParser::Flag* ArgParser::find(const std::string& name) {
   for (auto& flag : flags_) {
@@ -108,6 +117,7 @@ bool ArgParser::parse(int argc, const char* const* argv, std::ostream& err) {
     Flag* flag = find(name);
     if (flag == nullptr) {
       err << program_ << ": unknown flag '--" << name << "'\n";
+      print_usage(err);
       return false;
     }
     std::string value;

@@ -20,7 +20,8 @@ class ArgParser {
 
   /// Registers a flag bound to `value`; the bound default is what --help
   /// shows. Supported types: std::uint64_t, std::int64_t, unsigned, double,
-  /// bool (value-less switch), std::string.
+  /// bool (value-less switch), std::string. Registering a name twice is a
+  /// programming error and throws std::logic_error.
   void add(const std::string& name, std::uint64_t* value,
            const std::string& help);
   void add(const std::string& name, std::int64_t* value,
@@ -32,8 +33,11 @@ class ArgParser {
            const std::string& help);
 
   /// Parses argv. Returns false on an unknown flag, a missing or malformed
-  /// value, or --help; diagnostics/usage go to `err`. Callers should exit
-  /// with exited() ? 0 : 2 when parse() fails.
+  /// value, or --help; diagnostics/usage go to `err`. An unknown flag is
+  /// never ignored: the diagnostic is followed by the generated --help
+  /// listing of every registered flag (including grouped flags such as
+  /// util::TelemetryFlags). Callers should exit with exited() ? 0 : 2 when
+  /// parse() fails.
   [[nodiscard]] bool parse(int argc, const char* const* argv,
                            std::ostream& err);
 

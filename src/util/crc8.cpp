@@ -1,0 +1,36 @@
+#include "util/crc8.hpp"
+
+namespace easis::util {
+
+namespace {
+
+constexpr std::uint8_t kPoly = 0x1D;
+
+constexpr std::array<std::uint8_t, 256> make_table() {
+  std::array<std::uint8_t, 256> table{};
+  for (unsigned byte = 0; byte < 256; ++byte) {
+    std::uint8_t crc = static_cast<std::uint8_t>(byte);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = static_cast<std::uint8_t>((crc & 0x80u) ? (crc << 1) ^ kPoly
+                                                    : crc << 1);
+    }
+    table[byte] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint8_t, 256> kTable = make_table();
+
+}  // namespace
+
+const std::array<std::uint8_t, 256>& crc8_j1850_table() { return kTable; }
+
+std::uint8_t crc8_j1850(const std::uint8_t* data, std::size_t length,
+                        std::uint8_t crc) {
+  for (std::size_t i = 0; i < length; ++i) {
+    crc = kTable[static_cast<std::uint8_t>(crc ^ data[i])];
+  }
+  return static_cast<std::uint8_t>(crc ^ 0xFFu);
+}
+
+}  // namespace easis::util

@@ -1,0 +1,34 @@
+// Shared CRC-8 SAE J1850 (poly 0x1D, init 0xFF, final XOR 0xFF).
+//
+// One table-driven implementation for every layer that checks integrity
+// with this polynomial: the E2E protection header (bus/e2e), the NVM bank
+// checksums (fmf/nvm), the watchdog self-supervision response token
+// (wdg/self_supervision) and the UDS-lite diagnostic channel (diag).
+// Before this existed each caller routed through the bitwise loop private
+// to the bus library; the lookup table computes the same function one
+// byte at a time.
+//
+// Chaining convention (unchanged from the bus implementation): the final
+// XOR is applied on return, so a caller that feeds data in several pieces
+// un-XORs the intermediate value before passing it back in as `crc`:
+//
+//   crc = crc8_j1850(part2, len2, crc8_j1850(part1, len1) ^ 0xFF);
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace easis::util {
+
+/// The 256-entry lookup table for poly 0x1D (non-reflected).
+[[nodiscard]] const std::array<std::uint8_t, 256>& crc8_j1850_table();
+
+/// CRC-8 SAE J1850 over `data[0..length)`, starting from `crc` (pass the
+/// default 0xFF for a fresh computation); the final XOR 0xFF is applied on
+/// return. crc8_j1850("123456789") == 0x4B, the catalogue check value.
+[[nodiscard]] std::uint8_t crc8_j1850(const std::uint8_t* data,
+                                      std::size_t length,
+                                      std::uint8_t crc = 0xFF);
+
+}  // namespace easis::util

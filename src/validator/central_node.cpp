@@ -235,6 +235,29 @@ void CentralNode::boot_after_reset() {
   if (fmf_) fmf_->begin_ecu_recovery_window(engine_.now());
 }
 
+diag::DiagServer& CentralNode::attach_diag(bus::CanBus& can,
+                                           diag::DiagServerConfig config) {
+  diag::DiagBackend backend;
+  backend.dtcs = dtc_.get();
+  backend.fmf = fmf_.get();
+  backend.watchdog = &watchdog_;
+  backend.ecu_reset = [this] {
+    fmf::ResetCause cause;
+    cause.source = fmf::ResetSource::kDiagnosticRequest;
+    cause.time = engine_.now();
+    cause.detail = "commanded ECUReset (diagnostic service 0x11)";
+    if (fmf_) {
+      fmf_->request_reset(std::move(cause), engine_.now());
+      return;
+    }
+    software_reset();
+  };
+  backend.offline = [this] { return rebooting_; };
+  diag_ = std::make_unique<diag::DiagServer>(engine_, can, std::move(backend),
+                                             std::move(config));
+  return *diag_;
+}
+
 void CentralNode::on_hw_watchdog_expired(sim::SimTime now) {
   ++hw_resets_;
   EASIS_LOG(util::LogLevel::kError, "validator")

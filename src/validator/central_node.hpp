@@ -11,6 +11,7 @@
 
 #include "apps/crash_detection.hpp"
 #include "apps/lightctl.hpp"
+#include "diag/server.hpp"
 #include "apps/safelane.hpp"
 #include "apps/safespeed.hpp"
 #include "fmf/fmf.hpp"
@@ -100,6 +101,14 @@ class CentralNode {
   /// their monitoring deactivated. Wired into the FMF reboot-storm latch.
   void enter_safe_state(const fmf::ResetCause& cause);
 
+  /// Attaches a UDS-lite diagnostic server on `can`, backed by this node's
+  /// DTC store, FMF and watchdog. A commanded ECUReset funnels through
+  /// software_reset(); during the reboot blackout the server is offline
+  /// (requests are dropped, exactly like the rest of the node). The bus
+  /// must outlive the node. Returns the server for DID registration.
+  diag::DiagServer& attach_diag(bus::CanBus& can,
+                                diag::DiagServerConfig config = {});
+
   // --- accessors --------------------------------------------------------------
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] rte::Ecu& ecu() { return ecu_; }
@@ -119,6 +128,8 @@ class CentralNode {
   [[nodiscard]] wdg::WatchdogSelfSupervision* self_supervision() {
     return self_supervision_.get();
   }
+  /// Non-null after attach_diag().
+  [[nodiscard]] diag::DiagServer* diag_server() { return diag_.get(); }
   [[nodiscard]] apps::SafeSpeed& safespeed() { return *safespeed_; }
   [[nodiscard]] apps::SafeLane* safelane() { return safelane_.get(); }
   [[nodiscard]] apps::LightControl* light_control() { return light_.get(); }
@@ -175,6 +186,7 @@ class CentralNode {
   fmf::NvmStore* nvm_ = nullptr;
   std::unique_ptr<wdg::WatchdogSelfSupervision> self_supervision_;
   std::unique_ptr<os::ScheduleTable> schedule_table_;
+  std::unique_ptr<diag::DiagServer> diag_;
 
   bool started_once_ = false;
   std::uint32_t resets_ = 0;

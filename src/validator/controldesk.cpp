@@ -72,6 +72,25 @@ void ControlDesk::watch_event_bus(telemetry::EventBus& bus,
         [counts] { return static_cast<double>(counts->treatments); });
 }
 
+void ControlDesk::watch_health_master(const diag::HealthMonitorMaster& master,
+                                      const std::string& prefix) {
+  watch(prefix + ".silent",
+        [&master] { return static_cast<double>(master.silent_count()); });
+  watch(prefix + ".cycles",
+        [&master] { return static_cast<double>(master.poll_cycles()); });
+  for (std::size_t i = 0; i < master.fleet().size(); ++i) {
+    const std::string ecu = master.fleet()[i].name;
+    watch(prefix + "." + ecu + ".alive", [&master, i] {
+      return master.fleet()[i].state == diag::FleetEntry::State::kAlive ? 1.0
+                                                                        : 0.0;
+    });
+    watch(prefix + "." + ecu + ".dtc",
+          [&master, i] { return master.fleet()[i].dtc_total; });
+    watch(prefix + "." + ecu + ".health",
+          [&master, i] { return master.fleet()[i].health; });
+  }
+}
+
 void ControlDesk::start(sim::Duration horizon) {
   if (running_) throw std::logic_error("ControlDesk: already running");
   running_ = true;

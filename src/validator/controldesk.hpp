@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "diag/health_master.hpp"
 #include "sim/engine.hpp"
 #include "telemetry/event_bus.hpp"
 #include "util/ids.hpp"
@@ -37,6 +38,14 @@ class ControlDesk {
   /// *when* the detection chain progressed, on the same time axis as the
   /// watchdog counter plots. The bus must outlive the ControlDesk.
   void watch_event_bus(telemetry::EventBus& bus, const std::string& prefix);
+
+  /// Fleet-health probes from a HealthMonitorMaster: "<prefix>.silent"
+  /// (nodes currently silent), "<prefix>.cycles" (poll cycles run), and
+  /// per registered ECU "<prefix>.<ecu>.alive" / "<prefix>.<ecu>.dtc" /
+  /// "<prefix>.<ecu>.health". Register the fleet before calling; the
+  /// master must outlive the ControlDesk.
+  void watch_health_master(const diag::HealthMonitorMaster& master,
+                           const std::string& prefix);
 
   /// Begins sampling; stops after `horizon` from now.
   void start(sim::Duration horizon);

@@ -33,6 +33,23 @@ RemoteNode::RemoteNode(sim::Engine& engine, bus::CanBus& can,
         "RemoteNode: heartbeat period must be a positive multiple of 1ms");
   }
   period_ticks_ = static_cast<std::uint64_t>(period / 1000);
+
+  if (config_.with_diag) {
+    diag::DiagServerConfig diag_config = config_.diag;
+    if (diag_config.name == "diag") diag_config.name = config_.name + "_diag";
+    diag::DiagBackend backend;
+    backend.ecu_reset = [this] { reboot(); };
+    backend.offline = [this] { return halted_; };
+    backend.heartbeats_sent = [this] {
+      return static_cast<std::uint64_t>(sequence_);
+    };
+    diag_ = std::make_unique<diag::DiagServer>(engine_, can_,
+                                               std::move(backend),
+                                               std::move(diag_config));
+    // Remote nodes carry no watchdog; the health probe is the node itself.
+    diag_->add_data_identifier(diag::kDidEcuHealth, "ecu_health",
+                               [this] { return halted_ ? 1.0 : 0.0; });
+  }
 }
 
 void RemoteNode::start() {
@@ -47,6 +64,13 @@ void RemoteNode::halt() {
 
 void RemoteNode::resume() {
   if (!halted_) return;
+  halted_ = false;
+  start();
+}
+
+void RemoteNode::reboot() {
+  ++reboots_;
+  kernel_.software_reset();
   halted_ = false;
   start();
 }

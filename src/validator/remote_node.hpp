@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "bus/can.hpp"
+#include "diag/server.hpp"
 #include "os/kernel.hpp"
 #include "sim/engine.hpp"
 
@@ -23,6 +25,11 @@ struct RemoteNodeConfig {
   sim::Duration heartbeat_period = sim::Duration::millis(50);
   /// Modelled cost of the heartbeat task's job.
   sim::Duration task_cost = sim::Duration::micros(50);
+  /// Hosts a UDS-lite DiagServer on the node's CAN. The server goes
+  /// offline while the node is halted; a commanded ECUReset reboots the
+  /// node in place. Channel ids come from `diag`.
+  bool with_diag = false;
+  diag::DiagServerConfig diag;
 };
 
 class RemoteNode {
@@ -39,10 +46,16 @@ class RemoteNode {
   void resume();
   [[nodiscard]] bool halted() const { return halted_; }
 
+  /// Commanded reboot (diagnostic ECUReset): tear down and boot again.
+  void reboot();
+
   [[nodiscard]] const std::string& name() const { return config_.name; }
   [[nodiscard]] const RemoteNodeConfig& config() const { return config_; }
   [[nodiscard]] std::uint32_t heartbeats_sent() const { return sequence_; }
   [[nodiscard]] os::Kernel& kernel() { return kernel_; }
+  /// Non-null when config().with_diag is set.
+  [[nodiscard]] diag::DiagServer* diag_server() { return diag_.get(); }
+  [[nodiscard]] std::uint32_t reboots_performed() const { return reboots_; }
 
  private:
   sim::Engine& engine_;
@@ -55,7 +68,9 @@ class RemoteNode {
   CounterId counter_;
   std::uint64_t period_ticks_ = 1;
   std::uint32_t sequence_ = 0;
+  std::uint32_t reboots_ = 0;
   bool halted_ = false;
+  std::unique_ptr<diag::DiagServer> diag_;
 
   void send_heartbeat();
 };

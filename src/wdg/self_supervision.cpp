@@ -1,6 +1,6 @@
 #include "wdg/self_supervision.hpp"
 
-#include "bus/e2e.hpp"
+#include "util/crc8.hpp"
 #include "telemetry/event_bus.hpp"
 #include "util/logging.hpp"
 
@@ -19,7 +19,7 @@ std::uint8_t WatchdogSelfSupervision::token_for(std::uint64_t cycle) {
   for (std::size_t i = 0; i < 8; ++i) {
     bytes[i] = static_cast<std::uint8_t>(cycle >> (8 * i));
   }
-  return bus::crc8_j1850(bytes, sizeof bytes);
+  return util::crc8_j1850(bytes, sizeof bytes);
 }
 
 void WatchdogSelfSupervision::set_expire_callback(

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "fmf/dtc.hpp"
+#include "fmf/nvm.hpp"
 #include "rte/signal_bus.hpp"
 
 namespace easis::fmf {
@@ -107,6 +108,123 @@ TEST(DtcStoreTest, RestoreReplacesContentAndKeepsFrames) {
       report_for(1, wdg::ErrorType::kNvmCorruption, SimTime(50'000)));
   EXPECT_EQ(entry->occurrences, 5u);
   EXPECT_EQ(entry->freeze_frame->captured_at, SimTime(10'000));
+}
+
+// --- bounded store x freeze frames x NVM persistence -------------------------
+
+TEST(DtcStoreTest, EvictionAtFullStoreKeepsSurvivorFreezeFrames) {
+  rte::SignalBus signals;
+  signals.publish("vehicle.speed_kmh", 30.0, SimTime(100));
+  DtcStore store(signals, {"vehicle.speed_kmh"}, 2);
+  store.record(report_for(1, wdg::ErrorType::kAliveness, SimTime(1'000)));
+  signals.publish("vehicle.speed_kmh", 60.0, SimTime(1'500));
+  store.record(report_for(2, wdg::ErrorType::kAliveness, SimTime(2'000)));
+  // The store is full and every entry carries a frame; a third DTC must
+  // evict application 1 (oldest last occurrence) together with its frame
+  // and still capture a fresh frame for itself.
+  signals.publish("vehicle.speed_kmh", 90.0, SimTime(2'500));
+  store.record(report_for(3, wdg::ErrorType::kAliveness, SimTime(3'000)));
+  EXPECT_EQ(store.count(), 2u);
+  EXPECT_EQ(store.evictions(), 1u);
+  EXPECT_EQ(store.entry({ApplicationId(1), wdg::ErrorType::kAliveness}),
+            nullptr);
+  const DtcEntry* survivor =
+      store.entry({ApplicationId(2), wdg::ErrorType::kAliveness});
+  ASSERT_NE(survivor, nullptr);
+  ASSERT_TRUE(survivor->freeze_frame.has_value());
+  EXPECT_DOUBLE_EQ(survivor->freeze_frame->signals[0].second, 60.0);
+  const DtcEntry* newest =
+      store.entry({ApplicationId(3), wdg::ErrorType::kAliveness});
+  ASSERT_NE(newest, nullptr);
+  ASSERT_TRUE(newest->freeze_frame.has_value());
+  EXPECT_DOUBLE_EQ(newest->freeze_frame->signals[0].second, 90.0);
+}
+
+TEST(DtcStoreTest, PersistedBoundedStoreSurvivesEvictionAcrossReload) {
+  rte::SignalBus signals;
+  signals.publish("vehicle.speed_kmh", 42.0, SimTime(100));
+  DtcStore store(signals, {"vehicle.speed_kmh"}, 2);
+  store.record(report_for(1, wdg::ErrorType::kAliveness, SimTime(1'000)));
+  store.record(report_for(2, wdg::ErrorType::kDeadline, SimTime(2'000)));
+
+  // Persist the full bounded store the way the FMF does before a reset.
+  NvmImage image;
+  for (const DtcEntry& entry : store.entries()) {
+    image.dtcs.push_back(PersistedDtc{entry.key, entry.occurrences,
+                                      entry.first_seen, entry.last_seen,
+                                      entry.active, entry.freeze_frame});
+  }
+  NvmStore nvm;
+  ASSERT_TRUE(nvm.commit(image));
+
+  // Reboot: a fresh bounded store re-seeded from NVM is full again.
+  const NvmStore::LoadResult loaded = nvm.load();
+  ASSERT_TRUE(loaded.image.has_value());
+  DtcStore reborn(signals, {"vehicle.speed_kmh"}, 2);
+  std::vector<DtcEntry> restored;
+  for (const PersistedDtc& dtc : loaded.image->dtcs) {
+    restored.push_back(DtcEntry{dtc.key, dtc.occurrences, dtc.first_seen,
+                                dtc.last_seen, dtc.active, dtc.freeze_frame});
+  }
+  reborn.restore(restored);
+  ASSERT_EQ(reborn.count(), 2u);
+
+  // New faults after the reboot age against the *restored* timestamps:
+  // the oldest restored entry is evicted first, and the restored frame of
+  // the survivor is untouched while the newcomer captures a live one.
+  signals.publish("vehicle.speed_kmh", 99.0, SimTime(10'000));
+  reborn.record(report_for(3, wdg::ErrorType::kProgramFlow, SimTime(11'000)));
+  EXPECT_EQ(reborn.count(), 2u);
+  EXPECT_EQ(reborn.evictions(), 1u);
+  EXPECT_EQ(reborn.entry({ApplicationId(1), wdg::ErrorType::kAliveness}),
+            nullptr);
+  const DtcEntry* survivor =
+      reborn.entry({ApplicationId(2), wdg::ErrorType::kDeadline});
+  ASSERT_NE(survivor, nullptr);
+  ASSERT_TRUE(survivor->freeze_frame.has_value());
+  EXPECT_EQ(survivor->freeze_frame->captured_at, SimTime(2'000));
+  EXPECT_DOUBLE_EQ(survivor->freeze_frame->signals[0].second, 42.0);
+  const DtcEntry* newcomer =
+      reborn.entry({ApplicationId(3), wdg::ErrorType::kProgramFlow});
+  ASSERT_NE(newcomer, nullptr);
+  ASSERT_TRUE(newcomer->freeze_frame.has_value());
+  EXPECT_DOUBLE_EQ(newcomer->freeze_frame->signals[0].second, 99.0);
+}
+
+TEST(DtcStoreTest, ReoccurrenceAfterRestoreRefreshesAgeWithoutNewFrame) {
+  rte::SignalBus signals;
+  signals.publish("vehicle.speed_kmh", 10.0, SimTime(100));
+  DtcStore store(signals, {"vehicle.speed_kmh"}, 2);
+  DtcEntry old_entry;
+  old_entry.key = {ApplicationId(1), wdg::ErrorType::kAliveness};
+  old_entry.occurrences = 2;
+  old_entry.first_seen = SimTime(1'000);
+  old_entry.last_seen = SimTime(1'000);
+  FreezeFrame frame;
+  frame.captured_at = SimTime(1'000);
+  frame.signals.emplace_back("vehicle.speed_kmh", 77.0);
+  old_entry.freeze_frame = frame;
+  DtcEntry other = old_entry;
+  other.key = {ApplicationId(2), wdg::ErrorType::kAliveness};
+  other.last_seen = SimTime(2'000);
+  store.restore({old_entry, other});
+
+  // The restored oldest entry re-occurs: its age refreshes (so the *other*
+  // entry becomes the eviction candidate) but its first-occurrence frame
+  // must not be recaptured.
+  signals.publish("vehicle.speed_kmh", 50.0, SimTime(5'000));
+  store.record(report_for(1, wdg::ErrorType::kAliveness, SimTime(6'000)));
+  store.record(report_for(3, wdg::ErrorType::kAliveness, SimTime(7'000)));
+  EXPECT_EQ(store.count(), 2u);
+  EXPECT_EQ(store.entry({ApplicationId(2), wdg::ErrorType::kAliveness}),
+            nullptr);
+  const DtcEntry* refreshed =
+      store.entry({ApplicationId(1), wdg::ErrorType::kAliveness});
+  ASSERT_NE(refreshed, nullptr);
+  EXPECT_EQ(refreshed->occurrences, 3u);
+  ASSERT_TRUE(refreshed->freeze_frame.has_value());
+  EXPECT_EQ(refreshed->freeze_frame->captured_at, SimTime(1'000));
+  EXPECT_DOUBLE_EQ(refreshed->freeze_frame->signals[0].second, 77.0);
 }
 
 }  // namespace

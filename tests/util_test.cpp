@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "util/argparse.hpp"
+#include "util/crc8.hpp"
 #include "util/csv.hpp"
 #include "util/ids.hpp"
 #include "util/logging.hpp"
@@ -575,6 +576,84 @@ TEST(ArgParser, RejectsPositionalArguments) {
   const char* argv[] = {"prog", "stray"};
   std::ostringstream err;
   EXPECT_FALSE(parser.parse(2, argv, err));
+}
+
+TEST(ArgParser, DuplicateFlagRegistrationThrows) {
+  unsigned jobs = 1;
+  std::uint64_t seed = 0;
+  util::ArgParser parser("prog");
+  parser.add("jobs", &jobs, "workers");
+  // Re-registering the same name is a programming error regardless of the
+  // bound type: the second add() must throw, not shadow the first.
+  EXPECT_THROW(parser.add("jobs", &seed, "other binding"), std::logic_error);
+}
+
+TEST(ArgParser, UnknownFlagPrintsGeneratedUsage) {
+  unsigned jobs = 1;
+  util::ArgParser parser("prog");
+  parser.add("jobs", &jobs, "workers");
+  util::TelemetryFlags telemetry;
+  telemetry.register_flags(parser);
+  const char* argv[] = {"prog", "--jbos"};
+  std::ostringstream err;
+  EXPECT_FALSE(parser.parse(2, argv, err));
+  EXPECT_FALSE(parser.exited());
+  // The diagnostic is followed by the full --help listing, grouped flags
+  // included, so a typo surfaces every valid spelling.
+  EXPECT_NE(err.str().find("unknown flag"), std::string::npos);
+  EXPECT_NE(err.str().find("usage:"), std::string::npos);
+  EXPECT_NE(err.str().find("--jobs"), std::string::npos);
+  EXPECT_NE(err.str().find("--log-level"), std::string::npos);
+  EXPECT_NE(err.str().find("--events-out"), std::string::npos);
+}
+
+// --- crc8 --------------------------------------------------------------------
+
+TEST(Crc8, CatalogueCheckValue) {
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(util::crc8_j1850(data, sizeof(data)), 0x4B);
+}
+
+TEST(Crc8, EmptyInputYieldsInitXorFinal) {
+  // No data: init 0xFF goes straight through the final XOR 0xFF.
+  EXPECT_EQ(util::crc8_j1850(nullptr, 0), 0x00);
+}
+
+TEST(Crc8, ChainingMatchesOneShot) {
+  const std::uint8_t data[] = {0xDE, 0xAD, 0xBE, 0xEF, 0x42, 0x00, 0x7F};
+  const std::uint8_t one_shot = util::crc8_j1850(data, sizeof(data));
+  for (std::size_t split = 0; split <= sizeof(data); ++split) {
+    const std::uint8_t part1 = util::crc8_j1850(data, split);
+    const std::uint8_t chained = util::crc8_j1850(
+        data + split, sizeof(data) - split,
+        static_cast<std::uint8_t>(part1 ^ 0xFF));
+    EXPECT_EQ(chained, one_shot) << "split at " << split;
+  }
+}
+
+TEST(Crc8, TableMatchesBitwiseDefinition) {
+  const auto& table = util::crc8_j1850_table();
+  for (unsigned byte = 0; byte < 256; ++byte) {
+    std::uint8_t crc = static_cast<std::uint8_t>(byte);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x80) ? static_cast<std::uint8_t>((crc << 1) ^ 0x1D)
+                         : static_cast<std::uint8_t>(crc << 1);
+    }
+    EXPECT_EQ(table[byte], crc) << "table entry " << byte;
+  }
+}
+
+TEST(Crc8, DetectsSingleBitFlips) {
+  std::uint8_t data[] = {0x10, 0x32, 0x54, 0x76, 0x98};
+  const std::uint8_t reference = util::crc8_j1850(data, sizeof(data));
+  for (std::size_t byte = 0; byte < sizeof(data); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(util::crc8_j1850(data, sizeof(data)), reference)
+          << "flip byte " << byte << " bit " << bit;
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
 }
 
 }  // namespace
