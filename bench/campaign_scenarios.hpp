@@ -45,4 +45,27 @@ namespace easis::bench {
 /// Header of the per-run verdict rows run_diag_readout() produces.
 [[nodiscard]] const std::string& diag_readout_csv_header();
 
+/// The six resource-exhaustion fault classes, in campaign order: two
+/// memory classes (steady leak, burst allocation), handle/descriptor
+/// exhaustion, a queue flood, and two CPU-load classes (instant hog,
+/// creeping load).
+[[nodiscard]] const std::vector<std::string>& resource_fault_classes();
+
+/// Executes one resource-exhaustion run: builds a central node whose
+/// kernel budgets, handle pool and bounded lane queue are supervised by
+/// the Resource Supervision Unit, injects `fault_class` at t=2s
+/// parameterized by `seed`, lets the FMF treat the fault (restart with
+/// pool reclaim, or load shedding for the CPU classes), and reads the
+/// resource DTC back over UDS-lite at t=6s. Four detectors contribute
+/// coverage: rsu_report, task_state, treatment, diag_readout. When `ctx`
+/// is given, the run publishes its per-task resource snapshot as the
+/// flight note every 100 ms (the post-mortem artifact of quarantined
+/// runs).
+[[nodiscard]] harness::RunResult run_resource_fault(
+    const std::string& fault_class, std::uint64_t seed,
+    const harness::RunContext* ctx = nullptr);
+
+/// Header of the per-run verdict rows run_resource_fault() produces.
+[[nodiscard]] const std::string& resource_fault_csv_header();
+
 }  // namespace easis::bench

@@ -24,6 +24,7 @@ class CampaignCli {
   std::string csv;
   std::string timing_csv;
   std::uint64_t deadline_ms = 0;
+  bool fail_fast = false;
   util::TelemetryFlags telemetry;
 
   CampaignCli(const std::string& program, const std::string& description,
@@ -41,6 +42,9 @@ class CampaignCli {
                 "wall-clock/throughput CSV path (empty = skip)");
     parser_.add("deadline-ms", &deadline_ms,
                 "per-run wall-clock deadline, 0 = unguarded");
+    parser_.add("fail-fast", &fail_fast,
+                "stop dispatching new runs after the first failed verdict "
+                "(completed runs still flush deterministically)");
     telemetry.register_flags(parser_);
   }
 
@@ -59,6 +63,7 @@ class CampaignCli {
     config.jobs = jobs;
     config.seed = seed;
     config.run_deadline = std::chrono::milliseconds(deadline_ms);
+    config.fail_fast = fail_fast;
     return config;
   }
 

@@ -18,8 +18,12 @@ CampaignReport::CampaignReport(const std::vector<RunSpec>& specs,
                               result.status,
                               result.error,
                               result.misdetect,
+                              result.flight_note,
                               result.events,
                               result.events_truncated});
+    // Skipped runs never executed (--fail-fast): not quarantined, not
+    // completed — they simply don't exist for the reduction.
+    if (result.status == RunStatus::kRunSkipped) continue;
     if (result.status != RunStatus::kRunOk) {
       quarantined_.push_back({i, i < specs.size() ? specs[i].label : "",
                               result.status, result.error});
@@ -60,11 +64,11 @@ void CampaignReport::write_rows_csv(std::ostream& out,
 void CampaignReport::write_timing_csv(std::ostream& out,
                                       const CampaignConfig& config,
                                       const CampaignOutcome& outcome) const {
-  out << "jobs,seed,runs,completed,timeouts,errors,wall_s,runs_per_s\n"
+  out << "jobs,seed,runs,completed,timeouts,errors,skipped,wall_s,runs_per_s\n"
       << config.jobs << ',' << config.seed << ',' << outcome.results.size()
       << ',' << completed_ << ',' << outcome.timeouts << ',' << outcome.errors
-      << ',' << outcome.wall_seconds << ',' << outcome.runs_per_second()
-      << '\n';
+      << ',' << outcome.skipped << ',' << outcome.wall_seconds << ','
+      << outcome.runs_per_second() << '\n';
 }
 
 std::string CampaignReport::quarantine_summary() const {
@@ -116,6 +120,7 @@ void CampaignReport::write_metrics(std::ostream& out, bool csv) const {
 std::vector<std::size_t> CampaignReport::flight_dump_candidates() const {
   std::vector<std::size_t> out;
   for (const RunRecord& run : runs_) {
+    if (run.status == RunStatus::kRunSkipped) continue;  // never executed
     if (run.status != RunStatus::kRunOk || !run.misdetect.empty()) {
       out.push_back(run.run_index);
     }
@@ -132,6 +137,12 @@ void CampaignReport::write_flight_dump(std::ostream& out,
   out << " seed=" << run.seed << " status=" << to_string(run.status) << '\n';
   if (!run.error.empty()) out << "error: " << run.error << '\n';
   if (!run.misdetect.empty()) out << "misdetect: " << run.misdetect << '\n';
+  if (!run.flight_note.empty()) {
+    // The run's last published post-mortem note — for resource scenarios
+    // the per-task budget/usage snapshot at (or near) the hang.
+    out << "note:\n" << run.flight_note;
+    if (run.flight_note.back() != '\n') out << '\n';
+  }
   out << run.events.size() << " event(s)";
   if (run.events_truncated) out << " (older events dropped by the ring)";
   out << '\n';

@@ -97,6 +97,7 @@ class CampaignReport {
     RunStatus status;
     std::string error;
     std::string misdetect;
+    std::string flight_note;
     std::vector<telemetry::Event> events;
     bool events_truncated;
   };

@@ -53,6 +53,10 @@ struct CampaignState {
     telemetry::EventBus bus;
     telemetry::FlightRecorder flight;
     std::vector<telemetry::Event> event_log;
+    /// Latest post-mortem note of the current run (see
+    /// RunResult::flight_note); shares telemetry_mutex so the supervisor
+    /// can snapshot it together with the flight ring.
+    std::string flight_note;
     bool bus_wired = false;
   };
 
@@ -61,11 +65,15 @@ struct CampaignState {
   std::vector<RunSpec> specs;
 
   std::atomic<std::size_t> next{0};
+  /// Set on the first failed verdict when config.fail_fast; claimed-but-
+  /// not-started runs settle as kRunSkipped once it is up.
+  std::atomic<bool> stop{false};
   std::vector<RunResult> results;
   std::vector<char> settled;
   std::size_t completed = 0;
   std::size_t timeouts = 0;
   std::size_t errors = 0;
+  std::size_t skipped = 0;
   std::mutex results_mutex;
   std::condition_variable all_done;
 
@@ -80,6 +88,11 @@ struct CampaignState {
     settled[run_index] = 1;
     if (result.status == RunStatus::kRunTimeout) ++timeouts;
     if (result.status == RunStatus::kRunError) ++errors;
+    if (result.status == RunStatus::kRunSkipped) ++skipped;
+    if (config.fail_fast && result.status != RunStatus::kRunSkipped &&
+        (result.status != RunStatus::kRunOk || !result.misdetect.empty())) {
+      stop.store(true, std::memory_order_release);
+    }
     results[run_index] = std::move(result);
     ++completed;
     if (completed == settled.size()) all_done.notify_all();
@@ -104,6 +117,16 @@ void worker_main(const std::shared_ptr<CampaignState>& state,
     const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
     if (i >= state->specs.size()) break;
 
+    if (state->stop.load(std::memory_order_acquire)) {
+      // --fail-fast tripped: drain the remaining queue as skipped so the
+      // campaign still settles every index (and run() can return).
+      RunResult skipped;
+      skipped.status = RunStatus::kRunSkipped;
+      skipped.error = "skipped by --fail-fast";
+      state->settle(i, std::move(skipped));
+      continue;
+    }
+
     {
       // Fresh telemetry per run: seq restarts at 0 and the correlation
       // state clears, so the captured log depends only on the run itself
@@ -112,6 +135,7 @@ void worker_main(const std::shared_ptr<CampaignState>& state,
       self->bus.reset();
       self->flight.clear();
       self->event_log.clear();
+      self->flight_note.clear();
       if (!self->bus_wired) {
         self->bus_wired = true;
         self->bus.add_sink([self](const telemetry::Event& event) {
@@ -130,7 +154,11 @@ void worker_main(const std::shared_ptr<CampaignState>& state,
     RunResult result;
     try {
       telemetry::EventScope scope(self->bus);
-      result = state->fn(RunContext(state->specs[i], self->cancel));
+      result = state->fn(RunContext(
+          state->specs[i], self->cancel, [self](std::string note) {
+            std::lock_guard<std::mutex> note_lock(self->telemetry_mutex);
+            self->flight_note = std::move(note);
+          }));
     } catch (const std::exception& e) {
       result = RunResult{};
       result.status = RunStatus::kRunError;
@@ -147,6 +175,7 @@ void worker_main(const std::shared_ptr<CampaignState>& state,
       std::lock_guard<std::mutex> lock(self->telemetry_mutex);
       result.events = std::move(self->event_log);
       self->event_log.clear();
+      if (result.flight_note.empty()) result.flight_note = self->flight_note;
     }
 
     self->current_run.store(kIdle, std::memory_order_release);
@@ -195,6 +224,9 @@ void supervisor_main(const std::shared_ptr<CampaignState>& state) {
         std::lock_guard<std::mutex> tlock(worker->telemetry_mutex);
         timed_out.events = worker->flight.snapshot();
         timed_out.events_truncated = worker->flight.dropped() > 0;
+        // Last note the hung run published (e.g. its resource snapshot):
+        // the only post-mortem state beyond the flight ring.
+        timed_out.flight_note = worker->flight_note;
       }
       worker->cancel.store(true, std::memory_order_release);
       worker->abandoned = true;
@@ -279,6 +311,7 @@ CampaignOutcome CampaignRunner::run(const std::vector<RunSpec>& specs) {
     outcome.results = std::move(state->results);
     outcome.timeouts = state->timeouts;
     outcome.errors = state->errors;
+    outcome.skipped = state->skipped;
   }
   outcome.wall_seconds =
       std::chrono::duration<double>(Clock::now() - wall_start).count();

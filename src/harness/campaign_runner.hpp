@@ -43,6 +43,12 @@ struct CampaignConfig {
   /// keeps shutdown TSan-clean. Detached workers co-own the campaign
   /// state, so a straggler settling after run() returns is harmless.
   bool detach_abandoned_workers = false;
+  /// Stop dispatching new runs after the first failed verdict (non-ok
+  /// status or a misdetect flag): runs not yet claimed settle as
+  /// kRunSkipped. Completed runs still reduce deterministically; which
+  /// runs completed depends on scheduling, so fail-fast output is NOT
+  /// byte-identical across --jobs values (it is a debugging mode).
+  bool fail_fast = false;
 };
 
 struct CampaignOutcome {
@@ -51,6 +57,8 @@ struct CampaignOutcome {
   std::vector<RunResult> results;
   std::size_t timeouts = 0;
   std::size_t errors = 0;
+  /// Runs never executed because --fail-fast stopped the dispatch.
+  std::size_t skipped = 0;
   double wall_seconds = 0.0;
 
   [[nodiscard]] double runs_per_second() const {

@@ -10,7 +10,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "inject/campaign.hpp"
@@ -35,6 +37,9 @@ enum class RunStatus : std::uint8_t {
   kRunTimeout,
   /// The run function threw; what() is kept in RunResult::error.
   kRunError,
+  /// Never executed: --fail-fast stopped dispatching after an earlier run
+  /// failed. Skipped runs contribute nothing to the reduction.
+  kRunSkipped,
 };
 
 [[nodiscard]] constexpr const char* to_string(RunStatus status) {
@@ -42,6 +47,7 @@ enum class RunStatus : std::uint8_t {
     case RunStatus::kRunOk: return "ok";
     case RunStatus::kRunTimeout: return "timeout";
     case RunStatus::kRunError: return "error";
+    case RunStatus::kRunSkipped: return "skipped";
   }
   return "?";
 }
@@ -63,6 +69,11 @@ struct RunResult {
   /// Set by the run function when its own result looks wrong (e.g. an
   /// injection no detector saw); flagged runs get a flight-recorder dump.
   std::string misdetect;
+  /// Free-text post-mortem context the run keeps current while executing
+  /// (e.g. the per-task resource snapshot); the supervisor copies it into
+  /// the quarantined result, so flight dumps of hung runs carry the last
+  /// known state. Completed runs keep their final note too.
+  std::string flight_note;
 };
 
 /// Execution context passed alongside the spec. Long-running simulations
@@ -71,17 +82,28 @@ struct RunResult {
 /// and keeps the campaign moving instead.
 class RunContext {
  public:
-  RunContext(const RunSpec& spec, const std::atomic<bool>& cancel)
-      : spec_(spec), cancel_(cancel) {}
+  using FlightNoteFn = std::function<void(std::string)>;
+
+  RunContext(const RunSpec& spec, const std::atomic<bool>& cancel,
+             FlightNoteFn flight_note = nullptr)
+      : spec_(spec), cancel_(cancel), flight_note_(std::move(flight_note)) {}
 
   [[nodiscard]] const RunSpec& spec() const { return spec_; }
   [[nodiscard]] bool cancelled() const {
     return cancel_.load(std::memory_order_relaxed);
   }
 
+  /// Replaces the run's post-mortem note (see RunResult::flight_note).
+  /// Cheap enough to call every supervision cycle; the harness keeps the
+  /// latest note where the hang supervisor can snapshot it.
+  void set_flight_note(std::string note) const {
+    if (flight_note_) flight_note_(std::move(note));
+  }
+
  private:
   const RunSpec& spec_;
   const std::atomic<bool>& cancel_;
+  FlightNoteFn flight_note_;
 };
 
 }  // namespace easis::harness

@@ -1,0 +1,77 @@
+// Resource-exhaustion fault factories (robustness extension).
+//
+// The resource class of creeping failures watchdogd-style supervision
+// exists for: steady heap leaks, burst allocations, descriptor leaks,
+// queue floods and CPU hogs. Each factory models the fault against the
+// kernel's resource accounting / the bus's bounded queues, so detection
+// happens through the Resource Supervision Unit's watermark, exhaustion
+// and leak-rate rules — never by the injector telling anyone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "inject/injector.hpp"
+#include "os/kernel.hpp"
+#include "rte/rte.hpp"
+#include "rte/signal_bus.hpp"
+#include "sim/engine.hpp"
+#include "util/ids.hpp"
+
+namespace easis::inject {
+
+/// Steady heap leak: allocates `bytes_per_period` every `period` without
+/// ever freeing. Reverting stops the leak; the leaked memory stays behind
+/// (that is what makes it a leak) until a restart reclaims the pool.
+[[nodiscard]] Injection make_memory_leak(sim::Engine& engine,
+                                         os::Kernel& kernel, TaskId task,
+                                         std::uint64_t bytes_per_period,
+                                         sim::Duration period,
+                                         sim::SimTime start,
+                                         sim::Duration duration);
+
+/// Burst allocation: `count` back-to-back allocations of `bytes` at
+/// `start` (a runaway buffer build-up). Allocations beyond the budget are
+/// denied by the kernel and surface as exhaustion.
+[[nodiscard]] Injection make_allocation_burst(os::Kernel& kernel, TaskId task,
+                                              std::uint64_t bytes,
+                                              std::uint32_t count,
+                                              sim::SimTime start);
+
+/// Handle/descriptor leak: acquires `handles_per_period` every `period`
+/// and never releases, eventually starving the task budget or the global
+/// pool.
+[[nodiscard]] Injection make_handle_exhaustion(sim::Engine& engine,
+                                               os::Kernel& kernel, TaskId task,
+                                               std::uint32_t handles_per_period,
+                                               sim::Duration period,
+                                               sim::SimTime start,
+                                               sim::Duration duration);
+
+/// Queue flood: publishes `publishes_per_period` updates of `signal` every
+/// `period`, outrunning the consumer of the bounded queue.
+[[nodiscard]] Injection make_queue_flood(sim::Engine& engine,
+                                         rte::SignalBus& bus,
+                                         std::string signal,
+                                         std::uint32_t publishes_per_period,
+                                         sim::Duration period,
+                                         sim::SimTime start,
+                                         sim::Duration duration);
+
+/// CPU hog: the runnable's execution cost jumps to `factor` at once (a
+/// busy loop), driving the modelled load average over its ceiling.
+[[nodiscard]] Injection make_cpu_hog(rte::Rte& rte, RunnableId runnable,
+                                     double factor, sim::SimTime start,
+                                     sim::Duration duration);
+
+/// Creeping load: the runnable's execution cost grows by `factor_step`
+/// every `period` (an accumulating work backlog) — the slow-onset variant
+/// of the CPU hog that must still cross the transgression window.
+[[nodiscard]] Injection make_creeping_load(sim::Engine& engine, rte::Rte& rte,
+                                           RunnableId runnable,
+                                           double factor_step,
+                                           sim::Duration period,
+                                           sim::SimTime start,
+                                           sim::Duration duration);
+
+}  // namespace easis::inject

@@ -93,7 +93,9 @@ void Kernel::software_reset() {
     t->job_consumed = sim::Duration::zero();
     t->total_consumed = sim::Duration::zero();
     t->jobs_completed = 0;
+    t->resource_usage = TaskResourceUsage{};  // budgets are configuration
   }
+  handles_in_use_ = 0;
   for (auto& r : resources_) r.holder = TaskId{};
   for (auto& c : counters_) c.ticks = 0;
   for (auto& a : alarms_) {
@@ -718,6 +720,99 @@ std::uint64_t Kernel::jobs_completed(TaskId task) const {
   const Tcb* t = tcb(task);
   assert(t != nullptr);
   return t->jobs_completed;
+}
+
+// --- modelled resource accounting --------------------------------------------
+
+void Kernel::set_task_resource_budget(TaskId task, TaskResourceBudget budget) {
+  Tcb* t = tcb(task);
+  assert(t != nullptr);
+  t->resource_budget = budget;
+}
+
+const TaskResourceBudget& Kernel::task_resource_budget(TaskId task) const {
+  const Tcb* t = tcb(task);
+  assert(t != nullptr);
+  return t->resource_budget;
+}
+
+bool Kernel::task_alloc(TaskId task, std::uint64_t bytes) {
+  Tcb* t = tcb(task);
+  assert(t != nullptr);
+  TaskResourceUsage& u = t->resource_usage;
+  const std::uint64_t budget = t->resource_budget.memory_bytes;
+  if (budget != 0 && u.memory_bytes + bytes > budget) {
+    ++u.denied_allocations;
+    return false;
+  }
+  u.memory_bytes += bytes;
+  u.memory_peak = std::max(u.memory_peak, u.memory_bytes);
+  return true;
+}
+
+void Kernel::task_free(TaskId task, std::uint64_t bytes) {
+  Tcb* t = tcb(task);
+  assert(t != nullptr);
+  TaskResourceUsage& u = t->resource_usage;
+  u.memory_bytes -= std::min(u.memory_bytes, bytes);
+}
+
+void Kernel::set_handle_pool_capacity(std::uint32_t capacity) {
+  handle_pool_capacity_ = capacity;
+}
+
+bool Kernel::task_acquire_handles(TaskId task, std::uint32_t count) {
+  Tcb* t = tcb(task);
+  assert(t != nullptr);
+  TaskResourceUsage& u = t->resource_usage;
+  const std::uint32_t budget = t->resource_budget.handles;
+  const bool over_budget = budget != 0 && u.handles + count > budget;
+  const bool pool_exhausted =
+      handle_pool_capacity_ != 0 &&
+      handles_in_use_ + count > handle_pool_capacity_;
+  if (over_budget || pool_exhausted) {
+    ++u.denied_handles;
+    return false;
+  }
+  u.handles += count;
+  u.handles_peak = std::max(u.handles_peak, u.handles);
+  handles_in_use_ += count;
+  return true;
+}
+
+void Kernel::task_release_handles(TaskId task, std::uint32_t count) {
+  Tcb* t = tcb(task);
+  assert(t != nullptr);
+  TaskResourceUsage& u = t->resource_usage;
+  const std::uint32_t released = std::min(u.handles, count);
+  u.handles -= released;
+  handles_in_use_ -= std::min(handles_in_use_, released);
+}
+
+const TaskResourceUsage& Kernel::task_resource_usage(TaskId task) const {
+  const Tcb* t = tcb(task);
+  assert(t != nullptr);
+  return t->resource_usage;
+}
+
+void Kernel::reclaim_task_resources(TaskId task) {
+  Tcb* t = tcb(task);
+  assert(t != nullptr);
+  handles_in_use_ -= std::min(handles_in_use_, t->resource_usage.handles);
+  t->resource_usage = TaskResourceUsage{};
+  EASIS_LOG(util::LogLevel::kInfo, kLog)
+      << "reclaimed resources of task " << t->config.name;
+}
+
+sim::Duration Kernel::cpu_busy_time() const {
+  sim::Duration busy = sim::Duration::zero();
+  for (const auto& t : tasks_) {
+    busy += t->total_consumed;
+    if (t->state == TaskState::kRunning && t->completion_event != 0) {
+      busy += now() - t->segment_started_at;
+    }
+  }
+  return busy;
 }
 
 }  // namespace easis::os

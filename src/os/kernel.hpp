@@ -31,6 +31,7 @@
 
 #include "os/job.hpp"
 #include "os/os_types.hpp"
+#include "os/resources.hpp"
 #include "sim/engine.hpp"
 #include "sim/time.hpp"
 #include "util/ids.hpp"
@@ -168,6 +169,40 @@ class Kernel {
   void add_observer(KernelObserver* observer);
   void remove_observer(KernelObserver* observer);
 
+  // --- modelled resource accounting (resource supervision extension) --------
+  /// Installs the task's declarative budget (zero fields = unbudgeted).
+  /// Budgets are static configuration and survive software_reset().
+  void set_task_resource_budget(TaskId task, TaskResourceBudget budget);
+  [[nodiscard]] const TaskResourceBudget& task_resource_budget(
+      TaskId task) const;
+  /// Models a heap allocation by `task`. Requests that would exceed the
+  /// budget are denied (false) and counted in denied_allocations.
+  bool task_alloc(TaskId task, std::uint64_t bytes);
+  /// Models a heap free; clamps at zero (double frees are harmless here).
+  void task_free(TaskId task, std::uint64_t bytes);
+  /// Global handle/descriptor pool shared by every task; zero = unlimited.
+  void set_handle_pool_capacity(std::uint32_t capacity);
+  [[nodiscard]] std::uint32_t handle_pool_capacity() const {
+    return handle_pool_capacity_;
+  }
+  [[nodiscard]] std::uint32_t handles_in_use() const {
+    return handles_in_use_;
+  }
+  /// Acquires `count` handles for `task`; denied (false) when the task
+  /// budget or the global pool would be exceeded.
+  bool task_acquire_handles(TaskId task, std::uint32_t count = 1);
+  void task_release_handles(TaskId task, std::uint32_t count = 1);
+  [[nodiscard]] const TaskResourceUsage& task_resource_usage(
+      TaskId task) const;
+  /// Releases everything `task` holds and clears its diagnostic counters:
+  /// the "restart with pool reclaim" fault treatment.
+  void reclaim_task_resources(TaskId task);
+  /// Total modelled CPU time consumed by all tasks (including ISRs) since
+  /// start/reset, including the in-flight slice of a running segment. The
+  /// input of the CPU-load supervision: utilisation over a window is
+  /// delta(cpu_busy_time) / delta(wall).
+  [[nodiscard]] sim::Duration cpu_busy_time() const;
+
   // --- introspection --------------------------------------------------------
   [[nodiscard]] const std::string& task_name(TaskId task) const;
   [[nodiscard]] Priority task_priority(TaskId task) const;
@@ -200,6 +235,8 @@ class Kernel {
     sim::Duration job_consumed = sim::Duration::zero();
     sim::Duration total_consumed = sim::Duration::zero();
     std::uint64_t jobs_completed = 0;
+    TaskResourceBudget resource_budget;
+    TaskResourceUsage resource_usage;
   };
 
   struct Resource {
@@ -259,6 +296,8 @@ class Kernel {
   std::vector<Job> retired_jobs_;
   bool started_ = false;
   std::uint32_t reset_epoch_ = 0;
+  std::uint32_t handle_pool_capacity_ = 0;  // zero = unlimited
+  std::uint32_t handles_in_use_ = 0;
 
   std::function<void(TaskId)> pre_task_hook_;
   std::function<void(TaskId)> post_task_hook_;

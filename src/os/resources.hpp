@@ -1,0 +1,39 @@
+// Modelled per-task resource accounting (resource supervision extension).
+//
+// Real dependable nodes die from slow resource exhaustion long before they
+// miss a heartbeat: heap leaks, descriptor leaks, queue build-up, creeping
+// CPU load (watchdogd supervises exactly these as first-class inputs). The
+// simulated kernel therefore models the resources the Resource Supervision
+// Unit watches: each task carries a declarative budget and a usage record;
+// allocations exceeding the budget (or the global handle pool) are denied
+// and counted, never silently granted — exhaustion must be observable, not
+// fatal, so the dependability chain gets a chance to treat it.
+#pragma once
+
+#include <cstdint>
+
+namespace easis::os {
+
+/// Declarative per-task budget; zero means the dimension is unbudgeted
+/// (requests always granted, usage still accounted).
+struct TaskResourceBudget {
+  /// Modelled heap budget in bytes.
+  std::uint64_t memory_bytes = 0;
+  /// Handles/descriptors this task may hold at once.
+  std::uint32_t handles = 0;
+};
+
+/// Live usage against the budget. Peaks and denial counters survive until
+/// the next reclaim or ECU reset (they are diagnostic state).
+struct TaskResourceUsage {
+  std::uint64_t memory_bytes = 0;
+  std::uint64_t memory_peak = 0;
+  std::uint32_t handles = 0;
+  std::uint32_t handles_peak = 0;
+  /// Allocation requests denied because they would exceed the budget.
+  std::uint64_t denied_allocations = 0;
+  /// Handle requests denied (task budget or global pool exhausted).
+  std::uint64_t denied_handles = 0;
+};
+
+}  // namespace easis::os

@@ -238,6 +238,10 @@ void Rte::restart_application(ApplicationId app) {
   entry.enabled = true;
   for (TaskId task : tasks_of_application(app)) {
     kernel_.kill_task(task);
+    // Restart with pool reclaim: a task restarted for resource exhaustion
+    // must not inherit its own leak, or the fresh instance is faulted again
+    // within one supervision window.
+    kernel_.reclaim_task_resources(task);
     // Periodic tasks come back with their next alarm; event-server tasks
     // wait on events and must be re-activated into their wait point.
     if (auto cfg = execution_configs_.find(task);

@@ -1,5 +1,7 @@
 #include "rte/signal_bus.hpp"
 
+#include <algorithm>
+
 namespace easis::rte {
 
 const char* to_string(SignalQualifier qualifier) {
@@ -18,6 +20,16 @@ void SignalBus::publish(const std::string& name, double value,
   e.updated_at = at;
   ++e.updates;
   e.invalid = false;
+  if (auto it = queues_.find(name); it != queues_.end()) {
+    QueueState& q = it->second;
+    if (q.capacity != 0 && q.depth >= q.capacity) {
+      ++q.overflows;
+    } else {
+      ++q.depth;
+      ++q.enqueued;
+      q.peak_depth = std::max(q.peak_depth, q.depth);
+    }
+  }
   for (const auto& observer : observers_) observer(name, value, at);
 }
 
@@ -118,6 +130,45 @@ std::vector<std::string> SignalBus::names() const {
 
 void SignalBus::add_observer(Observer observer) {
   observers_.push_back(std::move(observer));
+}
+
+void SignalBus::configure_queue(const std::string& name,
+                                std::uint32_t capacity) {
+  QueueState q;
+  q.capacity = capacity;
+  queues_[name] = q;
+}
+
+std::uint32_t SignalBus::drain(const std::string& name, std::uint32_t count) {
+  auto it = queues_.find(name);
+  if (it == queues_.end()) return 0;
+  QueueState& q = it->second;
+  const std::uint32_t drained = std::min(q.depth, count);
+  q.depth -= drained;
+  q.drained += drained;
+  return drained;
+}
+
+void SignalBus::clear_queue(const std::string& name) {
+  auto it = queues_.find(name);
+  if (it == queues_.end()) return;
+  const std::uint32_t capacity = it->second.capacity;
+  it->second = QueueState{};
+  it->second.capacity = capacity;
+}
+
+std::optional<SignalBus::QueueState> SignalBus::queue_state(
+    const std::string& name) const {
+  auto it = queues_.find(name);
+  if (it == queues_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> SignalBus::queued_signal_names() const {
+  std::vector<std::string> out;
+  out.reserve(queues_.size());
+  for (const auto& [name, _] : queues_) out.push_back(name);
+  return out;
 }
 
 }  // namespace easis::rte

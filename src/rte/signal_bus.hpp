@@ -105,6 +105,36 @@ class SignalBus {
   /// Observers see every publish (tracing, gateway bridging).
   void add_observer(Observer observer);
 
+  // --- modelled signal queues (resource supervision extension) -------------
+  //
+  // Last-is-best signals cannot back up, so queue exhaustion is modelled
+  // explicitly: a signal configured with a bounded queue counts each publish
+  // as an enqueue until the consumer drains it. Values still follow
+  // last-is-best semantics — the queue models *depth pressure* (how far the
+  // consumer lags), which is what the Resource Supervision Unit watches.
+
+  struct QueueState {
+    std::uint32_t capacity = 0;
+    std::uint32_t depth = 0;
+    std::uint32_t peak_depth = 0;
+    std::uint64_t enqueued = 0;
+    std::uint64_t drained = 0;
+    /// Publishes that arrived while the queue was full (lost updates).
+    std::uint64_t overflows = 0;
+  };
+
+  /// Gives `name` a bounded queue of `capacity` entries (re-configuring
+  /// resets the queue state).
+  void configure_queue(const std::string& name, std::uint32_t capacity);
+  /// Consumer side: removes up to `count` queued entries; returns how many
+  /// were actually drained.
+  std::uint32_t drain(const std::string& name, std::uint32_t count = 1);
+  /// Empties the queue and clears peak/overflow counters (task restart).
+  void clear_queue(const std::string& name);
+  [[nodiscard]] std::optional<QueueState> queue_state(
+      const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> queued_signal_names() const;
+
  private:
   struct Policy {
     ReceptionPolicy policy;
@@ -113,6 +143,7 @@ class SignalBus {
 
   std::unordered_map<std::string, Entry> entries_;
   std::unordered_map<std::string, Policy> policies_;
+  std::unordered_map<std::string, QueueState> queues_;
   std::vector<Observer> observers_;
 };
 

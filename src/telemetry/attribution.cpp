@@ -59,6 +59,27 @@ const std::vector<double>& latency_buckets_ms() {
   return buckets;
 }
 
+namespace {
+
+/// Resource-snapshot details read `<resource> level_pct=<n> ...`; returns
+/// the level or a negative value for foreign detail formats.
+double parse_level_pct(const std::string& detail) {
+  const auto key = detail.find("level_pct=");
+  if (key == std::string::npos) return -1.0;
+  try {
+    return std::stod(detail.substr(key + 10));
+  } catch (...) {
+    return -1.0;
+  }
+}
+
+const std::vector<double>& level_buckets_pct() {
+  static const std::vector<double> buckets{10, 25, 50, 75, 90, 95, 100};
+  return buckets;
+}
+
+}  // namespace
+
 void replay_into_metrics(const std::vector<Event>& events,
                          MetricsRegistry& registry) {
   for (const Event& event : events) {
@@ -67,6 +88,17 @@ void replay_into_metrics(const std::vector<Event>& events,
                  "component=\"" + std::string(to_string(event.component)) +
                      "\",kind=\"" + std::string(to_string(event.kind)) + "\"")
         .inc();
+    if (event.kind == EventKind::kResourceSnapshot) {
+      const double level = parse_level_pct(event.detail);
+      const std::string resource =
+          event.detail.substr(0, event.detail.find(' '));
+      if (level >= 0.0 && !resource.empty()) {
+        registry
+            .histogram("easis_resource_level_pct",
+                       "resource=\"" + resource + "\"", level_buckets_pct())
+            .observe(level);
+      }
+    }
   }
 
   for (const DetectionChain& chain : attribute_chains(events)) {

@@ -42,9 +42,11 @@ enum class Component : std::uint8_t {
   kHarness,
   /// UDS-lite diagnostic stack: DiagServer, DiagTester, health master.
   kDiag,
+  /// Resource Supervision Unit (memory/handle/queue/load monitors).
+  kResourceUnit,
 };
 
-inline constexpr std::size_t kComponentCount = 12;
+inline constexpr std::size_t kComponentCount = 13;
 
 [[nodiscard]] constexpr std::string_view to_string(Component c) {
   switch (c) {
@@ -60,6 +62,7 @@ inline constexpr std::size_t kComponentCount = 12;
     case Component::kFmf: return "fmf";
     case Component::kHarness: return "harness";
     case Component::kDiag: return "diag";
+    case Component::kResourceUnit: return "resource";
   }
   return "?";
 }
@@ -96,9 +99,13 @@ enum class EventKind : std::uint8_t {
   kDiagSessionExpired,
   kDiagNodeSilent,
   kDiagNodeRecovered,
+  /// Periodic per-resource level sample from the Resource Supervision Unit
+  /// (detail carries `<resource> level_pct=<n> ...`); feeds the resource
+  /// level histogram and makes exhaustion trends visible in event logs.
+  kResourceSnapshot,
 };
 
-inline constexpr std::size_t kEventKindCount = 24;
+inline constexpr std::size_t kEventKindCount = 25;
 
 [[nodiscard]] constexpr std::string_view to_string(EventKind k) {
   switch (k) {
@@ -126,6 +133,7 @@ inline constexpr std::size_t kEventKindCount = 24;
     case EventKind::kDiagSessionExpired: return "diag_session_expired";
     case EventKind::kDiagNodeSilent: return "diag_node_silent";
     case EventKind::kDiagNodeRecovered: return "diag_node_recovered";
+    case EventKind::kResourceSnapshot: return "resource_snapshot";
   }
   return "?";
 }

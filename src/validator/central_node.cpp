@@ -118,11 +118,14 @@ CentralNode::CentralNode(sim::Engine& engine, CentralNodeConfig config)
   if (config_.with_fmf) {
     fmf_ = std::make_unique<fmf::FaultManagementFramework>(
         rte, watchdog_, [this] { software_reset(); }, config_.fmf);
+    std::vector<std::string> frame_signals{"vehicle.speed_kmh",
+                                           "driver.demand",
+                                           "safespeed.max_speed_kmh"};
+    frame_signals.insert(frame_signals.end(),
+                         config_.extra_frame_signals.begin(),
+                         config_.extra_frame_signals.end());
     dtc_ = std::make_unique<fmf::DtcStore>(
-        ecu_.signals(),
-        std::vector<std::string>{"vehicle.speed_kmh", "driver.demand",
-                                 "safespeed.max_speed_kmh"},
-        config_.dtc_capacity);
+        ecu_.signals(), std::move(frame_signals), config_.dtc_capacity);
     fmf_->attach_dtc_store(dtc_.get());
     if (config_.with_nvm) {
       if (config_.external_nvm != nullptr) {
@@ -192,6 +195,7 @@ void CentralNode::start() {
   if (crash_) crash_->start();
   if (self_supervision_ && !safe_state_) self_supervision_->start();
   schedule_environment(++env_generation_);
+  schedule_resource_cycles(env_generation_);
 }
 
 void CentralNode::software_reset() {
@@ -230,6 +234,7 @@ void CentralNode::boot_after_reset() {
   if (crash_) crash_->start();
   if (self_supervision_ && !safe_state_) self_supervision_->start();
   schedule_environment(++env_generation_);
+  schedule_resource_cycles(env_generation_);
   // Post-reset recovery validation: the warm-up window supervises the
   // re-announcement of every monitored runnable (no-op when disabled).
   if (fmf_) fmf_->begin_ecu_recovery_window(engine_.now());
@@ -256,6 +261,26 @@ diag::DiagServer& CentralNode::attach_diag(bus::CanBus& can,
   diag_ = std::make_unique<diag::DiagServer>(engine_, can, std::move(backend),
                                              std::move(config));
   return *diag_;
+}
+
+wdg::ResourceSupervisionUnit& CentralNode::attach_resource_supervision() {
+  if (!rsu_) {
+    rsu_ = std::make_unique<wdg::ResourceSupervisionUnit>(
+        watchdog_, ecu_.kernel(), ecu_.signals());
+  }
+  return *rsu_;
+}
+
+void CentralNode::schedule_resource_cycles(std::uint64_t generation) {
+  if (!rsu_) return;
+  engine_.schedule_in(
+      config_.watchdog.check_period,
+      [this, generation] {
+        if (generation != env_generation_) return;
+        rsu_->cycle(engine_.now());
+        schedule_resource_cycles(generation);
+      },
+      sim::EventPriority::kMonitor);
 }
 
 void CentralNode::on_hw_watchdog_expired(sim::SimTime now) {

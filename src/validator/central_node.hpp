@@ -8,6 +8,8 @@
 
 #include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "apps/crash_detection.hpp"
 #include "apps/lightctl.hpp"
@@ -21,6 +23,7 @@
 #include "sim/engine.hpp"
 #include "sim/lane.hpp"
 #include "sim/vehicle.hpp"
+#include "wdg/resource_monitor.hpp"
 #include "wdg/self_supervision.hpp"
 #include "wdg/service.hpp"
 #include "wdg/watchdog.hpp"
@@ -51,6 +54,10 @@ struct CentralNodeConfig {
   fmf::NvmStore* external_nvm = nullptr;
   /// Bounds the DTC store (0 = unbounded).
   std::size_t dtc_capacity = 0;
+  /// Additional SignalBus signals captured into every DTC freeze frame
+  /// (e.g. the `res.<name>.level` signals the Resource Supervision Unit
+  /// publishes, so resource DTCs carry the offending task's snapshot).
+  std::vector<std::string> extra_frame_signals;
   /// Watchdog self-supervision: the SW watchdog services a windowed HW
   /// watchdog via challenge–response; expiry funnels into the FMF reset
   /// path with a ResetSource::kHardwareWatchdog cause.
@@ -109,6 +116,12 @@ class CentralNode {
   diag::DiagServer& attach_diag(bus::CanBus& can,
                                 diag::DiagServerConfig config = {});
 
+  /// Attaches the Resource Supervision Unit over this node's kernel and
+  /// signal bus. Call before start(), then register resources on the
+  /// returned unit; its cycle runs every watchdog check period and is
+  /// suspended during reboot blackouts exactly like the environment loop.
+  wdg::ResourceSupervisionUnit& attach_resource_supervision();
+
   // --- accessors --------------------------------------------------------------
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] rte::Ecu& ecu() { return ecu_; }
@@ -130,6 +143,10 @@ class CentralNode {
   }
   /// Non-null after attach_diag().
   [[nodiscard]] diag::DiagServer* diag_server() { return diag_.get(); }
+  /// Non-null after attach_resource_supervision().
+  [[nodiscard]] wdg::ResourceSupervisionUnit* resource_supervision() {
+    return rsu_.get();
+  }
   [[nodiscard]] apps::SafeSpeed& safespeed() { return *safespeed_; }
   [[nodiscard]] apps::SafeLane* safelane() { return safelane_.get(); }
   [[nodiscard]] apps::LightControl* light_control() { return light_.get(); }
@@ -145,6 +162,7 @@ class CentralNode {
     return safespeed_ticks_;
   }
   [[nodiscard]] TaskId safelane_task() const { return safelane_task_; }
+  [[nodiscard]] TaskId light_task() const { return light_task_; }
   [[nodiscard]] AlarmId safelane_alarm() const { return safelane_alarm_; }
   [[nodiscard]] std::uint64_t safelane_period_ticks() const {
     return safelane_ticks_;
@@ -187,6 +205,7 @@ class CentralNode {
   std::unique_ptr<wdg::WatchdogSelfSupervision> self_supervision_;
   std::unique_ptr<os::ScheduleTable> schedule_table_;
   std::unique_ptr<diag::DiagServer> diag_;
+  std::unique_ptr<wdg::ResourceSupervisionUnit> rsu_;
 
   bool started_once_ = false;
   std::uint32_t resets_ = 0;
@@ -200,6 +219,7 @@ class CentralNode {
   void boot_after_reset();
   void on_hw_watchdog_expired(sim::SimTime now);
   void schedule_environment(std::uint64_t generation);
+  void schedule_resource_cycles(std::uint64_t generation);
 };
 
 }  // namespace easis::validator

@@ -52,6 +52,11 @@ struct WatchdogConfig {
   /// A single corrupted NVM bank already marks the reporter faulty (the
   /// error is latched by the persistent-fault-memory layer, not counted).
   std::uint32_t nvm_corruption_threshold = 1;
+  /// Shared threshold for the four resource-supervision error classes
+  /// (memory budget, handle exhaustion, queue overflow, CPU overload);
+  /// the Resource Supervision Unit re-reports a sustained transgression
+  /// every cycle, so this debounces transient spikes.
+  std::uint32_t resource_threshold = 3;
   /// The global ECU state turns faulty when this many tasks are faulty.
   std::uint32_t ecu_faulty_task_limit = 2;
 };

@@ -162,6 +162,14 @@ SupervisionReport TaskStateIndicationUnit::report(RunnableId runnable) const {
       e.counts[static_cast<std::size_t>(ErrorType::kCommunication)];
   r.nvm_corruption_errors =
       e.counts[static_cast<std::size_t>(ErrorType::kNvmCorruption)];
+  r.memory_budget_errors =
+      e.counts[static_cast<std::size_t>(ErrorType::kMemoryBudget)];
+  r.handle_exhaustion_errors =
+      e.counts[static_cast<std::size_t>(ErrorType::kHandleExhaustion)];
+  r.queue_overflow_errors =
+      e.counts[static_cast<std::size_t>(ErrorType::kQueueOverflow)];
+  r.cpu_overload_errors =
+      e.counts[static_cast<std::size_t>(ErrorType::kCpuOverload)];
   return r;
 }
 

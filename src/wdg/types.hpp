@@ -36,9 +36,21 @@ enum class ErrorType : std::uint8_t {
   /// boot (reset-safe fault memory extension). Reported by the FMF itself;
   /// carries no runnable/task mapping.
   kNvmCorruption = 6,
+  /// A task's modelled heap usage breached its budget watermark or showed
+  /// a sustained leak rate (resource supervision, extension).
+  kMemoryBudget = 7,
+  /// Handle/descriptor usage breached the task budget or the global pool
+  /// ran dry while the task kept requesting (resource supervision).
+  kHandleExhaustion = 8,
+  /// A bounded signal queue stayed above its watermark or overflowed:
+  /// the consumer is not keeping up (resource supervision).
+  kQueueOverflow = 9,
+  /// The modelled CPU-load average stayed above the configured ceiling
+  /// for the transgression window (resource supervision).
+  kCpuOverload = 10,
 };
 
-inline constexpr std::size_t kErrorTypeCount = 7;
+inline constexpr std::size_t kErrorTypeCount = 11;
 
 [[nodiscard]] constexpr std::string_view to_string(ErrorType t) {
   switch (t) {
@@ -49,6 +61,10 @@ inline constexpr std::size_t kErrorTypeCount = 7;
     case ErrorType::kDeadline: return "deadline";
     case ErrorType::kCommunication: return "communication";
     case ErrorType::kNvmCorruption: return "nvm_corruption";
+    case ErrorType::kMemoryBudget: return "memory_budget";
+    case ErrorType::kHandleExhaustion: return "handle_exhaustion";
+    case ErrorType::kQueueOverflow: return "queue_overflow";
+    case ErrorType::kCpuOverload: return "cpu_overload";
   }
   return "?";
 }
@@ -97,6 +113,10 @@ struct SupervisionReport {
   std::uint32_t deadline_errors = 0;
   std::uint32_t communication_errors = 0;
   std::uint32_t nvm_corruption_errors = 0;
+  std::uint32_t memory_budget_errors = 0;
+  std::uint32_t handle_exhaustion_errors = 0;
+  std::uint32_t queue_overflow_errors = 0;
+  std::uint32_t cpu_overload_errors = 0;
   bool activation_status = true;
 };
 

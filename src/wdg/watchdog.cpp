@@ -28,6 +28,11 @@ telemetry::Component detector_component(ErrorType type) {
       return telemetry::Component::kComMonitor;
     case ErrorType::kNvmCorruption:
       return telemetry::Component::kFmf;
+    case ErrorType::kMemoryBudget:
+    case ErrorType::kHandleExhaustion:
+    case ErrorType::kQueueOverflow:
+    case ErrorType::kCpuOverload:
+      return telemetry::Component::kResourceUnit;
   }
   return telemetry::Component::kHarness;
 }
@@ -41,7 +46,9 @@ SoftwareWatchdog::SoftwareWatchdog(WatchdogConfig config)
                 config.program_flow_threshold,
                 config.accumulated_aliveness_threshold,
                 config.deadline_threshold, config.communication_threshold,
-                config.nvm_corruption_threshold}},
+                config.nvm_corruption_threshold, config.resource_threshold,
+                config.resource_threshold, config.resource_threshold,
+                config.resource_threshold}},
            config.ecu_faulty_task_limit) {}
 
 void SoftwareWatchdog::add_runnable(const RunnableMonitor& monitor) {
@@ -321,6 +328,11 @@ Severity SoftwareWatchdog::severity_of(ErrorType type) {
     case ErrorType::kDeadline: return Severity::kMajor;
     case ErrorType::kCommunication: return Severity::kMajor;
     case ErrorType::kNvmCorruption: return Severity::kMajor;
+    case ErrorType::kMemoryBudget: return Severity::kMajor;
+    case ErrorType::kHandleExhaustion: return Severity::kMajor;
+    case ErrorType::kQueueOverflow: return Severity::kMajor;
+    // Load shedding is a degradation, not a restart: one class below.
+    case ErrorType::kCpuOverload: return Severity::kMinor;
   }
   return Severity::kInfo;
 }

@@ -337,10 +337,10 @@ TEST(CampaignReportTiming, TimingCsvCarriesThroughputColumns) {
   std::ostringstream out;
   report.write_timing_csv(out, runner.config(), outcome);
   const std::string csv = out.str();
-  EXPECT_NE(csv.find("jobs,seed,runs,completed,timeouts,errors,wall_s,"
-                     "runs_per_s"),
+  EXPECT_NE(csv.find("jobs,seed,runs,completed,timeouts,errors,skipped,"
+                     "wall_s,runs_per_s"),
             std::string::npos);
-  EXPECT_NE(csv.find("\n2,0,8,8,0,0,"), std::string::npos);
+  EXPECT_NE(csv.find("\n2,0,8,8,0,0,0,"), std::string::npos);
   EXPECT_GT(outcome.runs_per_second(), 0.0);
 }
 
