@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 0xC0FFEE;
   std::uint64_t runs = 60;
   std::string csv_path = "campaign_throughput.csv";
+  std::string json_path = "BENCH_campaign_throughput.json";
 
   util::ArgParser parser(
       "bench_campaign_throughput",
@@ -41,6 +42,8 @@ int main(int argc, char** argv) {
   parser.add("seed", &seed, "campaign seed");
   parser.add("runs", &runs, "randomized injections per sweep point");
   parser.add("csv", &csv_path, "output CSV path");
+  parser.add("json", &json_path,
+             "machine-readable sweep summary (empty disables)");
   if (!parser.parse(argc, argv, std::cerr)) return parser.exited() ? 0 : 2;
   if (max_jobs == 0) max_jobs = 1;
 
@@ -64,6 +67,15 @@ int main(int argc, char** argv) {
   std::vector<unsigned> sweep;
   for (unsigned j = 1; j < max_jobs; j *= 2) sweep.push_back(j);
   sweep.push_back(max_jobs);
+
+  struct SweepPoint {
+    unsigned jobs;
+    double wall_s;
+    double runs_per_s;
+    double speedup;
+    bool deterministic;
+  };
+  std::vector<SweepPoint> points;
 
   double serial_wall = 0.0;
   std::string serial_csv;
@@ -102,6 +114,31 @@ int main(int argc, char** argv) {
     sp << speedup;
     csv.row({std::to_string(jobs), std::to_string(total), wall.str(),
              rps.str(), sp.str(), deterministic ? "1" : "0"});
+    points.push_back({jobs, outcome.wall_seconds, outcome.runs_per_second(),
+                      speedup, deterministic});
+  }
+
+  // Machine-readable sweep summary: one data point per worker count, the
+  // format the trend tooling tracks across commits (results/ keeps the
+  // committed reference points).
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    json << "{\n"
+         << "  \"bench\": \"campaign_throughput\",\n"
+         << "  \"workload\": \"network-fault campaign\",\n"
+         << "  \"runs_per_point\": " << total << ",\n"
+         << "  \"seed\": " << seed << ",\n"
+         << "  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const SweepPoint& p = points[i];
+      json << "    {\"jobs\": " << p.jobs << ", \"wall_s\": " << p.wall_s
+           << ", \"runs_per_s\": " << p.runs_per_s
+           << ", \"speedup\": " << p.speedup << ", \"deterministic\": "
+           << (p.deterministic ? "true" : "false") << "}"
+           << (i + 1 < points.size() ? "," : "") << '\n';
+    }
+    json << "  ]\n}\n";
+    std::cout << "sweep summary written to " << json_path << '\n';
   }
 
   std::cout << "\nraw results written to " << csv_path << '\n'

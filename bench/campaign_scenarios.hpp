@@ -68,4 +68,28 @@ namespace easis::bench {
 /// Header of the per-run verdict rows run_resource_fault() produces.
 [[nodiscard]] const std::string& resource_fault_csv_header();
 
+/// The eight environmental fault classes, in campaign order: two thermal
+/// ladder classes (gradual ramp into derate, runaway into controlled
+/// shutdown), two sensor classes (stuck-at, implausible offset), three
+/// filesystem/NVM classes (journal fill, write-error burst, erase-cycle
+/// wear-out) and the supervised-process deadline-transgression class.
+[[nodiscard]] const std::vector<std::string>& environment_fault_classes();
+
+/// Executes one environmental run: builds a central node whose thermal
+/// model and NVM fault memory are supervised by the Environment
+/// Supervision Unit (plus one instrumented process section), injects
+/// `fault_class` at t=2s parameterized by `seed`, lets the graceful
+/// ladder / FMF treat it (derate with QM parking, persistent safe state,
+/// evict-by-priority, degradation, restart), and reads the DTC plus the
+/// class's environment identifier back over UDS-lite at t=6s. Four
+/// detectors contribute coverage: env_report, fault_memory, treatment,
+/// diag_readout. When `ctx` is given, the run publishes the ESU snapshot
+/// as the flight note every 100 ms.
+[[nodiscard]] harness::RunResult run_environment_fault(
+    const std::string& fault_class, std::uint64_t seed,
+    const harness::RunContext* ctx = nullptr);
+
+/// Header of the per-run verdict rows run_environment_fault() produces.
+[[nodiscard]] const std::string& environment_fault_csv_header();
+
 }  // namespace easis::bench

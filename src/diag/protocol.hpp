@@ -67,8 +67,22 @@ inline constexpr std::uint16_t kDidStormLatched = 0x0104;
 inline constexpr std::uint16_t kDidDtcCount = 0x0105;
 inline constexpr std::uint16_t kDidActiveDtcCount = 0x0106;
 inline constexpr std::uint16_t kDidHeartbeatsSent = 0x0107;
+/// ECU junction temperature in centi-degrees C, signed (environment unit).
+inline constexpr std::uint16_t kDidTemperature = 0x0108;
+/// Thermal-derating ladder stage: 0 normal, 1 warn, 2 derate, 3 shutdown.
+inline constexpr std::uint16_t kDidDerateStage = 0x0109;
+/// NVM fault-memory journal fill level in percent (0..100).
+inline constexpr std::uint16_t kDidFlashFill = 0x010A;
+/// NVM worst-bank erase-cycle wear in percent of the budget (0..100).
+inline constexpr std::uint16_t kDidFlashWear = 0x010B;
+/// Total deadline transgressions across all supervised sections.
+inline constexpr std::uint16_t kDidTransgressions = 0x010C;
 /// Base for telemetry metric snapshot identifiers (campaign wiring).
 inline constexpr std::uint16_t kDidMetricBase = 0x0200;
+/// Base for per-section transgression records: section i occupies three
+/// consecutive identifiers — base+3i the count, base+3i+1 the worst-case
+/// window in microseconds, base+3i+2 the last-occurrence time in ms.
+inline constexpr std::uint16_t kDidTransgressionBase = 0x0300;
 /// Built-in: 1 while a diagnostic session is active, else 0.
 inline constexpr std::uint16_t kDidSessionState = 0xF186;
 

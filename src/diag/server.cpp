@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "telemetry/event_bus.hpp"
+#include "wdg/env_monitor.hpp"
+#include "wdg/process_supervisor.hpp"
 
 namespace easis::diag {
 
@@ -73,6 +75,48 @@ void DiagServer::register_standard_dids() {
     add_data_identifier(kDidHeartbeatsSent, "heartbeats_sent", [probe] {
       return static_cast<double>(probe());
     });
+  }
+  if (backend_.environment != nullptr) {
+    const auto* env = backend_.environment;
+    add_data_identifier(kDidTemperature, "temperature_cdeg", [env] {
+      return env->temperature_c() * 100.0;
+    });
+    add_data_identifier(kDidDerateStage, "derate_stage", [env] {
+      return static_cast<double>(env->stage());
+    });
+  }
+  if (backend_.nvm != nullptr) {
+    const auto* nvm = backend_.nvm;
+    add_data_identifier(kDidFlashFill, "flash_fill_pct", [nvm] {
+      return nvm->fill_level() * 100.0;
+    });
+    add_data_identifier(kDidFlashWear, "flash_wear_pct", [nvm] {
+      return nvm->wear_level() * 100.0;
+    });
+  }
+  if (backend_.process != nullptr) {
+    const auto* psu = backend_.process;
+    add_data_identifier(kDidTransgressions, "transgressions", [psu] {
+      return static_cast<double>(psu->transgressions());
+    });
+    for (std::size_t i = 0; i < psu->section_count(); ++i) {
+      const auto base =
+          static_cast<std::uint16_t>(kDidTransgressionBase + 3 * i);
+      const std::string& section = psu->record(i).section;
+      add_data_identifier(base, section + "_count", [psu, i] {
+        return static_cast<double>(psu->record(i).count);
+      });
+      add_data_identifier(static_cast<std::uint16_t>(base + 1),
+                          section + "_worst_us", [psu, i] {
+                            return static_cast<double>(
+                                psu->record(i).worst.as_micros());
+                          });
+      add_data_identifier(static_cast<std::uint16_t>(base + 2),
+                          section + "_last_ms", [psu, i] {
+                            return static_cast<double>(
+                                psu->record(i).last_at.as_millis());
+                          });
+    }
   }
   add_data_identifier(kDidSessionState, "session_state",
                       [this] { return session_active_ ? 1.0 : 0.0; });

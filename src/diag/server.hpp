@@ -27,6 +27,11 @@
 #include "sim/engine.hpp"
 #include "wdg/watchdog.hpp"
 
+namespace easis::wdg {
+class EnvironmentSupervisionUnit;
+class ProcessSupervisionUnit;
+}  // namespace easis::wdg
+
 namespace easis::diag {
 
 struct DiagServerConfig {
@@ -58,6 +63,12 @@ struct DiagBackend {
   std::function<bool()> offline;
   /// Extra probe for kDidHeartbeatsSent (remote nodes).
   std::function<std::uint64_t()> heartbeats_sent;
+  /// Environmental supervision: temperature and derate-stage identifiers.
+  const wdg::EnvironmentSupervisionUnit* environment = nullptr;
+  /// Supervised-process client API: transgression-record identifiers.
+  const wdg::ProcessSupervisionUnit* process = nullptr;
+  /// NVM store for the flash fill/wear identifiers.
+  const fmf::NvmStore* nvm = nullptr;
 };
 
 class DiagServer {

@@ -220,6 +220,38 @@ void FaultManagementFramework::latch_storm(const ResetCause& cause,
   if (safe_state_hook_) safe_state_hook_(decision);
 }
 
+void FaultManagementFramework::request_safe_state(ResetCause cause,
+                                                  sim::SimTime now) {
+  if (storm_latched_) return;  // already parked; the latch is terminal
+  storm_latched_ = true;
+  EASIS_LOG(util::LogLevel::kError, kLog)
+      << "controlled shutdown into safe state ("
+      << to_string(cause.source) << "): " << cause.detail;
+  ResetCause decision = std::move(cause);
+  decision.time = now;
+  record_reset_cause(decision);
+
+  wdg::ErrorReport report;
+  report.task = decision.task;
+  report.application = decision.application;
+  report.type = decision.error;
+  report.time = now;
+  report.detail = decision.detail;
+  FaultRecord record{"fmf.shutdown", report, wdg::Severity::kCritical};
+  log_.push(record);
+  if (dtc_store_ != nullptr) dtc_store_->record(report);
+  for (const auto& listener : listeners_) listener(record);
+
+  emit_fmf_event(telemetry::EventKind::kStormLatched, now, decision.detail,
+                 decision.application, decision.task);
+  persist();  // the shutdown decision must survive the power cycle
+  if (nvm_ != nullptr) {
+    emit_fmf_event(telemetry::EventKind::kNvmCommit, now,
+                   "safe-state decision persisted");
+  }
+  if (safe_state_hook_) safe_state_hook_(decision);
+}
+
 void FaultManagementFramework::record_reset_cause(ResetCause cause) {
   reset_history_.push_back(cause);
   if (reset_history_.size() > kResetHistoryDepth) {
@@ -416,10 +448,77 @@ void FaultManagementFramework::persist() {
                                         entry.active, entry.freeze_frame});
     }
   }
-  if (!nvm_->commit(image)) {
-    EASIS_LOG(util::LogLevel::kError, kLog)
-        << "NVM commit failed: image exceeds bank capacity";
+  if (transgression_snapshot_) {
+    image.transgressions = transgression_snapshot_();
   }
+  std::uint32_t overflows_seen = nvm_->overflows();
+  while (!nvm_->commit(image)) {
+    const bool capacity = nvm_->overflows() > overflows_seen;
+    overflows_seen = nvm_->overflows();
+    if (!capacity) {
+      // Wear-out or transient write fault: nothing to evict will help.
+      ++nvm_write_failures_;
+      EASIS_LOG(util::LogLevel::kError, kLog)
+          << "NVM commit failed: write error (flash wear or fault)";
+      return;
+    }
+    // Flash full: degrade gracefully, lowest-priority entry first.
+    if (!evict_one(image)) {
+      EASIS_LOG(util::LogLevel::kError, kLog)
+          << "NVM commit failed: image exceeds bank capacity even after "
+          << "evicting all expendable fault-memory entries";
+      return;
+    }
+    ++nvm_evictions_;
+  }
+}
+
+bool FaultManagementFramework::evict_one(NvmImage& image) {
+  // Eviction ladder (lowest priority first). The reset-cause chain's
+  // newest entry and the transgression records are never dropped: they
+  // explain why the ECU is in the state it is in.
+  auto oldest_dtc = [&image](bool active) -> std::size_t {
+    std::size_t best = image.dtcs.size();
+    for (std::size_t i = 0; i < image.dtcs.size(); ++i) {
+      if (image.dtcs[i].active != active) continue;
+      if (best == image.dtcs.size() ||
+          image.dtcs[i].last_seen < image.dtcs[best].last_seen) {
+        best = i;
+      }
+    }
+    return best;
+  };
+  for (const bool active : {false, true}) {
+    // First the freeze frames of this class (cheap, keeps the DTC), then
+    // whole entries.
+    std::size_t best = image.dtcs.size();
+    for (std::size_t i = 0; i < image.dtcs.size(); ++i) {
+      if (image.dtcs[i].active != active || !image.dtcs[i].freeze_frame) {
+        continue;
+      }
+      if (best == image.dtcs.size() ||
+          image.dtcs[i].last_seen < image.dtcs[best].last_seen) {
+        best = i;
+      }
+    }
+    if (best < image.dtcs.size()) {
+      image.dtcs[best].freeze_frame.reset();
+      return true;
+    }
+    const std::size_t victim = oldest_dtc(active);
+    if (victim < image.dtcs.size()) {
+      image.dtcs.erase(image.dtcs.begin() +
+                       static_cast<std::ptrdiff_t>(victim));
+      return true;
+    }
+  }
+  // Last resort: trim the reset history down to the newest entry — the
+  // reset-cause chain must keep at least the most recent decision.
+  if (image.reset_history.size() > 1) {
+    image.reset_history.erase(image.reset_history.begin());
+    return true;
+  }
+  return false;
 }
 
 void FaultManagementFramework::boot_from_nvm(sim::SimTime now) {
@@ -440,10 +539,15 @@ void FaultManagementFramework::boot_from_nvm(sim::SimTime now) {
       }
       dtc_store_->restore(entries);
     }
+    if (transgression_restore_ && !image.transgressions.empty()) {
+      transgression_restore_(image.transgressions);
+    }
     emit_fmf_event(telemetry::EventKind::kNvmRestore, now,
                    "restored " + std::to_string(image.reset_count) +
                        " reset(s), " + std::to_string(image.dtcs.size()) +
-                       " DTC(s), storm " +
+                       " DTC(s), " +
+                       std::to_string(image.transgressions.size()) +
+                       " transgression record(s), storm " +
                        (image.storm_latched ? "latched" : "clear"));
     if (image.storm_latched && !storm_latched_) {
       // The latch is persistent: a power cycle must not re-enter the

@@ -100,6 +100,11 @@ class FaultManagementFramework {
   /// Operator/diagnostic path: leaves degraded mode and clears the
   /// monitoring state of the application's tasks.
   void recover_application(ApplicationId app, sim::SimTime now);
+  /// Applies the application's registered degraded mode (restart fallback
+  /// when none is registered; termination when already degraded). Public
+  /// for coordinated environmental treatment: the thermal-derating ladder
+  /// parks QM applications through the same path a faulty state would.
+  void degrade_application(ApplicationId app, sim::SimTime now);
 
   /// Applications register to be informed about detected faults.
   using FaultListener = std::function<void(const FaultRecord&)>;
@@ -127,8 +132,24 @@ class FaultManagementFramework {
   void boot_from_nvm(sim::SimTime now);
 
   /// Commits the current fault memory to NVM (also called internally
-  /// before every performed reset).
+  /// before every performed reset). When the image no longer fits the
+  /// bank (flash full), fault memory degrades gracefully: entries are
+  /// evicted lowest-priority-first (oldest passive DTC freeze frames,
+  /// then oldest passive DTCs, then active ones) until the commit fits —
+  /// the reset-cause chain and transgression records are never dropped.
   void persist();
+
+  /// Connects the supervised-process transgression records to fault
+  /// memory: `snapshot` feeds persist(), `restore` is replayed by
+  /// boot_from_nvm(). std::function keeps the FMF decoupled from the
+  /// process-supervision unit.
+  void attach_transgression_store(
+      std::function<std::vector<wdg::TransgressionRecord>()> snapshot,
+      std::function<void(const std::vector<wdg::TransgressionRecord>&)>
+          restore) {
+    transgression_snapshot_ = std::move(snapshot);
+    transgression_restore_ = std::move(restore);
+  }
 
   /// Central ECU reset path: every reset request — ECU-faulty escalation,
   /// HW-watchdog expiry, failed recovery validation — funnels through here
@@ -142,6 +163,12 @@ class FaultManagementFramework {
   void set_safe_state_hook(std::function<void(const ResetCause&)> hook) {
     safe_state_hook_ = std::move(hook);
   }
+
+  /// Controlled shutdown into the persistent safe state without a reset:
+  /// used by the thermal-derating ladder's final stage. Shares the storm
+  /// latch (the decision survives power cycles and further resets are
+  /// refused) and invokes the safe-state hook. Idempotent once latched.
+  void request_safe_state(ResetCause cause, sim::SimTime now);
 
   /// Opens an ECU-wide post-reset recovery window over all actively
   /// monitored runnables (no-op when recovery_warmup_cycles is zero).
@@ -162,6 +189,12 @@ class FaultManagementFramework {
     return ecu_resets_;
   }
   [[nodiscard]] std::uint64_t faults_recorded() const { return faults_; }
+  /// Fault-memory entries evicted by graceful degradation on flash-full.
+  [[nodiscard]] std::uint32_t nvm_evictions() const { return nvm_evictions_; }
+  /// Commits lost to NVM write errors (wear-out or transient faults).
+  [[nodiscard]] std::uint32_t nvm_write_failures() const {
+    return nvm_write_failures_;
+  }
   [[nodiscard]] bool storm_latched() const { return storm_latched_; }
   [[nodiscard]] const std::optional<ResetCause>& last_reset_cause() const {
     return last_reset_cause_;
@@ -197,6 +230,12 @@ class FaultManagementFramework {
   std::vector<FaultListener> listeners_;
   DtcStore* dtc_store_ = nullptr;
   NvmStore* nvm_ = nullptr;
+  std::uint32_t nvm_evictions_ = 0;
+  std::uint32_t nvm_write_failures_ = 0;
+  std::function<std::vector<wdg::TransgressionRecord>()>
+      transgression_snapshot_;
+  std::function<void(const std::vector<wdg::TransgressionRecord>&)>
+      transgression_restore_;
   std::function<void(const ResetCause&)> safe_state_hook_;
   std::vector<ResetCause> reset_history_;
   std::optional<ResetCause> last_reset_cause_;
@@ -212,8 +251,8 @@ class FaultManagementFramework {
                           const wdg::ErrorReport& cause, sim::SimTime now);
   void restart_application(ApplicationId app, sim::SimTime now);
   void terminate_application(ApplicationId app, sim::SimTime now);
-  void degrade_application(ApplicationId app, sim::SimTime now);
   void clear_monitoring_state(ApplicationId app, sim::SimTime now);
+  bool evict_one(NvmImage& image);
   void latch_storm(const ResetCause& cause, sim::SimTime now);
   void record_reset_cause(ResetCause cause);
   [[nodiscard]] std::uint32_t recent_resets(sim::SimTime now) const;

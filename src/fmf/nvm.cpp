@@ -1,5 +1,6 @@
 #include "fmf/nvm.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/crc8.hpp"
@@ -127,6 +128,13 @@ void serialize_image(const NvmImage& image, Writer& w) {
       }
     }
   }
+  w.u16(static_cast<std::uint16_t>(image.transgressions.size()));
+  for (const wdg::TransgressionRecord& record : image.transgressions) {
+    w.str(record.section);
+    w.u32(record.count);
+    w.i64(record.worst.as_micros());
+    w.i64(record.last_at.as_micros());
+  }
 }
 
 TaskId read_task(std::uint32_t raw) {
@@ -174,6 +182,15 @@ std::optional<NvmImage> deserialize_image(const std::uint8_t* data,
       dtc.freeze_frame = std::move(frame);
     }
     image.dtcs.push_back(std::move(dtc));
+  }
+  const std::uint16_t transgressions = r.u16();
+  for (std::uint16_t i = 0; i < transgressions && r.ok(); ++i) {
+    wdg::TransgressionRecord record;
+    record.section = r.str();
+    record.count = r.u32();
+    record.worst = sim::Duration::micros(r.i64());
+    record.last_at = sim::SimTime(r.i64());
+    image.transgressions.push_back(std::move(record));
   }
   if (!r.ok()) return std::nullopt;
   return image;
@@ -244,6 +261,15 @@ bool NvmStore::commit(const NvmImage& image) {
     return false;
   }
   const std::size_t target = 1 - active_;
+  if (pending_faults_ > 0) {
+    --pending_faults_;
+    ++write_errors_;
+    return false;
+  }
+  if (bank_worn(target)) {
+    ++write_errors_;
+    return false;
+  }
   std::vector<std::uint8_t>& bank = banks_[target];
   bank.assign(capacity_, 0);
   write_u32_at(bank, 0, kMagic);
@@ -253,6 +279,8 @@ bool NvmStore::commit(const NvmImage& image) {
   bank[12] = bank_crc(bank, payload.size());
   active_ = target;  // flip only after the full write
   ++commits_;
+  ++erase_cycles_[target];
+  last_image_bytes_ = payload.size();
   return true;
 }
 
@@ -295,6 +323,30 @@ void NvmStore::erase() {
   banks_[1].assign(capacity_, 0);
   active_ = 0;
   sequence_ = 0;
+  last_image_bytes_ = 0;
+  // A workshop "clear fault memory" erases both banks — it costs wear too.
+  ++erase_cycles_[0];
+  ++erase_cycles_[1];
+}
+
+bool NvmStore::bank_worn(std::size_t bank) const {
+  return erase_budget_ > 0 && erase_cycles_[bank % 2] >= erase_budget_;
+}
+
+double NvmStore::wear_level() const {
+  if (erase_budget_ == 0) return 0.0;
+  const std::uint32_t worst = std::max(erase_cycles_[0], erase_cycles_[1]);
+  const double level =
+      static_cast<double>(worst) / static_cast<double>(erase_budget_);
+  return level > 1.0 ? 1.0 : level;
+}
+
+double NvmStore::fill_level() const {
+  if (last_image_bytes_ == 0 || capacity_ == 0) return 0.0;
+  const double level =
+      static_cast<double>(kHeaderBytes + last_image_bytes_) /
+      static_cast<double>(capacity_);
+  return level > 1.0 ? 1.0 : level;
 }
 
 void NvmStore::corrupt_bit(std::size_t bit_index) {

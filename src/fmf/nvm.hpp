@@ -40,6 +40,9 @@ enum class ResetSource : std::uint8_t {
   kRecoveryFailure = 3,
   /// Commanded over the diagnostic protocol (UDS-lite ECUReset, 0x11).
   kDiagnosticRequest = 4,
+  /// The thermal-derating ladder reached its shutdown stage: controlled
+  /// shutdown into the persistent safe state (environmental supervision).
+  kThermalShutdown = 5,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(ResetSource s) {
@@ -49,6 +52,7 @@ enum class ResetSource : std::uint8_t {
     case ResetSource::kHardwareWatchdog: return "hw_watchdog";
     case ResetSource::kRecoveryFailure: return "recovery_failure";
     case ResetSource::kDiagnosticRequest: return "diag_request";
+    case ResetSource::kThermalShutdown: return "thermal_shutdown";
   }
   return "?";
 }
@@ -86,6 +90,9 @@ struct NvmImage {
   std::vector<ResetCause> reset_history;
   /// Diagnostic trouble codes incl. freeze frames.
   std::vector<PersistedDtc> dtcs;
+  /// Deadline-transgression records of the supervised-process client API
+  /// (never evicted: like the reset chain, they explain field behaviour).
+  std::vector<wdg::TransgressionRecord> transgressions;
 };
 
 /// Reset events retained in the history ring.
@@ -104,7 +111,9 @@ class NvmStore {
 
   /// Serialises `image` into the inactive bank and flips the active bank.
   /// Returns false (and leaves the store untouched) if the image does not
-  /// fit the bank capacity.
+  /// fit the bank capacity (counted as an overflow), if the target bank
+  /// has worn out its erase-cycle budget, or if an injected write fault
+  /// is pending (both counted as write errors).
   bool commit(const NvmImage& image);
 
   /// Validates both banks and deserialises the newest valid image.
@@ -113,17 +122,40 @@ class NvmStore {
   /// Clears both banks (workshop "clear fault memory").
   void erase();
 
+  // --- wear model --------------------------------------------------------------
+  /// Erase cycles each bank survives before writes to it start failing
+  /// (0 = unlimited, the default). Every successful commit erases the
+  /// target bank once; erase() cycles both banks.
+  void set_erase_budget(std::uint32_t cycles) { erase_budget_ = cycles; }
+  [[nodiscard]] std::uint32_t erase_budget() const { return erase_budget_; }
+  [[nodiscard]] std::uint32_t erase_cycles(std::size_t bank) const {
+    return erase_cycles_[bank % 2];
+  }
+  [[nodiscard]] bool bank_worn(std::size_t bank) const;
+  /// Worst-bank erase-cycle share of the budget, 0..1 (0 when unlimited).
+  [[nodiscard]] double wear_level() const;
+
   // --- fault injection surface -------------------------------------------------
   /// Flips one bit of the active bank (models a flash/EEPROM bit error).
   void corrupt_bit(std::size_t bit_index);
   /// XORs one byte of the given bank.
   void corrupt_byte(std::size_t bank, std::size_t offset, std::uint8_t mask);
+  /// The next `count` commits fail as write errors (transient flash
+  /// faults; distinct from capacity overflows).
+  void inject_write_faults(std::uint32_t count) { pending_faults_ += count; }
 
   // --- introspection -----------------------------------------------------------
   [[nodiscard]] std::size_t bank_capacity() const { return capacity_; }
   [[nodiscard]] std::size_t active_bank() const { return active_; }
   [[nodiscard]] std::uint32_t commits() const { return commits_; }
   [[nodiscard]] std::uint32_t overflows() const { return overflows_; }
+  [[nodiscard]] std::uint32_t write_errors() const { return write_errors_; }
+  /// Journal fill: header + last committed payload over the bank
+  /// capacity, 0..1 (0 before the first successful commit).
+  [[nodiscard]] double fill_level() const;
+  [[nodiscard]] std::size_t last_image_bytes() const {
+    return last_image_bytes_;
+  }
 
  private:
   std::size_t capacity_;
@@ -132,6 +164,11 @@ class NvmStore {
   std::uint32_t sequence_ = 0;
   std::uint32_t commits_ = 0;
   std::uint32_t overflows_ = 0;
+  std::uint32_t write_errors_ = 0;
+  std::uint32_t erase_budget_ = 0;
+  std::uint32_t erase_cycles_[2] = {0, 0};
+  std::uint32_t pending_faults_ = 0;
+  std::size_t last_image_bytes_ = 0;
 };
 
 }  // namespace easis::fmf

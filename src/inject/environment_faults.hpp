@@ -1,0 +1,70 @@
+// Environmental fault factories (robustness extension).
+//
+// The environmental class of failures the Environment Supervision Unit
+// exists for: thermal ramps and runaway self-heating, temperature-sensor
+// faults (stuck-at, implausible offset), fault-memory journal fill, NVM
+// write-error bursts and erase-cycle wear-out. Each factory manipulates
+// the thermal model or the NVM store, so detection happens through the
+// unit's ladder/plausibility/watermark rules — never by the injector
+// telling anyone.
+#pragma once
+
+#include <cstdint>
+
+#include "fmf/fmf.hpp"
+#include "fmf/nvm.hpp"
+#include "inject/injector.hpp"
+#include "sim/engine.hpp"
+#include "sim/thermal.hpp"
+
+namespace easis::inject {
+
+/// Thermal ramp: raises the ambient temperature by `step_c` every `period`
+/// until it reaches `target_c` (a climate-chamber ramp; the junction
+/// follows with the model's time constant). Reverting restores the
+/// pre-ramp ambient — the junction then cools back down the same way.
+[[nodiscard]] Injection make_thermal_ramp(sim::Engine& engine,
+                                          sim::ThermalModel& thermal,
+                                          double target_c, double step_c,
+                                          sim::Duration period,
+                                          sim::SimTime start,
+                                          sim::Duration duration);
+
+/// Stuck temperature sensor: the reading freezes at its current value
+/// while the junction keeps moving underneath.
+[[nodiscard]] Injection make_sensor_stuck(sim::ThermalModel& thermal,
+                                          sim::SimTime start,
+                                          sim::Duration duration);
+
+/// Implausible sensor offset: a constant measurement error of `offset_c`
+/// (large offsets push the reading outside the plausibility band).
+[[nodiscard]] Injection make_sensor_offset(sim::ThermalModel& thermal,
+                                           double offset_c, sim::SimTime start,
+                                           sim::Duration duration);
+
+/// Fault-memory flood: records `dtcs_per_period` synthetic DTCs (distinct
+/// applications from `first_app` up, freeze frames included) every
+/// `period` and persists after each batch, driving the journal towards
+/// the bank capacity.
+[[nodiscard]] Injection make_dtc_flood(sim::Engine& engine,
+                                       fmf::FaultManagementFramework& fmf,
+                                       std::uint32_t first_app,
+                                       std::uint32_t dtcs_per_period,
+                                       sim::Duration period, sim::SimTime start,
+                                       sim::Duration duration);
+
+/// NVM write-error burst: the next `count` commits fail as transient
+/// flash write faults.
+[[nodiscard]] Injection make_nvm_write_fault_burst(fmf::NvmStore& nvm,
+                                                   std::uint32_t count,
+                                                   sim::SimTime start);
+
+/// Commit storm: persists the fault memory every `period`, burning erase
+/// cycles towards the wear budget (a runaway maintenance job).
+[[nodiscard]] Injection make_commit_storm(sim::Engine& engine,
+                                          fmf::FaultManagementFramework& fmf,
+                                          sim::Duration period,
+                                          sim::SimTime start,
+                                          sim::Duration duration);
+
+}  // namespace easis::inject

@@ -1,0 +1,36 @@
+#include "sim/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace easis::sim {
+
+void ThermalModel::step(Duration dt, double load01) {
+  const double load = std::clamp(load01, 0.0, 1.0);
+  const double target =
+      ambient_c_ + params_.idle_rise_c + params_.self_heating_c * load;
+  const double tau_s =
+      std::max(static_cast<double>(params_.time_constant.as_micros()) / 1e6,
+               1e-6);
+  const double dt_s = static_cast<double>(dt.as_micros()) / 1e6;
+  junction_c_ += (target - junction_c_) * (1.0 - std::exp(-dt_s / tau_s));
+  ++steps_;
+  // Period-3 pattern (-d, 0, +d): a supervisor sampling every model step
+  // or every other step always sees the reading move, so only a truly
+  // stuck sensor trips the ESU's frozen-reading rule. A period-2 pattern
+  // would alias with a 2:1 sampling ratio and look frozen.
+  dither_c_ =
+      params_.sensor_dither_c * (static_cast<double>(steps_ % 3) - 1.0);
+}
+
+double ThermalModel::sensor_c() const {
+  if (sensor_stuck_) return stuck_value_c_;
+  return junction_c_ + sensor_offset_c_ + dither_c_;
+}
+
+void ThermalModel::set_sensor_stuck(bool stuck) {
+  if (stuck && !sensor_stuck_) stuck_value_c_ = sensor_c();
+  sensor_stuck_ = stuck;
+}
+
+}  // namespace easis::sim

@@ -1,0 +1,77 @@
+// First-order thermal model of the ECU (ambient/junction temperature).
+//
+// Substitute for the validator's climate-chamber environment: the junction
+// temperature relaxes towards `ambient + idle_rise + self_heating * load`
+// with a single time constant, which is enough to drive the watchdog's
+// thermal-derating ladder through realistic ramps. The *sensor* reading is
+// modelled separately from the junction so sensor faults (stuck value,
+// implausible offset) can be injected without touching the physics.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace easis::sim {
+
+struct ThermalParams {
+  /// Ambient temperature the ECU sits in (injectable: thermal ramps raise
+  /// it via set_ambient()).
+  double ambient_c = 25.0;
+  /// Junction rise above ambient at idle.
+  double idle_rise_c = 8.0;
+  /// Additional junction rise at full CPU load (scaled by load in [0,1]).
+  double self_heating_c = 25.0;
+  /// First-order time constant of the junction towards its target.
+  Duration time_constant = Duration::seconds(2);
+  /// Quantisation dither of a live sensor: the reading cycles through
+  /// -d, 0, +d around the junction across steps. A healthy sensor
+  /// therefore keeps moving even at thermal equilibrium — which is what
+  /// lets a stuck-at sensor be told apart from a settled die — and the
+  /// period-3 pattern stays visible to supervisors sampling every step
+  /// or every other step.
+  double sensor_dither_c = 0.1;
+};
+
+class ThermalModel {
+ public:
+  explicit ThermalModel(ThermalParams params = {})
+      : params_(params),
+        ambient_c_(params.ambient_c),
+        junction_c_(params.ambient_c + params.idle_rise_c) {}
+
+  /// Advances the junction by `dt` under CPU load `load01` in [0, 1].
+  void step(Duration dt, double load01 = 0.0);
+
+  void set_ambient(double ambient_c) { ambient_c_ = ambient_c; }
+  [[nodiscard]] double ambient_c() const { return ambient_c_; }
+  /// True junction temperature (the physics).
+  [[nodiscard]] double junction_c() const { return junction_c_; }
+  /// What the temperature sensor reports: junction + offset + dither, or
+  /// the frozen value while the sensor is stuck.
+  [[nodiscard]] double sensor_c() const;
+
+  // --- fault injection surface ------------------------------------------------
+  /// Freezes the sensor at its current reading (stuck-at fault); the
+  /// junction keeps moving underneath.
+  void set_sensor_stuck(bool stuck);
+  [[nodiscard]] bool sensor_stuck() const { return sensor_stuck_; }
+  /// Constant measurement offset (an implausible offset drives the reading
+  /// outside the plausibility band).
+  void set_sensor_offset(double offset_c) { sensor_offset_c_ = offset_c; }
+  [[nodiscard]] double sensor_offset_c() const { return sensor_offset_c_; }
+
+  [[nodiscard]] const ThermalParams& params() const { return params_; }
+
+ private:
+  ThermalParams params_;
+  double ambient_c_;
+  double junction_c_;
+  double sensor_offset_c_ = 0.0;
+  double dither_c_ = 0.0;
+  bool sensor_stuck_ = false;
+  double stuck_value_c_ = 0.0;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace easis::sim

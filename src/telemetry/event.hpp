@@ -44,9 +44,12 @@ enum class Component : std::uint8_t {
   kDiag,
   /// Resource Supervision Unit (memory/handle/queue/load monitors).
   kResourceUnit,
+  /// Environment Supervision Unit (thermal ladder, filesystem/NVM wear)
+  /// and the supervised-process deadline-window client API.
+  kEnvironmentUnit,
 };
 
-inline constexpr std::size_t kComponentCount = 13;
+inline constexpr std::size_t kComponentCount = 14;
 
 [[nodiscard]] constexpr std::string_view to_string(Component c) {
   switch (c) {
@@ -63,6 +66,7 @@ inline constexpr std::size_t kComponentCount = 13;
     case Component::kHarness: return "harness";
     case Component::kDiag: return "diag";
     case Component::kResourceUnit: return "resource";
+    case Component::kEnvironmentUnit: return "environment";
   }
   return "?";
 }
@@ -103,9 +107,13 @@ enum class EventKind : std::uint8_t {
   /// (detail carries `<resource> level_pct=<n> ...`); feeds the resource
   /// level histogram and makes exhaustion trends visible in event logs.
   kResourceSnapshot,
+  /// The thermal-derating ladder moved to another stage (detail carries
+  /// `<from>-><to> temp_c=<n>`); both directions are emitted, so event
+  /// logs show the ladder stepping up and the recovery stepping down.
+  kDerateStageChange,
 };
 
-inline constexpr std::size_t kEventKindCount = 25;
+inline constexpr std::size_t kEventKindCount = 26;
 
 [[nodiscard]] constexpr std::string_view to_string(EventKind k) {
   switch (k) {
@@ -134,6 +142,7 @@ inline constexpr std::size_t kEventKindCount = 25;
     case EventKind::kDiagNodeSilent: return "diag_node_silent";
     case EventKind::kDiagNodeRecovered: return "diag_node_recovered";
     case EventKind::kResourceSnapshot: return "resource_snapshot";
+    case EventKind::kDerateStageChange: return "derate_stage_change";
   }
   return "?";
 }

@@ -1,5 +1,6 @@
 #include "validator/central_node.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -34,7 +35,8 @@ CentralNode::CentralNode(sim::Engine& engine, CentralNodeConfig config)
     : engine_(engine),
       config_(config),
       ecu_(engine, "CentralNode"),
-      watchdog_(config.watchdog) {
+      watchdog_(config.watchdog),
+      thermal_model_(config.thermal) {
   auto& kernel = ecu_.kernel();
   auto& rte = ecu_.rte();
 
@@ -196,6 +198,7 @@ void CentralNode::start() {
   if (self_supervision_ && !safe_state_) self_supervision_->start();
   schedule_environment(++env_generation_);
   schedule_resource_cycles(env_generation_);
+  schedule_environment_cycles(env_generation_);
 }
 
 void CentralNode::software_reset() {
@@ -235,6 +238,7 @@ void CentralNode::boot_after_reset() {
   if (self_supervision_ && !safe_state_) self_supervision_->start();
   schedule_environment(++env_generation_);
   schedule_resource_cycles(env_generation_);
+  schedule_environment_cycles(env_generation_);
   // Post-reset recovery validation: the warm-up window supervises the
   // re-announcement of every monitored runnable (no-op when disabled).
   if (fmf_) fmf_->begin_ecu_recovery_window(engine_.now());
@@ -258,6 +262,9 @@ diag::DiagServer& CentralNode::attach_diag(bus::CanBus& can,
     software_reset();
   };
   backend.offline = [this] { return rebooting_; };
+  backend.environment = esu_.get();
+  backend.process = psu_.get();
+  backend.nvm = nvm_;
   diag_ = std::make_unique<diag::DiagServer>(engine_, can, std::move(backend),
                                              std::move(config));
   return *diag_;
@@ -281,6 +288,156 @@ void CentralNode::schedule_resource_cycles(std::uint64_t generation) {
         schedule_resource_cycles(generation);
       },
       sim::EventPriority::kMonitor);
+}
+
+wdg::EnvironmentSupervisionUnit& CentralNode::attach_environment_supervision() {
+  if (esu_) return *esu_;
+  esu_ = std::make_unique<wdg::EnvironmentSupervisionUnit>(watchdog_,
+                                                           ecu_.signals());
+  // The thermal channel's faults are accounted to a QM application when
+  // one is present (its FMF policy carries the sensor-fault treatment);
+  // the safety application only inherits them on a stripped-down node.
+  TaskId account_task = safespeed_task_;
+  ApplicationId account_app = safespeed_->application();
+  if (light_) {
+    account_task = light_task_;
+    account_app = light_->application();
+  }
+  wdg::ThermalChannel thermal;
+  thermal.id = RunnableId{2100};
+  thermal.task = account_task;
+  thermal.application = account_app;
+  thermal.name = "ecu";
+  thermal.limits = config_.thermal_limits;
+  thermal.probe = [this] { return thermal_model_.sensor_c(); };
+  esu_->add_thermal(thermal);
+  if (nvm_ != nullptr) {
+    wdg::FilesystemChannel fs;
+    fs.id = RunnableId{2101};
+    fs.task = account_task;
+    fs.application = account_app;
+    fs.name = "faultmem";
+    fs.limits = config_.filesystem_limits;
+    fs.fill_probe = [this] { return nvm_->fill_level(); };
+    fs.wear_probe = [this] { return nvm_->wear_level(); };
+    fs.write_error_probe = [this] {
+      return static_cast<std::uint64_t>(nvm_->write_errors()) +
+             (fmf_ ? fmf_->nvm_write_failures() : 0u);
+    };
+    fs.overflow_probe = [this] {
+      return static_cast<std::uint64_t>(nvm_->overflows());
+    };
+    esu_->add_filesystem(fs);
+  }
+  esu_->set_derate_hooks(
+      [this](sim::SimTime now) { enter_thermal_derate(now); },
+      [this](sim::SimTime now) { exit_thermal_derate(now); });
+  esu_->set_shutdown_hook([this](sim::SimTime now) {
+    fmf::ResetCause cause;
+    cause.source = fmf::ResetSource::kThermalShutdown;
+    cause.error = wdg::ErrorType::kThermal;
+    cause.time = now;
+    cause.detail = "thermal ladder reached shutdown stage";
+    if (fmf_) {
+      fmf_->request_safe_state(std::move(cause), now);
+      return;
+    }
+    enter_safe_state(cause);
+  });
+  return *esu_;
+}
+
+wdg::ProcessSupervisionUnit& CentralNode::attach_process_supervision() {
+  if (psu_) return *psu_;
+  psu_ = std::make_unique<wdg::ProcessSupervisionUnit>(watchdog_);
+  if (fmf_) {
+    fmf_->attach_transgression_store(
+        [this] { return psu_->persisted_records(); },
+        [this](const std::vector<wdg::TransgressionRecord>& records) {
+          psu_->restore_records(records);
+        });
+  }
+  return *psu_;
+}
+
+void CentralNode::schedule_environment_cycles(std::uint64_t generation) {
+  if (!esu_ && !psu_) return;
+  engine_.schedule_in(
+      config_.watchdog.check_period,
+      [this, generation] {
+        if (generation != env_generation_) return;
+        if (esu_) esu_->cycle(engine_.now());
+        if (psu_) psu_->cycle(engine_.now());
+        schedule_environment_cycles(generation);
+      },
+      sim::EventPriority::kMonitor);
+}
+
+void CentralNode::enter_thermal_derate(sim::SimTime now) {
+  if (derated_) return;
+  derated_ = true;
+  EASIS_LOG(util::LogLevel::kWarn, "validator")
+      << "thermal derate: parking QM applications, stretching HBM "
+      << "hypotheses x" << config_.derate_hbm_stretch;
+  // Park the QM applications (reversible, unlike the safe state).
+  auto park = [this](ApplicationId app) {
+    for (RunnableId runnable : ecu_.rte().runnables_of_application(app)) {
+      if (watchdog_.heartbeat_unit().monitors(runnable)) {
+        watchdog_.set_activation_status(runnable, false);
+      }
+    }
+    ecu_.rte().set_application_enabled(app, false);
+  };
+  if (safelane_) park(safelane_->application());
+  if (light_) park(light_->application());
+  if (crash_) park(crash_->application());
+  // Stretch the HBM hypotheses of the runnables that keep running: the
+  // derated (slower) node must not trip aliveness monitoring.
+  stretched_.clear();
+  const std::uint32_t f = std::max<std::uint32_t>(config_.derate_hbm_stretch,
+                                                  1);
+  for (RunnableId runnable :
+       watchdog_.heartbeat_unit().monitored_runnables()) {
+    if (!watchdog_.activation_status(runnable)) continue;
+    const wdg::RunnableMonitor& cfg =
+        watchdog_.heartbeat_unit().config(runnable);
+    if (!cfg.monitor_aliveness && !cfg.monitor_arrival_rate) continue;
+    stretched_.emplace_back(runnable, cfg);
+    watchdog_.update_hypothesis(runnable, cfg.aliveness_cycles * f,
+                                cfg.min_heartbeats, cfg.arrival_cycles * f,
+                                cfg.max_arrivals * f);
+  }
+  (void)now;
+}
+
+void CentralNode::exit_thermal_derate(sim::SimTime now) {
+  if (!derated_) return;
+  derated_ = false;
+  if (safe_state_) return;  // the safe state owns the configuration now
+  EASIS_LOG(util::LogLevel::kInfo, "validator")
+      << "thermal derate over: restoring HBM hypotheses, re-enabling QM "
+      << "applications";
+  for (const auto& [runnable, cfg] : stretched_) {
+    watchdog_.update_hypothesis(runnable, cfg.aliveness_cycles,
+                                cfg.min_heartbeats, cfg.arrival_cycles,
+                                cfg.max_arrivals);
+  }
+  stretched_.clear();
+  auto unpark = [this, now](ApplicationId app) {
+    ecu_.rte().set_application_enabled(app, true);
+    for (RunnableId runnable : ecu_.rte().runnables_of_application(app)) {
+      if (watchdog_.heartbeat_unit().monitors(runnable)) {
+        watchdog_.set_activation_status(runnable, true);
+        watchdog_.reset_runnable(runnable);
+      }
+    }
+    for (TaskId task : ecu_.rte().tasks_of_application(app)) {
+      watchdog_.clear_task_state(task, now);
+    }
+  };
+  if (safelane_) unpark(safelane_->application());
+  if (light_) unpark(light_->application());
+  if (crash_) unpark(crash_->application());
 }
 
 void CentralNode::on_hw_watchdog_expired(sim::SimTime now) {
@@ -351,6 +508,8 @@ void CentralNode::schedule_environment(std::uint64_t generation) {
         vehicle_.set_drive_command(signals.read_or("actuator.drive_cmd", 0.0));
         vehicle_.step(config_.environment_step);
         lane_.step(config_.environment_step);
+        thermal_model_.step(config_.environment_step,
+                            rsu_ ? rsu_->load_average() : 0.0);
         signals.publish("vehicle.speed_kmh", vehicle_.speed_kmh(),
                         engine_.now());
         signals.publish("lane.offset_m", lane_.lateral_offset_m(),

@@ -22,7 +22,10 @@
 #include "rte/ecu.hpp"
 #include "sim/engine.hpp"
 #include "sim/lane.hpp"
+#include "sim/thermal.hpp"
 #include "sim/vehicle.hpp"
+#include "wdg/env_monitor.hpp"
+#include "wdg/process_supervisor.hpp"
 #include "wdg/resource_monitor.hpp"
 #include "wdg/self_supervision.hpp"
 #include "wdg/service.hpp"
@@ -72,6 +75,18 @@ struct CentralNodeConfig {
   sim::Duration reboot_delay = sim::Duration::zero();
   /// Environment integration step (vehicle + lane models).
   sim::Duration environment_step = sim::Duration::millis(5);
+  /// Thermal environment: junction-temperature model parameters. The model
+  /// is stepped with the environment loop; its load input comes from the
+  /// Resource Supervision Unit when attached (idle otherwise).
+  sim::ThermalParams thermal;
+  /// Limits of the node's ECU thermal channel (environment supervision).
+  wdg::ThermalLimits thermal_limits;
+  /// Limits of the node's fault-memory journal channel.
+  wdg::FilesystemLimits filesystem_limits;
+  /// HBM stretch factor applied to the aliveness/arrival hypotheses of the
+  /// still-monitored runnables while the thermal ladder derates: a node
+  /// slowed down by thermal stress must not look like dead runnables.
+  std::uint32_t derate_hbm_stretch = 2;
   os::Priority safespeed_priority = 50;
   os::Priority safelane_priority = 40;
   os::Priority light_priority = 10;
@@ -122,6 +137,22 @@ class CentralNode {
   /// suspended during reboot blackouts exactly like the environment loop.
   wdg::ResourceSupervisionUnit& attach_resource_supervision();
 
+  /// Attaches the Environment Supervision Unit with the node's default
+  /// wiring: one thermal channel over the junction-temperature model and —
+  /// when NVM fault memory is enabled — one filesystem channel over the
+  /// NvmStore. The graceful-derating ladder actuates through the node:
+  /// derate parks the QM applications and stretches the HBM hypotheses;
+  /// shutdown funnels into the FMF's persistent safe state with a
+  /// ResetSource::kThermalShutdown cause. Call before start(); its cycle
+  /// runs every watchdog check period like the RSU's.
+  wdg::EnvironmentSupervisionUnit& attach_environment_supervision();
+
+  /// Attaches the supervised-process client API. Register sections on the
+  /// returned unit (before attach_diag() so the per-section transgression
+  /// identifiers are served); records persist through the FMF's fault
+  /// memory and survive ECU software resets.
+  wdg::ProcessSupervisionUnit& attach_process_supervision();
+
   // --- accessors --------------------------------------------------------------
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] rte::Ecu& ecu() { return ecu_; }
@@ -147,6 +178,15 @@ class CentralNode {
   [[nodiscard]] wdg::ResourceSupervisionUnit* resource_supervision() {
     return rsu_.get();
   }
+  /// Non-null after attach_environment_supervision().
+  [[nodiscard]] wdg::EnvironmentSupervisionUnit* environment_supervision() {
+    return esu_.get();
+  }
+  /// Non-null after attach_process_supervision().
+  [[nodiscard]] wdg::ProcessSupervisionUnit* process_supervision() {
+    return psu_.get();
+  }
+  [[nodiscard]] sim::ThermalModel& thermal_model() { return thermal_model_; }
   [[nodiscard]] apps::SafeSpeed& safespeed() { return *safespeed_; }
   [[nodiscard]] apps::SafeLane* safelane() { return safelane_.get(); }
   [[nodiscard]] apps::LightControl* light_control() { return light_.get(); }
@@ -206,6 +246,12 @@ class CentralNode {
   std::unique_ptr<os::ScheduleTable> schedule_table_;
   std::unique_ptr<diag::DiagServer> diag_;
   std::unique_ptr<wdg::ResourceSupervisionUnit> rsu_;
+  std::unique_ptr<wdg::EnvironmentSupervisionUnit> esu_;
+  std::unique_ptr<wdg::ProcessSupervisionUnit> psu_;
+  sim::ThermalModel thermal_model_;
+  /// Pre-derate HBM hypotheses, restored when the ladder steps back down.
+  std::vector<std::pair<RunnableId, wdg::RunnableMonitor>> stretched_;
+  bool derated_ = false;
 
   bool started_once_ = false;
   std::uint32_t resets_ = 0;
@@ -220,6 +266,9 @@ class CentralNode {
   void on_hw_watchdog_expired(sim::SimTime now);
   void schedule_environment(std::uint64_t generation);
   void schedule_resource_cycles(std::uint64_t generation);
+  void schedule_environment_cycles(std::uint64_t generation);
+  void enter_thermal_derate(sim::SimTime now);
+  void exit_thermal_derate(sim::SimTime now);
 };
 
 }  // namespace easis::validator

@@ -72,6 +72,31 @@ void ControlDesk::watch_event_bus(telemetry::EventBus& bus,
         [counts] { return static_cast<double>(counts->treatments); });
 }
 
+void ControlDesk::watch_environment(
+    const wdg::EnvironmentSupervisionUnit& environment,
+    const std::string& prefix, const wdg::ProcessSupervisionUnit* process) {
+  watch(prefix + ".temp_c", [&environment] {
+    return environment.temperature_c();
+  });
+  watch(prefix + ".stage", [&environment] {
+    return static_cast<double>(environment.stage());
+  });
+  watch(prefix + ".flash_fill", [&environment] {
+    return static_cast<double>(environment.flash_fill_pct());
+  });
+  watch(prefix + ".flash_wear", [&environment] {
+    return static_cast<double>(environment.flash_wear_pct());
+  });
+  if (process != nullptr) {
+    for (std::size_t i = 0; i < process->section_count(); ++i) {
+      watch(prefix + "." + process->record(i).section + ".transgressions",
+            [process, i] {
+              return static_cast<double>(process->record(i).count);
+            });
+    }
+  }
+}
+
 void ControlDesk::watch_health_master(const diag::HealthMonitorMaster& master,
                                       const std::string& prefix) {
   watch(prefix + ".silent",

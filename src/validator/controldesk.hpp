@@ -13,6 +13,8 @@
 #include "telemetry/event_bus.hpp"
 #include "util/ids.hpp"
 #include "util/trace.hpp"
+#include "wdg/env_monitor.hpp"
+#include "wdg/process_supervisor.hpp"
 #include "wdg/watchdog.hpp"
 
 namespace easis::validator {
@@ -46,6 +48,15 @@ class ControlDesk {
   /// master must outlive the ControlDesk.
   void watch_health_master(const diag::HealthMonitorMaster& master,
                            const std::string& prefix);
+
+  /// Environmental-supervision probes: "<prefix>.temp_c" (primary sensor
+  /// reading), "<prefix>.stage" (derating ladder stage 0..3),
+  /// "<prefix>.flash_fill" / "<prefix>.flash_wear" (percent), and — when
+  /// `process` is non-null — "<prefix>.<section>.transgressions" per
+  /// supervised section. Both units must outlive the ControlDesk.
+  void watch_environment(const wdg::EnvironmentSupervisionUnit& environment,
+                         const std::string& prefix,
+                         const wdg::ProcessSupervisionUnit* process = nullptr);
 
   /// Begins sampling; stops after `horizon` from now.
   void start(sim::Duration horizon);

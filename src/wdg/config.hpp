@@ -57,6 +57,10 @@ struct WatchdogConfig {
   /// the Resource Supervision Unit re-reports a sustained transgression
   /// every cycle, so this debounces transient spikes.
   std::uint32_t resource_threshold = 3;
+  /// Shared threshold for the environmental-supervision error classes
+  /// (thermal, filesystem/NVM); the Environment Supervision Unit
+  /// re-reports sustained conditions every cycle, like the RSU.
+  std::uint32_t environment_threshold = 3;
   /// The global ECU state turns faulty when this many tasks are faulty.
   std::uint32_t ecu_faulty_task_limit = 2;
 };

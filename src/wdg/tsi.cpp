@@ -170,6 +170,9 @@ SupervisionReport TaskStateIndicationUnit::report(RunnableId runnable) const {
       e.counts[static_cast<std::size_t>(ErrorType::kQueueOverflow)];
   r.cpu_overload_errors =
       e.counts[static_cast<std::size_t>(ErrorType::kCpuOverload)];
+  r.thermal_errors = e.counts[static_cast<std::size_t>(ErrorType::kThermal)];
+  r.filesystem_errors =
+      e.counts[static_cast<std::size_t>(ErrorType::kFilesystem)];
   return r;
 }
 

@@ -48,9 +48,17 @@ enum class ErrorType : std::uint8_t {
   /// The modelled CPU-load average stayed above the configured ceiling
   /// for the transgression window (resource supervision).
   kCpuOverload = 10,
+  /// The junction temperature crossed a stage of the thermal-derating
+  /// ladder, or the temperature sensor went stuck/implausible
+  /// (environmental supervision, extension).
+  kThermal = 11,
+  /// The NVM fault-memory journal ran past its fill watermark, wore out
+  /// its erase-cycle budget or started failing writes (filesystem/NVM
+  /// supervision, extension).
+  kFilesystem = 12,
 };
 
-inline constexpr std::size_t kErrorTypeCount = 11;
+inline constexpr std::size_t kErrorTypeCount = 13;
 
 [[nodiscard]] constexpr std::string_view to_string(ErrorType t) {
   switch (t) {
@@ -65,6 +73,8 @@ inline constexpr std::size_t kErrorTypeCount = 11;
     case ErrorType::kHandleExhaustion: return "handle_exhaustion";
     case ErrorType::kQueueOverflow: return "queue_overflow";
     case ErrorType::kCpuOverload: return "cpu_overload";
+    case ErrorType::kThermal: return "thermal";
+    case ErrorType::kFilesystem: return "filesystem";
   }
   return "?";
 }
@@ -117,7 +127,21 @@ struct SupervisionReport {
   std::uint32_t handle_exhaustion_errors = 0;
   std::uint32_t queue_overflow_errors = 0;
   std::uint32_t cpu_overload_errors = 0;
+  std::uint32_t thermal_errors = 0;
+  std::uint32_t filesystem_errors = 0;
   bool activation_status = true;
+};
+
+/// Persistent record of one instrumented section's deadline
+/// transgressions (supervised-process client API): serialised into fault
+/// memory by the FMF and read back over UDS-lite ReadDataByIdentifier.
+struct TransgressionRecord {
+  std::string section;
+  std::uint32_t count = 0;
+  /// Worst observed window duration (open -> close), zero while only
+  /// still-open windows transgressed.
+  sim::Duration worst = sim::Duration::zero();
+  sim::SimTime last_at;
 };
 
 }  // namespace easis::wdg

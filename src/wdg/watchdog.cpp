@@ -33,6 +33,9 @@ telemetry::Component detector_component(ErrorType type) {
     case ErrorType::kQueueOverflow:
     case ErrorType::kCpuOverload:
       return telemetry::Component::kResourceUnit;
+    case ErrorType::kThermal:
+    case ErrorType::kFilesystem:
+      return telemetry::Component::kEnvironmentUnit;
   }
   return telemetry::Component::kHarness;
 }
@@ -48,7 +51,8 @@ SoftwareWatchdog::SoftwareWatchdog(WatchdogConfig config)
                 config.deadline_threshold, config.communication_threshold,
                 config.nvm_corruption_threshold, config.resource_threshold,
                 config.resource_threshold, config.resource_threshold,
-                config.resource_threshold}},
+                config.resource_threshold, config.environment_threshold,
+                config.environment_threshold}},
            config.ecu_faulty_task_limit) {}
 
 void SoftwareWatchdog::add_runnable(const RunnableMonitor& monitor) {
@@ -333,6 +337,10 @@ Severity SoftwareWatchdog::severity_of(ErrorType type) {
     case ErrorType::kQueueOverflow: return Severity::kMajor;
     // Load shedding is a degradation, not a restart: one class below.
     case ErrorType::kCpuOverload: return Severity::kMinor;
+    // The thermal ladder degrades gracefully (park QM, stretch HBM
+    // periods) before anything restarts: same degradation class.
+    case ErrorType::kThermal: return Severity::kMinor;
+    case ErrorType::kFilesystem: return Severity::kMajor;
   }
   return Severity::kInfo;
 }

@@ -237,6 +237,65 @@ TEST_F(RsuTest, LeakRateCatchesSlowGrowthBelowWatermark) {
   EXPECT_NE(errors[0].detail.find("leak"), std::string::npos);
 }
 
+TEST_F(RsuTest, LevelExactlyAtWatermarkCountsAsTransgression) {
+  // Boundary of the watermark comparison: the rule is `level >=
+  // watermark`, so sitting exactly on the watermark transgresses.
+  kernel.set_task_resource_budget(task, {/*memory_bytes=*/1'000, 0});
+  ASSERT_TRUE(kernel.task_alloc(task, 500));
+  rsu.add_resource(resource(ResourceClass::kMemory,
+                            {/*watermark=*/0.5, /*window_cycles=*/3,
+                             /*leak_rate_per_s=*/0.0}));
+  cycles(2);
+  EXPECT_TRUE(errors.empty());
+  // The window edge: the report lands exactly on the window_cycles-th
+  // consecutive cycle at the watermark, not one later.
+  cycles(1, 2);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].type, ErrorType::kMemoryBudget);
+  // One byte below the watermark is the other side of the boundary.
+  kernel.task_free(task, 1);
+  cycles(5, 3);
+  EXPECT_EQ(errors.size(), 1u);
+}
+
+TEST_F(RsuTest, LeakWindowOfOneSampleIsInert) {
+  // A slope needs two points: leak_window_cycles=1 spans zero seconds, so
+  // the rule must disengage entirely instead of dividing by zero or
+  // reporting on a single sample.
+  kernel.set_task_resource_budget(task, {/*memory_bytes=*/1'000'000, 0});
+  rsu.add_resource(resource(ResourceClass::kMemory,
+                            {/*watermark=*/0.0, /*window_cycles=*/1,
+                             /*leak_rate_per_s=*/0.5,
+                             /*leak_window_cycles=*/1}));
+  // Aggressive growth, far above the configured rate: still no report.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(kernel.task_alloc(task, 50'000));
+    rsu.cycle(SimTime(i * 10'000));
+  }
+  EXPECT_TRUE(errors.empty());
+  EXPECT_EQ(rsu.reports_for(RunnableId(100)), 0u);
+}
+
+TEST_F(RsuTest, LeakRateFiresOnTheMinimalTwoSampleWindow) {
+  // The smallest window the slope rule supports: two samples, one check
+  // period apart ((leak_window_cycles - 1) * check_period seconds).
+  kernel.set_task_resource_budget(task, {/*memory_bytes=*/1'000'000, 0});
+  rsu.add_resource(resource(ResourceClass::kMemory,
+                            {/*watermark=*/0.9, /*window_cycles=*/3,
+                             /*leak_rate_per_s=*/0.05,
+                             /*leak_window_cycles=*/2}));
+  ASSERT_TRUE(kernel.task_alloc(task, 2'000));
+  rsu.cycle(SimTime(0));
+  EXPECT_TRUE(errors.empty());  // one sample is not a slope yet
+  // 0.2 % growth in one 10 ms period is a 0.2/s rate, above 0.05/s: the
+  // report lands exactly when the second sample completes the window.
+  ASSERT_TRUE(kernel.task_alloc(task, 2'000));
+  rsu.cycle(SimTime(10'000));
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].type, ErrorType::kMemoryBudget);
+  EXPECT_NE(errors[0].detail.find("leak"), std::string::npos);
+}
+
 TEST_F(RsuTest, VirtualRunnableRollsTaskFaultyThroughTsi) {
   kernel.set_task_resource_budget(task, {/*memory_bytes=*/1'000, 0});
   ASSERT_TRUE(kernel.task_alloc(task, 900));
