@@ -8,9 +8,6 @@
 namespace easis::diag {
 
 namespace {
-/// Transactions sent per ECU per poll cycle (DTC count + ECU health).
-inline constexpr std::uint32_t kTransactionsPerPoll = 2;
-
 void emit_transition(sim::SimTime now, bool silent, const std::string& name) {
   if (!telemetry::enabled()) return;
   telemetry::Event event;
@@ -19,6 +16,18 @@ void emit_transition(sim::SimTime now, bool silent, const std::string& name) {
   event.kind = silent ? telemetry::EventKind::kDiagNodeSilent
                       : telemetry::EventKind::kDiagNodeRecovered;
   event.detail = name;
+  telemetry::emit(std::move(event));
+}
+
+void emit_policy_mismatch(sim::SimTime now, const std::string& name,
+                          std::uint32_t seen, std::uint32_t expected) {
+  if (!telemetry::enabled()) return;
+  telemetry::Event event;
+  event.time = now;
+  event.component = telemetry::Component::kDiag;
+  event.kind = telemetry::EventKind::kPolicyMismatch;
+  event.detail = name + ": policy hash " + std::to_string(seen) +
+                 " != expected " + std::to_string(expected);
   telemetry::emit(std::move(event));
 }
 }  // namespace
@@ -68,6 +77,7 @@ void HealthMonitorMaster::poll_ecu(std::size_t index) {
   ++entry.polls;
   ecu.cycle_resolved = 0;
   ecu.cycle_responses = 0;
+  ecu.cycle_expected = config_.expected_policy_hash != 0 ? 3 : 2;
   ecu.tester->read_dtc_count(
       [this, index](const std::optional<Response>& response) {
         on_transaction(index, response);
@@ -87,6 +97,33 @@ void HealthMonitorMaster::poll_ecu(std::size_t index) {
           if (value) fleet_[index].health = *value;
         }
       });
+  if (config_.expected_policy_hash != 0) {
+    ecu.tester->read_data(
+        kDidPolicyHash, [this, index](const std::optional<Response>& response) {
+          on_transaction(index, response);
+          if (response && response->positive) {
+            const auto value = get_f32(response->data, 2);
+            if (value) on_policy_readout(index, static_cast<std::uint32_t>(*value));
+          }
+        });
+  }
+}
+
+void HealthMonitorMaster::on_policy_readout(std::size_t index,
+                                            std::uint32_t hash) {
+  FleetEntry& entry = fleet_[index];
+  entry.policy_hash = hash;
+  const bool ok = hash == config_.expected_policy_hash;
+  if (!ok) {
+    ++entry.policy_mismatches;
+    if (entry.policy_ok) {
+      // Transition into mismatch: the node runs a different policy than
+      // the fleet expects.
+      emit_policy_mismatch(engine_.now(), entry.name, hash,
+                           config_.expected_policy_hash);
+    }
+  }
+  entry.policy_ok = ok;
 }
 
 void HealthMonitorMaster::on_transaction(
@@ -94,7 +131,7 @@ void HealthMonitorMaster::on_transaction(
   Ecu& ecu = ecus_[index];
   ++ecu.cycle_resolved;
   if (response.has_value()) ++ecu.cycle_responses;
-  if (ecu.cycle_resolved >= kTransactionsPerPoll) {
+  if (ecu.cycle_resolved >= ecu.cycle_expected) {
     finish_cycle(index, engine_.now());
   }
 }
@@ -130,6 +167,14 @@ const FleetEntry* HealthMonitorMaster::entry(const std::string& name) const {
     if (e.name == name) return &e;
   }
   return nullptr;
+}
+
+std::size_t HealthMonitorMaster::policy_mismatch_count() const {
+  std::size_t count = 0;
+  for (const auto& e : fleet_) {
+    if (!e.policy_ok) ++count;
+  }
+  return count;
 }
 
 std::size_t HealthMonitorMaster::silent_count() const {

@@ -33,6 +33,11 @@ struct HealthMonitorConfig {
   /// Poll cycles that must time out completely before a node is declared
   /// silent (1 = first fully-dead cycle flags it).
   std::uint32_t silent_after = 1;
+  /// Expected fleet dependability-policy hash (24-bit, kDidPolicyHash).
+  /// When non-zero the master reads every ECU's active policy hash each
+  /// poll and flags mismatches (kPolicyMismatch telemetry); 0 disables
+  /// the cross-check.
+  std::uint32_t expected_policy_hash = 0;
 };
 
 /// One row of the fleet health table.
@@ -49,6 +54,13 @@ struct FleetEntry {
   double dtc_active = 0;
   /// kDidEcuHealth read-out: 0 ok, 1 faulty (latest successful poll).
   double health = 0;
+  /// kDidPolicyHash read-out (latest successful poll; 0 = never read).
+  std::uint32_t policy_hash = 0;
+  /// False while the last read policy hash differs from the expected
+  /// fleet hash. Starts true: unknown is not a mismatch.
+  bool policy_ok = true;
+  /// Poll cycles whose policy read-out mismatched the expected hash.
+  std::uint32_t policy_mismatches = 0;
 };
 
 [[nodiscard]] std::string_view to_string(FleetEntry::State state);
@@ -80,6 +92,8 @@ class HealthMonitorMaster {
   [[nodiscard]] const std::vector<FleetEntry>& fleet() const { return fleet_; }
   [[nodiscard]] const FleetEntry* entry(const std::string& name) const;
   [[nodiscard]] std::size_t silent_count() const;
+  /// ECUs whose last policy read-out mismatched the expected fleet hash.
+  [[nodiscard]] std::size_t policy_mismatch_count() const;
   [[nodiscard]] std::uint64_t poll_cycles() const { return cycles_; }
   [[nodiscard]] const HealthMonitorConfig& config() const { return config_; }
 
@@ -92,6 +106,9 @@ class HealthMonitorMaster {
     /// Per-cycle bookkeeping: transactions resolved / responses seen.
     std::uint32_t cycle_resolved = 0;
     std::uint32_t cycle_responses = 0;
+    /// Transactions issued for the current poll cycle (2, or 3 when the
+    /// policy cross-check is enabled).
+    std::uint32_t cycle_expected = 0;
   };
 
   sim::Engine& engine_;
@@ -107,6 +124,7 @@ class HealthMonitorMaster {
   void poll_ecu(std::size_t index);
   void on_transaction(std::size_t index,
                       const std::optional<Response>& response);
+  void on_policy_readout(std::size_t index, std::uint32_t hash);
   void finish_cycle(std::size_t index, sim::SimTime now);
 };
 

@@ -77,6 +77,12 @@ inline constexpr std::uint16_t kDidFlashFill = 0x010A;
 inline constexpr std::uint16_t kDidFlashWear = 0x010B;
 /// Total deadline transgressions across all supervised sections.
 inline constexpr std::uint16_t kDidTransgressions = 0x010C;
+/// Active dependability-policy version hash, folded to 24 bits so the
+/// value survives the f32 response encoding exactly (policy engine; the
+/// fleet health master cross-checks it against the expected fleet policy).
+inline constexpr std::uint16_t kDidPolicyHash = 0x010D;
+/// Active dependability-policy version number.
+inline constexpr std::uint16_t kDidPolicyVersion = 0x010E;
 /// Base for telemetry metric snapshot identifiers (campaign wiring).
 inline constexpr std::uint16_t kDidMetricBase = 0x0200;
 /// Base for per-section transgression records: section i occupies three

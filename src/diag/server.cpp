@@ -76,6 +76,18 @@ void DiagServer::register_standard_dids() {
       return static_cast<double>(probe());
     });
   }
+  if (backend_.policy_hash) {
+    auto probe = backend_.policy_hash;
+    add_data_identifier(kDidPolicyHash, "policy_hash", [probe] {
+      return static_cast<double>(probe());
+    });
+  }
+  if (backend_.policy_version) {
+    auto probe = backend_.policy_version;
+    add_data_identifier(kDidPolicyVersion, "policy_version", [probe] {
+      return static_cast<double>(probe());
+    });
+  }
   if (backend_.environment != nullptr) {
     const auto* env = backend_.environment;
     add_data_identifier(kDidTemperature, "temperature_cdeg", [env] {

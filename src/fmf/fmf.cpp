@@ -72,8 +72,7 @@ ApplicationPolicy FaultManagementFramework::policy_of(
 
 void FaultManagementFramework::on_error(const wdg::ErrorReport& report) {
   ++faults_;
-  FaultRecord record{"swd", report,
-                     wdg::SoftwareWatchdog::severity_of(report.type)};
+  FaultRecord record{"swd", report, watchdog_.severity(report.type)};
   log_.push(record);
   last_fault_ = record;  // candidate reset-cause evidence
   if (dtc_store_ != nullptr) dtc_store_->record(report);
@@ -118,6 +117,20 @@ void FaultManagementFramework::on_application_state(ApplicationId app,
     case TreatmentAction::kDegrade:
       degrade_application(app, now);
       break;
+    case TreatmentAction::kSafeState: {
+      ResetCause cause;
+      cause.source = ResetSource::kPolicySafeState;
+      cause.application = app;
+      cause.time = now;
+      if (last_fault_) {
+        cause.task = last_fault_->report.task;
+        cause.error = last_fault_->report.type;
+      }
+      cause.detail = "policy treatment: safe state for application " +
+                     rte_.application_name(app);
+      request_safe_state(std::move(cause), now);
+      break;
+    }
   }
 }
 

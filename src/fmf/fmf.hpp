@@ -49,6 +49,10 @@ enum class TreatmentAction : std::uint8_t {
   /// a registered degraded mode instead of restarting; a fault while
   /// already degraded escalates to termination.
   kDegrade,
+  /// Policy-selected controlled shutdown: a fault in this application
+  /// drives the whole ECU into the persistent limp-home safe state
+  /// (request_safe_state with a kPolicySafeState cause).
+  kSafeState,
 };
 
 struct ApplicationPolicy {

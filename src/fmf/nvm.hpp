@@ -43,6 +43,9 @@ enum class ResetSource : std::uint8_t {
   /// The thermal-derating ladder reached its shutdown stage: controlled
   /// shutdown into the persistent safe state (environmental supervision).
   kThermalShutdown = 5,
+  /// A dependability policy selected TreatmentAction::kSafeState for a
+  /// faulty application: controlled park into the persistent safe state.
+  kPolicySafeState = 6,
 };
 
 [[nodiscard]] constexpr std::string_view to_string(ResetSource s) {
@@ -53,6 +56,7 @@ enum class ResetSource : std::uint8_t {
     case ResetSource::kRecoveryFailure: return "recovery_failure";
     case ResetSource::kDiagnosticRequest: return "diag_request";
     case ResetSource::kThermalShutdown: return "thermal_shutdown";
+    case ResetSource::kPolicySafeState: return "policy_safe_state";
   }
   return "?";
 }

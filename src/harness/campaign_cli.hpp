@@ -58,6 +58,10 @@ class CampaignCli {
 
   [[nodiscard]] int exit_code() const { return parser_.exited() ? 0 : 2; }
 
+  /// Access to the underlying parser so a bench can register extra flags
+  /// (e.g. exp_policy_sweep's --policies) before parse().
+  [[nodiscard]] util::ArgParser& parser() { return parser_; }
+
   [[nodiscard]] CampaignConfig config() const {
     CampaignConfig config;
     config.jobs = jobs;

@@ -28,6 +28,10 @@ struct RunSpec {
   std::uint64_t seed = 0;
   /// Bench-defined label (e.g. the fault class) carried into diagnostics.
   std::string label;
+  /// Dependability-policy id the run executes under ("" = baseline);
+  /// policy-sweep campaigns set it so diagnostics and flight dumps name
+  /// the policy variant.
+  std::string policy_id;
 };
 
 enum class RunStatus : std::uint8_t {

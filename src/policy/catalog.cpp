@@ -1,0 +1,249 @@
+#include "policy/catalog.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/random.hpp"
+
+namespace easis::policy {
+
+namespace {
+
+PolicySet variant(const char* id) {
+  PolicySet p;
+  p.id = id;
+  return p;
+}
+
+void set_hbm_thresholds(PolicySet& p, std::uint32_t t) {
+  p.detection.watchdog.aliveness_threshold = t;
+  p.detection.watchdog.arrival_rate_threshold = t;
+  p.detection.watchdog.program_flow_threshold = t;
+  p.detection.watchdog.deadline_threshold = t;
+}
+
+/// Rounds a drawn double to 4 decimals so the canonical text stays short.
+double rounded(double v) { return std::round(v * 10000.0) / 10000.0; }
+
+std::string pad3(std::size_t n) {
+  std::string s = std::to_string(n);
+  while (s.size() < 3) s.insert(s.begin(), '0');
+  return s;
+}
+
+}  // namespace
+
+std::vector<PolicySet> PolicyCatalog::grid() {
+  std::vector<PolicySet> out;
+
+  // Threshold ladder: how fast the TSI escalates a repeated transgression.
+  for (std::uint32_t t : {1u, 2u, 4u, 6u}) {
+    PolicySet p = variant("thr");
+    p.id = "thr_" + std::to_string(t);
+    set_hbm_thresholds(p, t);
+    out.push_back(std::move(p));
+  }
+  // HBM period scale: tolerance of the aliveness/arrival hypotheses.
+  for (double s : {0.5, 0.75, 1.5, 2.0}) {
+    PolicySet p = variant("hbm");
+    p.id = "hbm_" + pad3(static_cast<std::size_t>(s * 100.0));
+    p.detection.hbm_scale = s;
+    out.push_back(std::move(p));
+  }
+  {
+    PolicySet p = variant("tol_alive1");
+    p.detection.aliveness_tolerance = 1;
+    out.push_back(std::move(p));
+  }
+  {
+    PolicySet p = variant("tol_arrival2");
+    p.detection.arrival_tolerance = 2;
+    out.push_back(std::move(p));
+  }
+  for (double s : {0.5, 2.0}) {
+    PolicySet p = variant("dls");
+    p.id = "dls_" + pad3(static_cast<std::size_t>(s * 100.0));
+    p.detection.deadline_scale = s;
+    out.push_back(std::move(p));
+  }
+  // Escalation: storm limits and reset budgets.
+  for (std::uint32_t limit : {1u, 2u, 5u}) {
+    PolicySet p = variant("storm");
+    p.id = "storm_" + std::to_string(limit);
+    p.escalation.fmf.storm_reset_limit = limit;
+    out.push_back(std::move(p));
+  }
+  for (std::uint32_t budget : {0u, 1u, 4u}) {
+    PolicySet p = variant("resets");
+    p.id = "resets_" + std::to_string(budget);
+    p.escalation.fmf.max_ecu_resets = budget;
+    out.push_back(std::move(p));
+  }
+  for (std::uint32_t cycles : {5u, 20u}) {
+    PolicySet p = variant("warmup");
+    p.id = "warmup_" + std::to_string(cycles);
+    p.escalation.fmf.recovery_warmup_cycles = cycles;
+    out.push_back(std::move(p));
+  }
+  {
+    PolicySet p = variant("aging_2s");
+    p.escalation.fmf.restart_aging = sim::Duration::seconds(2);
+    out.push_back(std::move(p));
+  }
+  // Severity remaps: which detection class escalates how hard.
+  {
+    PolicySet p = variant("sev_flow_major");
+    p.detection.watchdog.severities[static_cast<std::size_t>(
+        wdg::ErrorType::kProgramFlow)] = wdg::Severity::kMajor;
+    out.push_back(std::move(p));
+  }
+  {
+    PolicySet p = variant("sev_alive_critical");
+    p.detection.watchdog.severities[static_cast<std::size_t>(
+        wdg::ErrorType::kAliveness)] = wdg::Severity::kCritical;
+    out.push_back(std::move(p));
+  }
+  {
+    PolicySet p = variant("sev_cpu_major");
+    p.detection.watchdog.severities[static_cast<std::size_t>(
+        wdg::ErrorType::kCpuOverload)] = wdg::Severity::kMajor;
+    out.push_back(std::move(p));
+  }
+  // Treatment role swaps.
+  {
+    PolicySet p = variant("treat_park_qm");
+    p.treatment.qm.on_faulty = TreatmentKind::kPark;
+    out.push_back(std::move(p));
+  }
+  {
+    PolicySet p = variant("treat_limp_assist");
+    p.treatment.assist.on_faulty = TreatmentKind::kLimpHome;
+    out.push_back(std::move(p));
+  }
+  {
+    PolicySet p = variant("treat_safe_safety");
+    p.treatment.safety.on_faulty = TreatmentKind::kSafeState;
+    out.push_back(std::move(p));
+  }
+  {
+    PolicySet p = variant("treat_none_qm");
+    p.treatment.qm.on_faulty = TreatmentKind::kNone;
+    out.push_back(std::move(p));
+  }
+  for (std::uint32_t r : {0u, 1u, 5u}) {
+    PolicySet p = variant("restarts");
+    p.id = "restarts_" + std::to_string(r);
+    p.treatment.safety.max_restarts = r;
+    p.treatment.assist.max_restarts = r;
+    out.push_back(std::move(p));
+  }
+  for (std::uint32_t f : {1u, 3u}) {
+    PolicySet p = variant("derate");
+    p.id = "derate_x" + std::to_string(f);
+    p.escalation.derate_hbm_stretch = f;
+    out.push_back(std::move(p));
+  }
+  // Thermal ladders: a tight and a loose derating schedule.
+  {
+    PolicySet p = variant("therm_tight");
+    p.detection.thermal.warn_c = 70.0;
+    p.detection.thermal.derate_c = 85.0;
+    p.detection.thermal.shutdown_c = 100.0;
+    out.push_back(std::move(p));
+  }
+  {
+    PolicySet p = variant("therm_loose");
+    p.detection.thermal.warn_c = 95.0;
+    p.detection.thermal.derate_c = 110.0;
+    p.detection.thermal.shutdown_c = 130.0;
+    out.push_back(std::move(p));
+  }
+  // Check rules (script.c analogue): a plausibility guard that never fires
+  // in nominal driving, and a deliberately tight band that does.
+  {
+    PolicySet p = variant("check_overspeed");
+    CheckRule rule;
+    rule.name = "overspeed";
+    rule.signal = "vehicle.speed_kmh";
+    rule.min = -1.0;
+    rule.max = 250.0;
+    p.checks.push_back(std::move(rule));
+    out.push_back(std::move(p));
+  }
+  {
+    PolicySet p = variant("check_tight");
+    CheckRule rule;
+    rule.name = "speed_band";
+    rule.signal = "vehicle.speed_kmh";
+    rule.min = -1.0;
+    rule.max = 30.0;  // nominal driving exceeds this: a false-alarm policy
+    p.checks.push_back(std::move(rule));
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+PolicySet PolicyCatalog::perturb(std::size_t index) const {
+  // Offset past any plausible grid growth so grid and perturbation streams
+  // never share a derived seed.
+  util::Rng rng(util::derive_seed(seed_, 100000 + index));
+  PolicySet p;
+  p.id = "rand" + pad3(index);
+  set_hbm_thresholds(p, static_cast<std::uint32_t>(rng.uniform_int(1, 8)));
+  p.detection.watchdog.deadline_threshold =
+      static_cast<std::uint32_t>(rng.uniform_int(1, 6));
+  p.detection.hbm_scale = rounded(rng.uniform(0.5, 2.5));
+  p.detection.deadline_scale = rounded(rng.uniform(0.5, 2.0));
+  p.detection.aliveness_tolerance =
+      static_cast<std::uint32_t>(rng.uniform_int(0, 1));
+  p.detection.arrival_tolerance =
+      static_cast<std::uint32_t>(rng.uniform_int(0, 2));
+  p.escalation.fmf.storm_reset_limit =
+      static_cast<std::uint32_t>(rng.uniform_int(1, 6));
+  p.escalation.fmf.storm_window =
+      sim::Duration::millis(rng.uniform_int(2, 20) * 1000);
+  p.escalation.fmf.max_ecu_resets =
+      static_cast<std::uint32_t>(rng.uniform_int(0, 4));
+  p.escalation.fmf.recovery_warmup_cycles =
+      static_cast<std::uint32_t>(rng.uniform_int(0, 20));
+  p.escalation.derate_hbm_stretch =
+      static_cast<std::uint32_t>(rng.uniform_int(1, 4));
+  const std::uint32_t restarts =
+      static_cast<std::uint32_t>(rng.uniform_int(0, 6));
+  p.treatment.safety.max_restarts = restarts;
+  p.treatment.assist.max_restarts = restarts;
+  p.treatment.qm.max_restarts = restarts;
+  constexpr TreatmentKind kSafetyKinds[] = {TreatmentKind::kRestart,
+                                            TreatmentKind::kSafeState};
+  constexpr TreatmentKind kAssistKinds[] = {TreatmentKind::kRestart,
+                                            TreatmentKind::kPark,
+                                            TreatmentKind::kLimpHome};
+  constexpr TreatmentKind kQmKinds[] = {
+      TreatmentKind::kRestart, TreatmentKind::kPark, TreatmentKind::kLimpHome,
+      TreatmentKind::kNone};
+  p.treatment.safety.on_faulty = kSafetyKinds[rng.uniform_int(0, 1)];
+  p.treatment.assist.on_faulty = kAssistKinds[rng.uniform_int(0, 2)];
+  p.treatment.qm.on_faulty = kQmKinds[rng.uniform_int(0, 3)];
+  // One random severity remap per perturbation.
+  const auto type = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(wdg::kErrorTypeCount) - 1));
+  p.detection.watchdog.severities[type] =
+      static_cast<wdg::Severity>(rng.uniform_int(0, 3));
+  return p;
+}
+
+std::vector<PolicySet> PolicyCatalog::generate(std::size_t count) const {
+  std::vector<PolicySet> out;
+  if (count == 0) return out;
+  out.push_back(baseline());
+  for (PolicySet& p : grid()) {
+    if (out.size() >= count) return out;
+    out.push_back(std::move(p));
+  }
+  for (std::size_t i = 0; out.size() < count; ++i) {
+    out.push_back(perturb(i));
+  }
+  return out;
+}
+
+}  // namespace easis::policy

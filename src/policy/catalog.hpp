@@ -1,0 +1,46 @@
+// Policy catalog: deterministic generation of policy variants for sweep
+// campaigns.
+//
+// Two generators compose:
+//   - a fixed grid of hand-picked single-axis variants (threshold ladders,
+//     HBM/deadline scales, storm/reset budgets, severity remaps, treatment
+//     role swaps, thermal ladders, check rules) — the interpretable axes a
+//     report can reason about;
+//   - seeded perturbations: util::derive_seed(seed, index) draws every
+//     tunable from its validated range — the broad random sweep that finds
+//     interactions the grid misses.
+//
+// generate(count) always starts with the baseline policy, then the grid,
+// then perturbations until `count` is reached; the sequence for a given
+// (seed, count) is bit-identical on every run and shard (the campaign
+// determinism contract). Every generated variant round-trips through the
+// compiler: generation happens as struct mutation, but the sweep harness
+// feeds variants through to_text() + compile_policy() so an invalid
+// variant can never silently enter a campaign.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "policy/policy.hpp"
+
+namespace easis::policy {
+
+class PolicyCatalog {
+ public:
+  explicit PolicyCatalog(std::uint64_t seed = 0) : seed_(seed) {}
+
+  /// The fixed, seed-independent grid of named variants.
+  [[nodiscard]] static std::vector<PolicySet> grid();
+
+  /// baseline + grid + seeded perturbations, truncated/extended to exactly
+  /// `count` policies (count >= 1). Ids are unique.
+  [[nodiscard]] std::vector<PolicySet> generate(std::size_t count) const;
+
+ private:
+  std::uint64_t seed_;
+
+  [[nodiscard]] PolicySet perturb(std::size_t index) const;
+};
+
+}  // namespace easis::policy

@@ -1,0 +1,54 @@
+// Policy compiler: declarative text -> validated PolicySet.
+//
+// The format is a deliberately tiny INI dialect (watchdogd's .conf files
+// are the stylistic model):
+//
+//   # comment                     ; comment
+//   [policy]                      one instance, id + version
+//   [detection] [severity] ...    one instance each, key = value lines
+//   [check "name"]                repeatable, one per check rule
+//
+// Compilation is strict — this is safety configuration, not preferences:
+//   - unknown sections and unknown keys are errors, not warnings;
+//   - every value is range-checked against the mechanism it configures;
+//   - cross-key conflicts (an inverted thermal ladder, a storm limit
+//     without a window, a precautionary derate racing the FMF treatment,
+//     duplicate check-rule names) are rejected;
+// and every diagnostic carries the 1-based line number of the offending
+// text, so a rejected policy file reads like a compiler error list.
+//
+// Compile once at startup; the result is the flat PolicySet the runtime
+// consumes. Nothing re-parses on the hot path.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "policy/policy.hpp"
+
+namespace easis::policy {
+
+/// One compile finding, anchored to its source line (0 = whole file).
+struct Diagnostic {
+  std::size_t line = 0;
+  std::string message;
+};
+
+struct CompileResult {
+  /// Set iff the text compiled without any diagnostic.
+  std::optional<PolicySet> policy;
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] bool ok() const { return policy.has_value(); }
+  /// "line N: message" per diagnostic, newline-separated.
+  [[nodiscard]] std::string format() const;
+};
+
+/// Compiles a policy text. Parsing continues past errors so one pass
+/// reports every finding; any diagnostic means no policy is produced.
+[[nodiscard]] CompileResult compile_policy(std::string_view text);
+
+}  // namespace easis::policy

@@ -1,0 +1,170 @@
+#include "policy/policy.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <type_traits>
+
+namespace easis::policy {
+
+namespace {
+
+/// Shortest decimal representation that parses back to exactly `v`
+/// (canonical-text requirement: 0.9 prints as "0.9", not
+/// "0.90000000000000002", yet still round-trips bit-exactly).
+std::string format_double(double v) {
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::ostringstream os;
+    os.precision(precision);
+    os << v;
+    if (std::strtod(os.str().c_str(), nullptr) == v) return os.str();
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+class Writer {
+ public:
+  void section(std::string_view name) {
+    if (!first_) out_ << '\n';
+    first_ = false;
+    out_ << '[' << name << "]\n";
+  }
+  void check_section(std::string_view name) {
+    out_ << "\n[check \"" << name << "\"]\n";
+  }
+  template <typename T,
+            typename = std::enable_if_t<std::is_integral_v<T>>>
+  void key(std::string_view k, T v) {
+    out_ << k << " = " << static_cast<std::uint64_t>(v) << '\n';
+  }
+  void key(std::string_view k, double v) {
+    out_ << k << " = " << format_double(v) << '\n';
+  }
+  void key(std::string_view k, std::string_view v) {
+    out_ << k << " = " << v << '\n';
+  }
+  [[nodiscard]] std::string str() const { return out_.str(); }
+
+ private:
+  std::ostringstream out_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+std::string to_text(const PolicySet& policy) {
+  Writer w;
+  w.section("policy");
+  w.key("id", policy.id);
+  w.key("version", policy.version);
+
+  const wdg::WatchdogConfig& wd = policy.detection.watchdog;
+  w.section("detection");
+  w.key("check_period_ms",
+        static_cast<std::uint64_t>(wd.check_period.as_micros() / 1000));
+  w.key("aliveness_threshold", wd.aliveness_threshold);
+  w.key("arrival_rate_threshold", wd.arrival_rate_threshold);
+  w.key("program_flow_threshold", wd.program_flow_threshold);
+  w.key("accumulated_aliveness_threshold", wd.accumulated_aliveness_threshold);
+  w.key("deadline_threshold", wd.deadline_threshold);
+  w.key("communication_threshold", wd.communication_threshold);
+  w.key("nvm_corruption_threshold", wd.nvm_corruption_threshold);
+  w.key("resource_threshold", wd.resource_threshold);
+  w.key("environment_threshold", wd.environment_threshold);
+  w.key("check_rule_threshold", wd.check_rule_threshold);
+  w.key("ecu_faulty_task_limit", wd.ecu_faulty_task_limit);
+  w.key("hbm_scale", policy.detection.hbm_scale);
+  w.key("aliveness_tolerance", policy.detection.aliveness_tolerance);
+  w.key("arrival_tolerance", policy.detection.arrival_tolerance);
+  w.key("deadline_scale", policy.detection.deadline_scale);
+
+  w.section("severity");
+  for (std::size_t i = 0; i < wdg::kErrorTypeCount; ++i) {
+    w.key(wdg::to_string(static_cast<wdg::ErrorType>(i)),
+          wdg::to_string(wd.severities[i]));
+  }
+
+  const wdg::ResourceLimits& res = policy.detection.resource;
+  w.section("resource");
+  w.key("watermark", res.watermark);
+  w.key("window_cycles", res.window_cycles);
+  w.key("leak_rate_per_s", res.leak_rate_per_s);
+  w.key("leak_window_cycles", res.leak_window_cycles);
+
+  const wdg::ThermalLimits& th = policy.detection.thermal;
+  w.section("thermal");
+  w.key("warn_c", th.warn_c);
+  w.key("derate_c", th.derate_c);
+  w.key("shutdown_c", th.shutdown_c);
+  w.key("hysteresis_c", th.hysteresis_c);
+  w.key("min_plausible_c", th.min_plausible_c);
+  w.key("max_plausible_c", th.max_plausible_c);
+  w.key("stuck_cycles", th.stuck_cycles);
+  w.key("stuck_epsilon_c", th.stuck_epsilon_c);
+  w.key("sensor_invalid_derate_cycles", th.sensor_invalid_derate_cycles);
+
+  const wdg::FilesystemLimits& fs = policy.detection.filesystem;
+  w.section("filesystem");
+  w.key("fill_watermark", fs.fill_watermark);
+  w.key("window_cycles", fs.window_cycles);
+  w.key("wear_watermark", fs.wear_watermark);
+
+  const fmf::FmfConfig& fc = policy.escalation.fmf;
+  w.section("escalation");
+  w.key("fault_log_capacity",
+        static_cast<std::uint64_t>(fc.fault_log_capacity));
+  w.key("max_ecu_resets", fc.max_ecu_resets);
+  w.key("storm_reset_limit", fc.storm_reset_limit);
+  w.key("storm_window_ms",
+        static_cast<std::uint64_t>(fc.storm_window.as_micros() / 1000));
+  w.key("restart_aging_ms",
+        static_cast<std::uint64_t>(fc.restart_aging.as_micros() / 1000));
+  w.key("recovery_warmup_cycles", fc.recovery_warmup_cycles);
+  w.key("derate_hbm_stretch", policy.escalation.derate_hbm_stretch);
+
+  w.section("treatment");
+  w.key("safety", to_string(policy.treatment.safety.on_faulty));
+  w.key("safety_max_restarts", policy.treatment.safety.max_restarts);
+  w.key("assist", to_string(policy.treatment.assist.on_faulty));
+  w.key("assist_max_restarts", policy.treatment.assist.max_restarts);
+  w.key("qm", to_string(policy.treatment.qm.on_faulty));
+  w.key("qm_max_restarts", policy.treatment.qm.max_restarts);
+
+  for (const CheckRule& check : policy.checks) {
+    w.check_section(check.name);
+    w.key("signal", check.signal);
+    w.key("min", check.min);
+    w.key("max", check.max);
+    w.key("fallback", check.fallback);
+    w.key("period_cycles", check.period_cycles);
+    w.key("deadline_ms",
+          static_cast<std::uint64_t>(check.deadline.as_micros() / 1000));
+  }
+  return w.str();
+}
+
+std::uint64_t version_hash(const PolicySet& policy) {
+  // FNV-1a, 64-bit (offset basis / prime per the reference parameters).
+  std::uint64_t hash = 14695981039346656037ull;
+  for (char c : to_text(policy)) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::uint32_t version_hash24(const PolicySet& policy) {
+  const std::uint64_t h = version_hash(policy);
+  return static_cast<std::uint32_t>((h ^ (h >> 24) ^ (h >> 48)) & 0xFFFFFFu);
+}
+
+const PolicySet& baseline() {
+  static const PolicySet kBaseline{};
+  return kBaseline;
+}
+
+std::string baseline_text() { return to_text(baseline()); }
+
+}  // namespace easis::policy

@@ -1,0 +1,175 @@
+// Declarative dependability-policy model (tentpole of the policy engine).
+//
+// Fantechi et al. argue complex fault-tolerance strategies should be
+// *data*, not code; De Florio's recovery-language work makes the same
+// point for treatment selection. This module is that idea applied to the
+// paper's watchdog platform: every tunable of the detection, escalation
+// and treatment chain is gathered into one typed PolicySet —
+//
+//   detection  — TSI thresholds, HBM period scale/tolerances, deadline
+//                window scale, resource watermarks, the thermal-derating
+//                ladder and the filesystem/NVM watermarks;
+//   escalation — detection-class -> FMF severity mapping (carried inside
+//                WatchdogConfig::severities), ECU reset budget,
+//                reboot-storm limits, restart aging, recovery warm-up,
+//                thermal-derate HBM stretch;
+//   treatment  — per-role (safety / assist / QM) action on a faulty
+//                application: restart, park, limp-home substitution,
+//                controlled safe state, or nothing;
+//   checks     — user-defined check rules (watchdogd's script.c analogue):
+//                a signal predicate evaluated periodically as a supervised
+//                virtual runnable.
+//
+// A PolicySet is compiled from a tiny declarative text format (see
+// compiler.hpp) into these flat structs once, at startup; nothing on the
+// hot path ever parses text. A default-constructed PolicySet — the
+// built-in `baseline` policy — reproduces the platform's historical
+// hard-coded constants exactly, so running under the baseline policy is
+// byte-identical to running without one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fmf/fmf.hpp"
+#include "sim/time.hpp"
+#include "wdg/config.hpp"
+#include "wdg/env_monitor.hpp"
+#include "wdg/resource_monitor.hpp"
+
+namespace easis::policy {
+
+/// Treatment selected for a faulty application of a given role.
+enum class TreatmentKind : std::uint8_t {
+  /// Record only; no automatic treatment.
+  kNone = 0,
+  /// Restart the application (escalating to termination after
+  /// max_restarts, the paper's §3.3 ladder).
+  kRestart,
+  /// Park (terminate) the application immediately.
+  kPark,
+  /// Switch into the registered limp-home/degraded substitute.
+  kLimpHome,
+  /// Drive the whole ECU into the persistent safe state.
+  kSafeState,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(TreatmentKind k) {
+  switch (k) {
+    case TreatmentKind::kNone: return "none";
+    case TreatmentKind::kRestart: return "restart";
+    case TreatmentKind::kPark: return "park";
+    case TreatmentKind::kLimpHome: return "limp_home";
+    case TreatmentKind::kSafeState: return "safe_state";
+  }
+  return "?";
+}
+
+/// Maps a policy treatment onto the FMF's treatment action.
+[[nodiscard]] constexpr fmf::TreatmentAction to_fmf_action(TreatmentKind k) {
+  switch (k) {
+    case TreatmentKind::kNone: return fmf::TreatmentAction::kNone;
+    case TreatmentKind::kRestart: return fmf::TreatmentAction::kRestart;
+    case TreatmentKind::kPark: return fmf::TreatmentAction::kTerminate;
+    case TreatmentKind::kLimpHome: return fmf::TreatmentAction::kDegrade;
+    case TreatmentKind::kSafeState: return fmf::TreatmentAction::kSafeState;
+  }
+  return fmf::TreatmentAction::kRestart;
+}
+
+/// Treatment configured for one application role.
+struct RoleTreatment {
+  TreatmentKind on_faulty = TreatmentKind::kRestart;
+  /// Restarts allowed before escalating to termination (kRestart only).
+  std::uint32_t max_restarts = 3;
+};
+
+/// One user-defined check rule: the signal must stay inside [min, max].
+/// Evaluated every `period_cycles` watchdog cycles as a supervised virtual
+/// runnable; a predicate failure reports ErrorType::kCheckRule, a hung
+/// evaluation transgresses its process-supervision deadline window.
+struct CheckRule {
+  std::string name;
+  std::string signal;
+  double min = 0.0;
+  double max = 1.0e9;
+  /// Value assumed while the signal has never been published.
+  double fallback = 0.0;
+  std::uint32_t period_cycles = 10;
+  /// Deadline of the supervised evaluation window.
+  sim::Duration deadline = sim::Duration::millis(5);
+};
+
+/// Detection-side tunables. WatchdogConfig carries the TSI thresholds and
+/// the severity mapping; the scale/tolerance knobs adapt the per-runnable
+/// fault hypotheses without restating every runnable in the policy.
+struct DetectionPolicy {
+  wdg::WatchdogConfig watchdog;
+  /// Multiplies every monitored runnable's aliveness/arrival period
+  /// (cycles, rounded, floor 1). >1 relaxes, <1 tightens the HBM.
+  double hbm_scale = 1.0;
+  /// Subtracted from each runnable's min_heartbeats (floor 0).
+  std::uint32_t aliveness_tolerance = 0;
+  /// Added to each runnable's max_arrivals.
+  std::uint32_t arrival_tolerance = 0;
+  /// Scales every deadline pair's permitted window (min divided, max
+  /// multiplied). >1 relaxes, <1 tightens deadline supervision.
+  double deadline_scale = 1.0;
+  /// Default limits for supervised resources registered under this policy.
+  wdg::ResourceLimits resource;
+  wdg::ThermalLimits thermal;
+  wdg::FilesystemLimits filesystem;
+};
+
+/// Escalation-side tunables (the FMF's reset/storm ladder).
+struct EscalationPolicy {
+  fmf::FmfConfig fmf;
+  /// HBM stretch factor while the thermal ladder derates.
+  std::uint32_t derate_hbm_stretch = 2;
+};
+
+/// Treatment selection per application role. The node assembly maps its
+/// applications onto roles (SafeSpeed -> safety, SafeLane -> assist,
+/// LightControl/CrashDetection -> qm).
+struct TreatmentPolicy {
+  RoleTreatment safety;
+  RoleTreatment assist;
+  RoleTreatment qm;
+};
+
+/// One complete dependability policy. The default-constructed value IS the
+/// baseline policy (every member default reproduces the historical
+/// constants).
+struct PolicySet {
+  std::string id = "baseline";
+  std::uint32_t version = 1;
+  DetectionPolicy detection;
+  EscalationPolicy escalation;
+  TreatmentPolicy treatment;
+  std::vector<CheckRule> checks;
+};
+
+/// Serialises the policy into its canonical text form — the same format
+/// compile_policy() consumes. Canonical means: fixed section/key order,
+/// shortest round-tripping double representation; two PolicySets with the
+/// same content produce the same text.
+[[nodiscard]] std::string to_text(const PolicySet& policy);
+
+/// FNV-1a (64-bit) over the canonical text: the policy's version hash.
+/// Identifies the *content*, so two nodes agreeing on the hash run the
+/// same policy regardless of how the text was formatted or distributed.
+[[nodiscard]] std::uint64_t version_hash(const PolicySet& policy);
+
+/// The version hash folded to 24 bits for transport in a single
+/// f32-encoded diagnostic data identifier (exact up to 2^24).
+[[nodiscard]] std::uint32_t version_hash24(const PolicySet& policy);
+
+/// The built-in baseline policy (a default-constructed PolicySet).
+[[nodiscard]] const PolicySet& baseline();
+
+/// The baseline policy's canonical text (to_text(baseline())).
+[[nodiscard]] std::string baseline_text();
+
+}  // namespace easis::policy

@@ -47,9 +47,12 @@ enum class Component : std::uint8_t {
   /// Environment Supervision Unit (thermal ladder, filesystem/NVM wear)
   /// and the supervised-process deadline-window client API.
   kEnvironmentUnit,
+  /// Check Supervision Unit: user-defined policy check rules evaluated as
+  /// supervised virtual runnables (watchdogd's script.c analogue).
+  kCheckUnit,
 };
 
-inline constexpr std::size_t kComponentCount = 14;
+inline constexpr std::size_t kComponentCount = 15;
 
 [[nodiscard]] constexpr std::string_view to_string(Component c) {
   switch (c) {
@@ -67,6 +70,7 @@ inline constexpr std::size_t kComponentCount = 14;
     case Component::kDiag: return "diag";
     case Component::kResourceUnit: return "resource";
     case Component::kEnvironmentUnit: return "environment";
+    case Component::kCheckUnit: return "check";
   }
   return "?";
 }
@@ -111,9 +115,12 @@ enum class EventKind : std::uint8_t {
   /// `<from>-><to> temp_c=<n>`); both directions are emitted, so event
   /// logs show the ladder stepping up and the recovery stepping down.
   kDerateStageChange,
+  /// The fleet health master read a node's active-policy hash and it did
+  /// not match the expected fleet policy (detail carries both hashes).
+  kPolicyMismatch,
 };
 
-inline constexpr std::size_t kEventKindCount = 26;
+inline constexpr std::size_t kEventKindCount = 27;
 
 [[nodiscard]] constexpr std::string_view to_string(EventKind k) {
   switch (k) {
@@ -143,6 +150,7 @@ inline constexpr std::size_t kEventKindCount = 26;
     case EventKind::kDiagNodeRecovered: return "diag_node_recovered";
     case EventKind::kResourceSnapshot: return "resource_snapshot";
     case EventKind::kDerateStageChange: return "derate_stage_change";
+    case EventKind::kPolicyMismatch: return "policy_mismatch";
   }
   return "?";
 }

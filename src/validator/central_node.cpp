@@ -155,6 +155,116 @@ CentralNode::CentralNode(sim::Engine& engine, CentralNodeConfig config)
         [this](sim::SimTime now) { on_hw_watchdog_expired(now); });
     service_->attach_self_supervision(self_supervision_.get());
   }
+
+  if (config_.policy) apply_policy_bindings();
+}
+
+void CentralNode::apply_policy_bindings() {
+  const policy::PolicySet& pol = *config_.policy;
+  // Per-role FMF treatment selection. Under the baseline policy every
+  // role carries the FMF's default (restart, 3 restarts), so setting the
+  // policies explicitly is behaviourally identical to not setting them.
+  if (fmf_) {
+    auto to_fmf = [](const policy::RoleTreatment& role) {
+      fmf::ApplicationPolicy app_policy;
+      app_policy.on_faulty = policy::to_fmf_action(role.on_faulty);
+      app_policy.max_restarts = role.max_restarts;
+      return app_policy;
+    };
+    fmf_->set_application_policy(safespeed_->application(),
+                                 to_fmf(pol.treatment.safety));
+    if (safelane_) {
+      fmf_->set_application_policy(safelane_->application(),
+                                   to_fmf(pol.treatment.assist));
+    }
+    if (light_) {
+      fmf_->set_application_policy(light_->application(),
+                                   to_fmf(pol.treatment.qm));
+    }
+    if (crash_) {
+      fmf_->set_application_policy(crash_->application(),
+                                   to_fmf(pol.treatment.qm));
+    }
+  }
+  // HBM scale/tolerances over every heartbeat-monitored runnable. Guarded
+  // so the baseline (scale 1, tolerances 0) leaves the hypotheses
+  // untouched bit-for-bit.
+  const double scale = pol.detection.hbm_scale;
+  const std::uint32_t alive_tol = pol.detection.aliveness_tolerance;
+  const std::uint32_t arrival_tol = pol.detection.arrival_tolerance;
+  if (scale != 1.0 || alive_tol != 0 || arrival_tol != 0) {
+    auto scaled = [scale](std::uint32_t cycles) {
+      const double v = static_cast<double>(cycles) * scale;
+      return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(v + 0.5));
+    };
+    const sim::Duration check = watchdog_.config().check_period;
+    for (RunnableId runnable :
+         watchdog_.heartbeat_unit().monitored_runnables()) {
+      const wdg::RunnableMonitor& cfg =
+          watchdog_.heartbeat_unit().config(runnable);
+      if (!cfg.monitor_aliveness && !cfg.monitor_arrival_rate) continue;
+      const std::uint32_t alive_cycles = scaled(cfg.aliveness_cycles);
+      const std::uint32_t arrival_cycles = scaled(cfg.arrival_cycles);
+      std::uint32_t min_hb =
+          cfg.min_heartbeats > alive_tol ? cfg.min_heartbeats - alive_tol : 0;
+      std::uint32_t max_arr = cfg.max_arrivals + arrival_tol;
+      // The scaled hypothesis must remain satisfiable at the runnable's
+      // nominal rate, or the boot-time config check rejects it (guaranteed
+      // false positives). Clamp the bounds the same way the checker
+      // derives them from the task period.
+      const sim::Duration period = nominal_period_of(runnable);
+      if (period > sim::Duration::zero()) {
+        const std::int64_t expected_aliveness =
+            (static_cast<std::int64_t>(alive_cycles) * check.as_micros()) /
+            period.as_micros();
+        min_hb = std::min<std::uint32_t>(
+            min_hb, static_cast<std::uint32_t>(expected_aliveness));
+        const std::int64_t expected_arrivals =
+            (static_cast<std::int64_t>(arrival_cycles) * check.as_micros() +
+             period.as_micros() - 1) /
+            period.as_micros();
+        max_arr = std::max<std::uint32_t>(
+            max_arr, static_cast<std::uint32_t>(expected_arrivals));
+      }
+      watchdog_.update_hypothesis(runnable, alive_cycles, min_hb,
+                                  arrival_cycles, max_arr);
+    }
+  }
+  // Deadline window scale (no-op at factor 1).
+  watchdog_.scale_deadline_windows(pol.detection.deadline_scale);
+}
+
+sim::Duration CentralNode::nominal_period_of(RunnableId id) {
+  // Virtual runnables (e.g. CMU communication channels) are monitored by
+  // the watchdog but unknown to the RTE.
+  if (!id.valid() || id.value() >= ecu_.rte().runnable_count()) {
+    return sim::Duration::zero();
+  }
+  const TaskId task = ecu_.rte().task_of(id);
+  if (task == safespeed_task_) return config_.safespeed.period;
+  if (safelane_ && task == safelane_task_) return config_.safelane.period;
+  if (light_ && task == light_task_) return config_.light.period;
+  return sim::Duration::zero();  // sporadic (crash detection)
+}
+
+policy::CheckSupervisionUnit* CentralNode::attach_check_supervision() {
+  if (csu_) return csu_.get();
+  if (!config_.policy || config_.policy->checks.empty()) return nullptr;
+  // Check evaluations are accounted like the ESU channels: to a QM
+  // application when present, to the safety application otherwise.
+  TaskId account_task = safespeed_task_;
+  ApplicationId account_app = safespeed_->application();
+  if (light_) {
+    account_task = light_task_;
+    account_app = light_->application();
+  }
+  attach_process_supervision();
+  csu_ = std::make_unique<policy::CheckSupervisionUnit>(
+      watchdog_, *psu_, ecu_.signals(), account_task, account_app);
+  for (const policy::CheckRule& rule : config_.policy->checks) {
+    csu_->add_rule(rule);
+  }
+  return csu_.get();
 }
 
 void CentralNode::start() {
@@ -166,20 +276,7 @@ void CentralNode::start() {
     // Boot-time self check: a watchdog configuration with guaranteed
     // false positives or flow-table defects must not go into operation.
     const auto findings = wdg::ConfigChecker::check(
-        watchdog_, [this](RunnableId id) {
-          // Virtual runnables (e.g. CMU communication channels) are
-          // monitored by the watchdog but unknown to the RTE.
-          if (!id.valid() || id.value() >= ecu_.rte().runnable_count()) {
-            return sim::Duration::zero();
-          }
-          const TaskId task = ecu_.rte().task_of(id);
-          if (task == safespeed_task_) return config_.safespeed.period;
-          if (safelane_ && task == safelane_task_) {
-            return config_.safelane.period;
-          }
-          if (light_ && task == light_task_) return config_.light.period;
-          return sim::Duration::zero();  // sporadic (crash detection)
-        });
+        watchdog_, [this](RunnableId id) { return nominal_period_of(id); });
     if (!wdg::ConfigChecker::acceptable(findings)) {
       std::ostringstream report;
       wdg::ConfigChecker::write(report, findings);
@@ -262,6 +359,14 @@ diag::DiagServer& CentralNode::attach_diag(bus::CanBus& can,
     software_reset();
   };
   backend.offline = [this] { return rebooting_; };
+  if (config_.policy) {
+    // The hash is content-derived and immutable for the node's lifetime,
+    // so it is computed once, not per request.
+    const std::uint32_t hash24 = policy::version_hash24(*config_.policy);
+    const std::uint32_t version = config_.policy->version;
+    backend.policy_hash = [hash24] { return hash24; };
+    backend.policy_version = [version] { return version; };
+  }
   backend.environment = esu_.get();
   backend.process = psu_.get();
   backend.nvm = nvm_;
@@ -361,12 +466,15 @@ wdg::ProcessSupervisionUnit& CentralNode::attach_process_supervision() {
 }
 
 void CentralNode::schedule_environment_cycles(std::uint64_t generation) {
-  if (!esu_ && !psu_) return;
+  if (!esu_ && !psu_ && !csu_) return;
   engine_.schedule_in(
       config_.watchdog.check_period,
       [this, generation] {
         if (generation != env_generation_) return;
         if (esu_) esu_->cycle(engine_.now());
+        // Check evaluations run before the process-supervision cycle so a
+        // window opened this cycle is not instantly reported overdue.
+        if (csu_) csu_->cycle(engine_.now());
         if (psu_) psu_->cycle(engine_.now());
         schedule_environment_cycles(generation);
       },

@@ -19,6 +19,8 @@
 #include "fmf/fmf.hpp"
 #include "fmf/nvm.hpp"
 #include "os/schedule_table.hpp"
+#include "policy/check_engine.hpp"
+#include "policy/policy.hpp"
 #include "rte/ecu.hpp"
 #include "sim/engine.hpp"
 #include "sim/lane.hpp"
@@ -87,6 +89,16 @@ struct CentralNodeConfig {
   /// still-monitored runnables while the thermal ladder derates: a node
   /// slowed down by thermal stress must not look like dead runnables.
   std::uint32_t derate_hbm_stretch = 2;
+  /// Compiled dependability policy. When set, the constructor applies the
+  /// runtime bindings the flat config members cannot express: per-role FMF
+  /// treatment (SafeSpeed -> safety, SafeLane -> assist, LightControl and
+  /// CrashDetection -> qm), the HBM period scale/tolerances, and the
+  /// deadline window scale; attach_check_supervision() registers the
+  /// policy's check rules. Use validator::apply_policy() to also copy the
+  /// config-level tunables (watchdog, fmf, thermal, filesystem) — setting
+  /// only this member binds the runtime knobs over whatever config the
+  /// caller assembled. The built-in baseline policy is a behavioural no-op.
+  std::shared_ptr<const policy::PolicySet> policy;
   os::Priority safespeed_priority = 50;
   os::Priority safelane_priority = 40;
   os::Priority light_priority = 10;
@@ -153,6 +165,14 @@ class CentralNode {
   /// memory and survive ECU software resets.
   wdg::ProcessSupervisionUnit& attach_process_supervision();
 
+  /// Attaches the Check Supervision Unit and registers every `check` rule
+  /// of the attached policy as a supervised virtual runnable (implies
+  /// attach_process_supervision() — a hung check evaluation transgresses
+  /// its deadline window). Returns null when no policy is attached or the
+  /// policy defines no checks. Call before start(); evaluation cycles run
+  /// every watchdog check period like the ESU/PSU.
+  policy::CheckSupervisionUnit* attach_check_supervision();
+
   // --- accessors --------------------------------------------------------------
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] rte::Ecu& ecu() { return ecu_; }
@@ -185,6 +205,14 @@ class CentralNode {
   /// Non-null after attach_process_supervision().
   [[nodiscard]] wdg::ProcessSupervisionUnit* process_supervision() {
     return psu_.get();
+  }
+  /// Non-null after attach_check_supervision() with a check-bearing policy.
+  [[nodiscard]] policy::CheckSupervisionUnit* check_supervision() {
+    return csu_.get();
+  }
+  /// The attached dependability policy (null when none).
+  [[nodiscard]] const policy::PolicySet* active_policy() const {
+    return config_.policy.get();
   }
   [[nodiscard]] sim::ThermalModel& thermal_model() { return thermal_model_; }
   [[nodiscard]] apps::SafeSpeed& safespeed() { return *safespeed_; }
@@ -248,6 +276,7 @@ class CentralNode {
   std::unique_ptr<wdg::ResourceSupervisionUnit> rsu_;
   std::unique_ptr<wdg::EnvironmentSupervisionUnit> esu_;
   std::unique_ptr<wdg::ProcessSupervisionUnit> psu_;
+  std::unique_ptr<policy::CheckSupervisionUnit> csu_;
   sim::ThermalModel thermal_model_;
   /// Pre-derate HBM hypotheses, restored when the ladder steps back down.
   std::vector<std::pair<RunnableId, wdg::RunnableMonitor>> stretched_;
@@ -262,6 +291,8 @@ class CentralNode {
   std::uint64_t boot_generation_ = 0;
 
   void arm_alarms();
+  void apply_policy_bindings();
+  [[nodiscard]] sim::Duration nominal_period_of(RunnableId id);
   void boot_after_reset();
   void on_hw_watchdog_expired(sim::SimTime now);
   void schedule_environment(std::uint64_t generation);

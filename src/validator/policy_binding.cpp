@@ -1,0 +1,20 @@
+#include "validator/policy_binding.hpp"
+
+#include <stdexcept>
+
+namespace easis::validator {
+
+void apply_policy(CentralNodeConfig& config,
+                  std::shared_ptr<const policy::PolicySet> policy) {
+  if (!policy) {
+    throw std::invalid_argument("apply_policy: null policy");
+  }
+  config.watchdog = policy->detection.watchdog;
+  config.fmf = policy->escalation.fmf;
+  config.thermal_limits = policy->detection.thermal;
+  config.filesystem_limits = policy->detection.filesystem;
+  config.derate_hbm_stretch = policy->escalation.derate_hbm_stretch;
+  config.policy = std::move(policy);
+}
+
+}  // namespace easis::validator

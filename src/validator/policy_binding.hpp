@@ -1,0 +1,27 @@
+// Binding of a compiled dependability policy onto the central node.
+//
+// The policy engine produces flat structs (policy::PolicySet); the node
+// assembly consumes plain config members (CentralNodeConfig). This
+// translation unit is the one place the two meet: apply_policy() copies
+// every detection/escalation tunable into the node config and records the
+// policy for the runtime bindings the constructor applies (per-role FMF
+// treatment, HBM scale/tolerances, deadline window scale, check rules).
+//
+// Applying the built-in baseline policy is a no-op by construction: every
+// copied value equals the config default, so a node with the baseline
+// policy behaves byte-identically to a node with no policy at all.
+#pragma once
+
+#include <memory>
+
+#include "policy/policy.hpp"
+#include "validator/central_node.hpp"
+
+namespace easis::validator {
+
+/// Copies the policy's config-level tunables into `config` and attaches
+/// the policy for the constructor-time runtime bindings.
+void apply_policy(CentralNodeConfig& config,
+                  std::shared_ptr<const policy::PolicySet> policy);
+
+}  // namespace easis::validator

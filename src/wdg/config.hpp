@@ -1,11 +1,13 @@
 // Fault hypothesis configuration for the Software Watchdog (paper §3.2.1).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 
 #include "sim/time.hpp"
 #include "util/ids.hpp"
+#include "wdg/types.hpp"
 
 namespace easis::wdg {
 
@@ -37,6 +39,29 @@ struct RunnableMonitor {
   bool initially_active = true;
 };
 
+/// Default TSI-transgression -> FMF severity mapping, indexed by ErrorType
+/// (the escalation table the policy engine perturbs; the values reproduce
+/// the historical severity_of() switch exactly).
+inline constexpr std::array<Severity, kErrorTypeCount> kDefaultSeverities{
+    /*aliveness*/ Severity::kMajor,
+    /*arrival_rate*/ Severity::kMajor,
+    /*program_flow*/ Severity::kCritical,
+    /*accumulated_aliveness*/ Severity::kMinor,
+    /*deadline*/ Severity::kMajor,
+    /*communication*/ Severity::kMajor,
+    /*nvm_corruption*/ Severity::kMajor,
+    /*memory_budget*/ Severity::kMajor,
+    /*handle_exhaustion*/ Severity::kMajor,
+    /*queue_overflow*/ Severity::kMajor,
+    // Load shedding is a degradation, not a restart: one class below.
+    /*cpu_overload*/ Severity::kMinor,
+    // The thermal ladder degrades gracefully (park QM, stretch HBM
+    // periods) before anything restarts: same degradation class.
+    /*thermal*/ Severity::kMinor,
+    /*filesystem*/ Severity::kMajor,
+    /*check_rule*/ Severity::kMajor,
+};
+
 struct WatchdogConfig {
   /// Period of the watchdog main function (cycle counter tick).
   sim::Duration check_period = sim::Duration::millis(10);
@@ -61,8 +86,15 @@ struct WatchdogConfig {
   /// (thermal, filesystem/NVM); the Environment Supervision Unit
   /// re-reports sustained conditions every cycle, like the RSU.
   std::uint32_t environment_threshold = 3;
+  /// Threshold for user-defined check rules (policy `check` clauses); the
+  /// check engine re-reports a failing predicate every evaluation period.
+  std::uint32_t check_rule_threshold = 3;
   /// The global ECU state turns faulty when this many tasks are faulty.
   std::uint32_t ecu_faulty_task_limit = 2;
+  /// Detection-class -> FMF-severity escalation mapping. The defaults
+  /// reproduce the historical hard-coded table; the policy engine swaps
+  /// individual entries per policy variant.
+  std::array<Severity, kErrorTypeCount> severities = kDefaultSeverities;
 };
 
 }  // namespace easis::wdg

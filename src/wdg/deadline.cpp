@@ -44,6 +44,22 @@ void DeadlineSupervisionUnit::reset() {
   }
 }
 
+void DeadlineSupervisionUnit::scale_windows(double factor) {
+  if (factor <= 0.0) {
+    throw std::invalid_argument("DeadlineSupervision: bad scale factor");
+  }
+  if (factor == 1.0) return;
+  for (State& state : pairs_) {
+    state.pair.min = sim::Duration::micros(static_cast<std::int64_t>(
+        static_cast<double>(state.pair.min.as_micros()) / factor));
+    state.pair.max = sim::Duration::micros(static_cast<std::int64_t>(
+        static_cast<double>(state.pair.max.as_micros()) * factor));
+    if (state.pair.max <= sim::Duration::zero()) {
+      state.pair.max = sim::Duration::micros(1);
+    }
+  }
+}
+
 const DeadlinePair& DeadlineSupervisionUnit::pair(std::size_t index) const {
   if (index >= pairs_.size()) {
     throw std::out_of_range("DeadlineSupervision: bad pair index");

@@ -49,6 +49,12 @@ class DeadlineSupervisionUnit {
   /// Clears all armed measurements (treatment/reset).
   void reset();
 
+  /// Policy hook: rescales every pair's permitted window. A factor > 1
+  /// relaxes supervision (min shrinks, max grows); < 1 tightens it. A
+  /// factor of exactly 1 is a no-op, so the baseline policy leaves the
+  /// configured windows byte-identical.
+  void scale_windows(double factor);
+
   [[nodiscard]] std::size_t pair_count() const { return pairs_.size(); }
   [[nodiscard]] const DeadlinePair& pair(std::size_t index) const;
   [[nodiscard]] bool armed(std::size_t index) const;

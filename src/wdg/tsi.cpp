@@ -173,6 +173,8 @@ SupervisionReport TaskStateIndicationUnit::report(RunnableId runnable) const {
   r.thermal_errors = e.counts[static_cast<std::size_t>(ErrorType::kThermal)];
   r.filesystem_errors =
       e.counts[static_cast<std::size_t>(ErrorType::kFilesystem)];
+  r.check_rule_errors =
+      e.counts[static_cast<std::size_t>(ErrorType::kCheckRule)];
   return r;
 }
 

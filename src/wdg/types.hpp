@@ -56,9 +56,12 @@ enum class ErrorType : std::uint8_t {
   /// its erase-cycle budget or started failing writes (filesystem/NVM
   /// supervision, extension).
   kFilesystem = 12,
+  /// A user-defined check rule (policy `check` clause, watchdogd's
+  /// script.c analogue) evaluated its signal predicate to false.
+  kCheckRule = 13,
 };
 
-inline constexpr std::size_t kErrorTypeCount = 13;
+inline constexpr std::size_t kErrorTypeCount = 14;
 
 [[nodiscard]] constexpr std::string_view to_string(ErrorType t) {
   switch (t) {
@@ -75,6 +78,7 @@ inline constexpr std::size_t kErrorTypeCount = 13;
     case ErrorType::kCpuOverload: return "cpu_overload";
     case ErrorType::kThermal: return "thermal";
     case ErrorType::kFilesystem: return "filesystem";
+    case ErrorType::kCheckRule: return "check_rule";
   }
   return "?";
 }
@@ -129,6 +133,7 @@ struct SupervisionReport {
   std::uint32_t cpu_overload_errors = 0;
   std::uint32_t thermal_errors = 0;
   std::uint32_t filesystem_errors = 0;
+  std::uint32_t check_rule_errors = 0;
   bool activation_status = true;
 };
 

@@ -36,6 +36,8 @@ telemetry::Component detector_component(ErrorType type) {
     case ErrorType::kThermal:
     case ErrorType::kFilesystem:
       return telemetry::Component::kEnvironmentUnit;
+    case ErrorType::kCheckRule:
+      return telemetry::Component::kCheckUnit;
   }
   return telemetry::Component::kHarness;
 }
@@ -52,7 +54,7 @@ SoftwareWatchdog::SoftwareWatchdog(WatchdogConfig config)
                 config.nvm_corruption_threshold, config.resource_threshold,
                 config.resource_threshold, config.resource_threshold,
                 config.resource_threshold, config.environment_threshold,
-                config.environment_threshold}},
+                config.environment_threshold, config.check_rule_threshold}},
            config.ecu_faulty_task_limit) {}
 
 void SoftwareWatchdog::add_runnable(const RunnableMonitor& monitor) {
@@ -324,25 +326,15 @@ void SoftwareWatchdog::write_supervision_reports(std::ostream& out) const {
 }
 
 Severity SoftwareWatchdog::severity_of(ErrorType type) {
-  switch (type) {
-    case ErrorType::kAliveness: return Severity::kMajor;
-    case ErrorType::kArrivalRate: return Severity::kMajor;
-    case ErrorType::kProgramFlow: return Severity::kCritical;
-    case ErrorType::kAccumulatedAliveness: return Severity::kMinor;
-    case ErrorType::kDeadline: return Severity::kMajor;
-    case ErrorType::kCommunication: return Severity::kMajor;
-    case ErrorType::kNvmCorruption: return Severity::kMajor;
-    case ErrorType::kMemoryBudget: return Severity::kMajor;
-    case ErrorType::kHandleExhaustion: return Severity::kMajor;
-    case ErrorType::kQueueOverflow: return Severity::kMajor;
-    // Load shedding is a degradation, not a restart: one class below.
-    case ErrorType::kCpuOverload: return Severity::kMinor;
-    // The thermal ladder degrades gracefully (park QM, stretch HBM
-    // periods) before anything restarts: same degradation class.
-    case ErrorType::kThermal: return Severity::kMinor;
-    case ErrorType::kFilesystem: return Severity::kMajor;
-  }
-  return Severity::kInfo;
+  return kDefaultSeverities[static_cast<std::size_t>(type)];
+}
+
+Severity SoftwareWatchdog::severity(ErrorType type) const {
+  return config_.severities[static_cast<std::size_t>(type)];
+}
+
+void SoftwareWatchdog::scale_deadline_windows(double factor) {
+  deadline_.scale_windows(factor);
 }
 
 }  // namespace easis::wdg

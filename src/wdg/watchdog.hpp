@@ -117,7 +117,15 @@ class SoftwareWatchdog {
   }
   [[nodiscard]] std::uint64_t cycles_run() const { return cycles_; }
   [[nodiscard]] std::uint64_t errors_reported() const { return errors_; }
+  /// Default (baseline-policy) escalation mapping.
   [[nodiscard]] static Severity severity_of(ErrorType type);
+  /// This instance's escalation mapping (config().severities); the FMF
+  /// classifies detected errors through it so a policy can re-map classes.
+  [[nodiscard]] Severity severity(ErrorType type) const;
+  /// Policy hook: scales every deadline pair's permitted window (min
+  /// divided, max multiplied by `factor`) — a >1 factor relaxes deadline
+  /// supervision, a <1 factor tightens it.
+  void scale_deadline_windows(double factor);
   /// Dumps the supervision reports of all monitored runnables plus the
   /// derived task/ECU states as an aligned text table (diagnostics).
   void write_supervision_reports(std::ostream& out) const;
