@@ -12,6 +12,7 @@
 #include "inject/faults.hpp"
 #include "inject/injector.hpp"
 #include "inject/network_faults.hpp"
+#include "profile/profiler.hpp"
 #include "sim/engine.hpp"
 #include "util/random.hpp"
 #include "validator/central_node.hpp"
@@ -85,6 +86,7 @@ const std::vector<std::string>& network_fault_classes() {
 harness::RunResult run_network_fault(const std::string& fault_class,
                                      std::uint64_t seed,
                                      std::int64_t run_until_us) {
+  EASIS_PROFILE_SPAN_BEGIN(setup, "run.setup");
   const MakeInjection make = injection_factory(fault_class);
 
   sim::Engine engine;
@@ -171,13 +173,21 @@ harness::RunResult run_network_fault(const std::string& fault_class,
   network.start();
   remote.start();
   supervisor.start();
-  engine.run_until(sim::SimTime(run_until_us));
+  EASIS_PROFILE_SPAN_END(setup);
+
+  {
+    EASIS_PROFILE_SPAN("run.simulate");
+    engine.run_until(sim::SimTime(run_until_us));
+  }
 
   harness::RunResult result;
-  for (const auto& detector : recorder.detectors()) {
-    result.coverage.add_result(fault_class, detector,
-                               recorder.detected(detector),
-                               recorder.latency(detector));
+  {
+    EASIS_PROFILE_SPAN("run.verdict");
+    for (const auto& detector : recorder.detectors()) {
+      result.coverage.add_result(fault_class, detector,
+                                 recorder.detected(detector),
+                                 recorder.latency(detector));
+    }
   }
   return result;
 }
@@ -255,6 +265,7 @@ const std::string& diag_readout_csv_header() {
 
 harness::RunResult run_diag_readout(const std::string& fault_class,
                                     std::uint64_t seed) {
+  EASIS_PROFILE_SPAN_BEGIN(setup, "run.setup");
   util::Rng rng(seed);
 
   sim::Engine engine;
@@ -382,9 +393,14 @@ harness::RunResult run_diag_readout(const std::string& fault_class,
   });
 
   node.start();
-  engine.run_until(sim::SimTime(5'000'000));
+  EASIS_PROFILE_SPAN_END(setup);
+  {
+    EASIS_PROFILE_SPAN("run.simulate");
+    engine.run_until(sim::SimTime(5'000'000));
+  }
 
   // --- verdict ---------------------------------------------------------------
+  EASIS_PROFILE_SPAN_BEGIN(verdict, "run.verdict");
   std::string verdict;
   if (!transcript.done) {
     verdict = "readout_incomplete";

@@ -83,6 +83,7 @@ const char* name_of(fmf::TreatmentAction action) {
     case fmf::TreatmentAction::kRestart: return "restart";
     case fmf::TreatmentAction::kTerminate: return "terminate";
     case fmf::TreatmentAction::kDegrade: return "degrade";
+    case fmf::TreatmentAction::kSafeState: return "safe-state";
   }
   return "?";
 }

@@ -100,7 +100,7 @@ int main(int argc, char** argv) {
     std::ofstream timing(cli.timing_csv);
     report.write_timing_csv(timing, runner.config(), outcome);
   }
-  cli.write_artifacts(report, std::cout);
+  cli.write_artifacts(report, outcome, std::cout);
   std::cout << "campaign wall clock: " << outcome.wall_seconds << " s ("
             << outcome.runs_per_second() << " runs/s)\n";
 

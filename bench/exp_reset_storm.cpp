@@ -204,7 +204,7 @@ int main(int argc, char** argv) {
     std::ofstream timing(cli.timing_csv);
     report.write_timing_csv(timing, runner.config(), outcome);
   }
-  cli.write_artifacts(report, std::cout);
+  cli.write_artifacts(report, outcome, std::cout);
 
   const Outcome& naive = outcomes[0];
   const Outcome& storm = outcomes[1 * cli.runs];

@@ -1,0 +1,71 @@
+# Profiling determinism check (ctest: profile_jobs_determinism).
+#
+# Runs a harness-ported campaign binary with --profile-shape at --jobs
+# 1, 2 and 4 and requires (a) the profile *shape* CSVs — span paths,
+# depths, hit counts, counter values, no wall-clock columns — to be
+# byte-identical across the three job counts, and (b) the result CSV of
+# the profiled runs to be byte-identical to an unprofiled reference run,
+# proving the profiler never leaks into campaign results.
+#
+# Only a crash or a mismatch fails the gate; the binary's own shape-check
+# exit code (which a shrunk sweep may fail) is ignored, as in
+# campaign_determinism.cmake.
+#
+# Usage: cmake -DEXE=<binary> -DARGS=<common flags> -DOUT=<prefix>
+#              -P profile_determinism.cmake
+if(NOT DEFINED EXE OR NOT DEFINED OUT)
+  message(FATAL_ERROR "EXE and OUT must be defined")
+endif()
+separate_arguments(common_args UNIX_COMMAND "${ARGS}")
+
+# Unprofiled reference: the result CSV the campaign produces when the
+# profiler is never engaged.
+execute_process(
+  COMMAND ${EXE} ${common_args} --jobs 2 --csv ${OUT}_ref.csv
+  RESULT_VARIABLE rc
+  OUTPUT_QUIET)
+if(NOT rc MATCHES "^[01]$")
+  message(FATAL_ERROR "${EXE} (unprofiled reference) exited abnormally: ${rc}")
+endif()
+
+foreach(jobs 1 2 4)
+  execute_process(
+    COMMAND ${EXE} ${common_args} --jobs ${jobs}
+      --csv ${OUT}_j${jobs}.csv
+      --profile-shape ${OUT}_j${jobs}.shape.csv
+    RESULT_VARIABLE rc
+    OUTPUT_QUIET)
+  if(NOT rc MATCHES "^[01]$")
+    message(FATAL_ERROR "${EXE} --jobs ${jobs} exited abnormally: ${rc}")
+  endif()
+endforeach()
+
+foreach(jobs 2 4)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+      ${OUT}_j1.shape.csv ${OUT}_j${jobs}.shape.csv
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+        "profile shape CSVs differ between --jobs 1 and --jobs ${jobs} "
+        "(${OUT}_j1.shape.csv vs ${OUT}_j${jobs}.shape.csv): the span "
+        "tree or hit counts depend on worker scheduling")
+  endif()
+endforeach()
+
+foreach(jobs 1 2 4)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+      ${OUT}_ref.csv ${OUT}_j${jobs}.csv
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+        "result CSV changed when profiling was enabled at --jobs ${jobs} "
+        "(${OUT}_ref.csv vs ${OUT}_j${jobs}.csv): profiling must never "
+        "alter campaign results")
+  endif()
+endforeach()
+
+message(STATUS
+    "profile shape byte-identical across --jobs 1/2/4; result CSVs "
+    "unchanged by profiling")

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "profile/profiler.hpp"
 #include "telemetry/event_bus.hpp"
 #include "util/logging.hpp"
 
@@ -71,6 +72,7 @@ ApplicationPolicy FaultManagementFramework::policy_of(
 }
 
 void FaultManagementFramework::on_error(const wdg::ErrorReport& report) {
+  EASIS_PROFILE_SPAN("fmf.react");
   ++faults_;
   FaultRecord record{"swd", report, watchdog_.severity(report.type)};
   log_.push(record);

@@ -68,6 +68,10 @@ class CampaignCli {
     config.seed = seed;
     config.run_deadline = std::chrono::milliseconds(deadline_ms);
     config.fail_fast = fail_fast;
+    // Any profiling export (--trace-out / --profile-csv / --profile-shape)
+    // turns the per-run profiler on; without one the campaign pays only
+    // the per-site thread-local null check.
+    config.profile = telemetry.profiling_requested();
     return config;
   }
 
@@ -84,9 +88,13 @@ class CampaignCli {
 
   /// Writes the telemetry artifacts the flags requested: the event log
   /// (--events-out), the metrics export (--metrics-out; ".csv" suffix
-  /// selects CSV, else Prometheus text), and — always — one flight dump
-  /// per failed/misdetecting/quarantined run. Progress notes go to `log`.
-  void write_artifacts(const CampaignReport& report, std::ostream& log) const {
+  /// selects CSV, else Prometheus text), the profiling exports
+  /// (--trace-out / --profile-csv / --profile-shape), and — always — one
+  /// flight dump per failed/misdetecting/quarantined run. The outcome
+  /// supplies the trace epoch. Progress notes go to `log`.
+  void write_artifacts(const CampaignReport& report,
+                       const CampaignOutcome& outcome,
+                       std::ostream& log) const {
     if (!telemetry.events_out.empty()) {
       std::ofstream out(telemetry.events_out);
       report.write_event_log(out);
@@ -100,6 +108,21 @@ class CampaignCli {
               telemetry.metrics_out.size() - 4;
       report.write_metrics(out, as_csv);
       log << "metrics: " << telemetry.metrics_out << '\n';
+    }
+    if (!telemetry.profile_csv.empty()) {
+      std::ofstream out(telemetry.profile_csv);
+      report.write_profile_csv(out);
+      log << "profile rollup: " << telemetry.profile_csv << '\n';
+    }
+    if (!telemetry.profile_shape.empty()) {
+      std::ofstream out(telemetry.profile_shape);
+      report.write_profile_shape_csv(out);
+      log << "profile shape: " << telemetry.profile_shape << '\n';
+    }
+    if (!telemetry.trace_out.empty()) {
+      std::ofstream out(telemetry.trace_out);
+      report.write_trace_json(out, outcome.start_ns);
+      log << "trace: " << telemetry.trace_out << '\n';
     }
     const std::size_t dumps = report.write_flight_dumps(flight_prefix());
     if (dumps > 0) {

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "profile/report.hpp"
+#include "profile/trace_export.hpp"
 #include "telemetry/attribution.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -20,7 +22,8 @@ CampaignReport::CampaignReport(const std::vector<RunSpec>& specs,
                               result.misdetect,
                               result.flight_note,
                               result.events,
-                              result.events_truncated});
+                              result.events_truncated,
+                              result.profile});
     // Skipped runs never executed (--fail-fast): not quarantined, not
     // completed — they simply don't exist for the reduction.
     if (result.status == RunStatus::kRunSkipped) continue;
@@ -150,6 +153,40 @@ void CampaignReport::write_flight_dump(std::ostream& out,
     telemetry::write_event_line(out, event);
     out << '\n';
   }
+}
+
+bool CampaignReport::has_profiles() const {
+  for (const RunRecord& run : runs_) {
+    if (run.profile.enabled) return true;
+  }
+  return false;
+}
+
+void CampaignReport::write_profile_csv(std::ostream& out) const {
+  profile::CampaignRollup rollup;
+  for (const RunRecord& run : runs_) rollup.add_run(run.profile);
+  rollup.write_csv(out);
+}
+
+void CampaignReport::write_profile_shape_csv(std::ostream& out) const {
+  profile::CampaignRollup rollup;
+  for (const RunRecord& run : runs_) rollup.add_run(run.profile);
+  rollup.write_shape_csv(out);
+}
+
+void CampaignReport::write_trace_json(std::ostream& out,
+                                      std::int64_t epoch_ns) const {
+  profile::TraceWriter trace(out);
+  trace.begin();
+  for (const RunRecord& run : runs_) {
+    if (!run.profile.enabled) continue;
+    const std::string label = run.label.empty()
+                                  ? "run" + std::to_string(run.run_index)
+                                  : run.label;
+    trace.add_run(run.profile,
+                  label + "#" + std::to_string(run.run_index), epoch_ns);
+  }
+  trace.end();
 }
 
 std::size_t CampaignReport::write_flight_dumps(

@@ -16,6 +16,7 @@
 
 #include "harness/campaign_runner.hpp"
 #include "inject/campaign.hpp"
+#include "profile/profiler.hpp"
 #include "telemetry/event.hpp"
 
 namespace easis::harness {
@@ -88,6 +89,24 @@ class CampaignReport {
   /// returns the number of files written.
   std::size_t write_flight_dumps(const std::string& prefix) const;
 
+  /// True when at least one run carried a harvested hot-path profile
+  /// (i.e. the campaign executed with CampaignConfig::profile on).
+  [[nodiscard]] bool has_profiles() const;
+
+  /// Writes the full profile rollup CSV (per-span min/mean/p99 wall-time
+  /// statistics across runs) — nondeterministic, artifact-only. Runs fold
+  /// in run-index order.
+  void write_profile_csv(std::ostream& out) const;
+
+  /// Writes the deterministic projection of the rollup (kind,span,depth,
+  /// hits,runs) — byte-identical across --jobs; the profile_jobs_
+  /// determinism gate compares it.
+  void write_profile_shape_csv(std::ostream& out) const;
+
+  /// Writes the campaign's Chrome trace-event JSON (Perfetto-loadable;
+  /// one track per worker). `epoch_ns` is CampaignOutcome::start_ns.
+  void write_trace_json(std::ostream& out, std::int64_t epoch_ns) const;
+
  private:
   /// Everything the telemetry exports need, one entry per run.
   struct RunRecord {
@@ -100,6 +119,7 @@ class CampaignReport {
     std::string flight_note;
     std::vector<telemetry::Event> events;
     bool events_truncated;
+    profile::RunProfile profile;
   };
 
   inject::CoverageTable coverage_;

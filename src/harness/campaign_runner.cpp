@@ -5,9 +5,11 @@
 #include <condition_variable>
 #include <exception>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 
+#include "profile/profiler.hpp"
 #include "telemetry/event_bus.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "util/random.hpp"
@@ -58,6 +60,13 @@ struct CampaignState {
     /// can snapshot it together with the flight ring.
     std::string flight_note;
     bool bus_wired = false;
+
+    /// Worker ordinal in spawn order — the trace export's track id.
+    unsigned ordinal = 0;
+    /// Per-worker hot-path profiler; installed around each run only when
+    /// the campaign runs with config.profile. Touched by this worker
+    /// alone, so no lock.
+    std::optional<profile::Profiler> profiler;
   };
 
   CampaignConfig config;
@@ -107,6 +116,12 @@ void worker_main(const std::shared_ptr<CampaignState>& state,
 void spawn_worker_locked(const std::shared_ptr<CampaignState>& state) {
   auto worker = std::make_unique<CampaignState::Worker>();
   auto* raw = worker.get();
+  raw->ordinal = static_cast<unsigned>(state->workers.size());
+  if (state->config.profile) {
+    profile::Profiler::Config pconfig;
+    pconfig.ring_capacity = state->config.profile_ring_capacity;
+    raw->profiler.emplace(pconfig);
+  }
   state->workers.push_back(std::move(worker));
   raw->thread = std::thread([state, raw] { worker_main(state, raw); });
 }
@@ -151,6 +166,15 @@ void worker_main(const std::shared_ptr<CampaignState>& state,
     self->started_ns.store(now_ns(), std::memory_order_relaxed);
     self->current_run.store(i, std::memory_order_release);
 
+    // Fresh profiler state per run; the scope uninstalls before harvest so
+    // nothing records while the profile is being resolved. Exceptions are
+    // fine: ScopedSpans close during unwinding, leaving the stack empty.
+    std::optional<profile::ProfileScope> profile_scope;
+    if (self->profiler.has_value()) {
+      self->profiler->begin_run();
+      profile_scope.emplace(*self->profiler);
+    }
+
     RunResult result;
     try {
       telemetry::EventScope scope(self->bus);
@@ -167,6 +191,11 @@ void worker_main(const std::shared_ptr<CampaignState>& state,
       result = RunResult{};
       result.status = RunStatus::kRunError;
       result.error = "unknown exception";
+    }
+
+    if (profile_scope.has_value()) {
+      profile_scope.reset();
+      result.profile = self->profiler->harvest_run(self->ordinal);
     }
 
     {
@@ -269,6 +298,7 @@ CampaignOutcome CampaignRunner::run(const std::vector<RunSpec>& specs) {
   state->settled.assign(n, 0);
 
   const auto wall_start = Clock::now();
+  const std::int64_t start_ns = now_ns();
 
   if (n > 0) {
     {
@@ -315,6 +345,7 @@ CampaignOutcome CampaignRunner::run(const std::vector<RunSpec>& specs) {
   }
   outcome.wall_seconds =
       std::chrono::duration<double>(Clock::now() - wall_start).count();
+  outcome.start_ns = start_ns;
   return outcome;
 }
 

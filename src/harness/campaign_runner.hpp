@@ -49,6 +49,13 @@ struct CampaignConfig {
   /// runs completed depends on scheduling, so fail-fast output is NOT
   /// byte-identical across --jobs values (it is a debugging mode).
   bool fail_fast = false;
+  /// Install a hot-path profiler around every run and harvest its profile
+  /// into RunResult::profile. Off by default: unprofiled campaigns pay
+  /// only the per-site thread-local null check.
+  bool profile = false;
+  /// Ring capacity of each worker's profiler (raw span records per run);
+  /// only meaningful with `profile`.
+  std::size_t profile_ring_capacity = 1 << 16;
 };
 
 struct CampaignOutcome {
@@ -60,6 +67,9 @@ struct CampaignOutcome {
   /// Runs never executed because --fail-fast stopped the dispatch.
   std::size_t skipped = 0;
   double wall_seconds = 0.0;
+  /// Campaign start in steady_clock nanoseconds — the epoch trace export
+  /// rebases span timestamps onto. Wall-clock, artifact-only.
+  std::int64_t start_ns = 0;
 
   [[nodiscard]] double runs_per_second() const {
     return wall_seconds > 0.0

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "inject/campaign.hpp"
+#include "profile/profiler.hpp"
 #include "telemetry/event.hpp"
 
 namespace easis::harness {
@@ -78,6 +79,11 @@ struct RunResult {
   /// the quarantined result, so flight dumps of hung runs carry the last
   /// known state. Completed runs keep their final note too.
   std::string flight_note;
+  /// Hot-path profile of the run, harvested by the harness from the
+  /// per-worker profiler when the campaign runs with profiling on
+  /// (profile.enabled is false otherwise). Quarantined runs carry no
+  /// profile — their worker never returned to harvest one.
+  profile::RunProfile profile;
 };
 
 /// Execution context passed alongside the spec. Long-running simulations

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "profile/profiler.hpp"
 #include "util/logging.hpp"
 
 namespace easis::os {
@@ -167,6 +168,7 @@ void Kernel::remove_from_ready(TaskId id) {
 }
 
 void Kernel::do_dispatch() {
+  EASIS_PROFILE_SPAN("os.dispatch");
   for (;;) {
     pending_dispatch_ = false;
     const TaskId top_id = highest_ready();
@@ -235,6 +237,8 @@ void Kernel::preempt_running() {
 
 void Kernel::handle_segment_complete(TaskId id, std::uint32_t epoch) {
   if (epoch != reset_epoch_) return;  // stale event across a reset
+  EASIS_PROFILE_SPAN("os.segment");
+  EASIS_PROFILE_COUNT("os.segments_completed", 1);
   Section section(*this);
   Tcb& t = *tcb(id);
   assert(running_ == id);

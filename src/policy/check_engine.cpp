@@ -18,7 +18,8 @@ CheckSupervisionUnit::CheckSupervisionUnit(wdg::SoftwareWatchdog& watchdog,
 void CheckSupervisionUnit::add_rule(const CheckRule& rule) {
   RuleState state;
   state.rule = rule;
-  state.id = RunnableId{kCheckRunnableBase + rules_.size()};
+  state.id = RunnableId{
+      static_cast<std::uint32_t>(kCheckRunnableBase + rules_.size())};
 
   wdg::RunnableMonitor monitor;
   monitor.runnable = state.id;

@@ -1,0 +1,144 @@
+#include "profile/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace easis::profile {
+
+namespace {
+
+/// Default ostream formatting (6 significant digits) — the same
+/// deterministic rendering the metrics exports use.
+std::string render(double value) {
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+struct SampleStats {
+  double min_us = 0.0;
+  double mean_us = 0.0;
+  double p99_us = 0.0;
+};
+
+SampleStats stats_us(std::vector<std::int64_t> samples) {
+  SampleStats stats;
+  if (samples.empty()) return stats;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (const std::int64_t s : samples) sum += static_cast<double>(s);
+  const auto n = samples.size();
+  const std::size_t p99 =
+      std::min(n - 1, static_cast<std::size_t>(std::ceil(0.99 * n)) - 1);
+  stats.min_us = static_cast<double>(samples.front()) / 1e3;
+  stats.mean_us = sum / static_cast<double>(n) / 1e3;
+  stats.p99_us = static_cast<double>(samples[p99]) / 1e3;
+  return stats;
+}
+
+}  // namespace
+
+void CampaignRollup::add_run(const RunProfile& profile) {
+  if (!profile.enabled) return;
+  ++runs_;
+  dropped_ += profile.dropped_records;
+
+  // Per-run node index -> rollup span index, built as we walk the run's
+  // nodes (parents precede children in a RunProfile, so the parent's rollup
+  // path is always resolved first).
+  std::vector<std::size_t> rollup_index(profile.nodes.size());
+  for (std::size_t i = 0; i < profile.nodes.size(); ++i) {
+    const RunProfile::Node& node = profile.nodes[i];
+    const std::string path =
+        node.parent < 0
+            ? node.name
+            : spans_[rollup_index[static_cast<std::size_t>(node.parent)]]
+                      .path +
+                  '/' + node.name;
+    std::size_t index = spans_.size();
+    for (std::size_t s = 0; s < spans_.size(); ++s) {
+      if (spans_[s].path == path) {
+        index = s;
+        break;
+      }
+    }
+    if (index == spans_.size()) {
+      SpanAggregate aggregate;
+      aggregate.path = path;
+      aggregate.depth = profile.depth(i);
+      spans_.push_back(std::move(aggregate));
+    }
+    SpanAggregate& aggregate = spans_[index];
+    aggregate.hits += node.hits;
+    ++aggregate.runs;
+    aggregate.self_ns.push_back(node.self_ns);
+    aggregate.total_ns.push_back(node.total_ns);
+    rollup_index[i] = index;
+  }
+
+  for (const RunProfile::CounterSample& sample : profile.counters) {
+    std::size_t index = counters_.size();
+    for (std::size_t c = 0; c < counters_.size(); ++c) {
+      if (counters_[c].name == sample.name) {
+        index = c;
+        break;
+      }
+    }
+    if (index == counters_.size()) {
+      CounterAggregate aggregate;
+      aggregate.name = sample.name;
+      counters_.push_back(std::move(aggregate));
+    }
+    CounterAggregate& aggregate = counters_[index];
+    aggregate.total += sample.value;
+    ++aggregate.runs;
+    aggregate.values.push_back(static_cast<std::int64_t>(sample.value));
+  }
+}
+
+void CampaignRollup::write_csv(std::ostream& out) const {
+  out << "kind,span,depth,hits,runs,self_us_min,self_us_mean,self_us_p99,"
+         "total_us_min,total_us_mean,total_us_p99\n";
+  for (const SpanAggregate& span : spans_) {
+    const SampleStats self = stats_us(span.self_ns);
+    const SampleStats total = stats_us(span.total_ns);
+    out << "span," << span.path << ',' << span.depth << ',' << span.hits
+        << ',' << span.runs << ',' << render(self.min_us) << ','
+        << render(self.mean_us) << ',' << render(self.p99_us) << ','
+        << render(total.min_us) << ',' << render(total.mean_us) << ','
+        << render(total.p99_us) << '\n';
+  }
+  for (const CounterAggregate& counter : counters_) {
+    // Counter rows: per-run value statistics in the total_us_* columns
+    // (unitless), sample sum in hits.
+    std::vector<std::int64_t> values = counter.values;
+    std::sort(values.begin(), values.end());
+    double sum = 0.0;
+    for (const std::int64_t v : values) sum += static_cast<double>(v);
+    const auto n = values.size();
+    const std::size_t p99 =
+        n == 0 ? 0
+               : std::min(n - 1,
+                          static_cast<std::size_t>(std::ceil(0.99 * n)) - 1);
+    out << "counter," << counter.name << ",0," << counter.total << ','
+        << counter.runs << ",0,0,0,"
+        << (n == 0 ? "0" : render(static_cast<double>(values.front()))) << ','
+        << (n == 0 ? "0" : render(sum / static_cast<double>(n))) << ','
+        << (n == 0 ? "0" : render(static_cast<double>(values[p99]))) << '\n';
+  }
+}
+
+void CampaignRollup::write_shape_csv(std::ostream& out) const {
+  out << "kind,span,depth,hits,runs\n";
+  for (const SpanAggregate& span : spans_) {
+    out << "span," << span.path << ',' << span.depth << ',' << span.hits
+        << ',' << span.runs << '\n';
+  }
+  for (const CounterAggregate& counter : counters_) {
+    out << "counter," << counter.name << ",0," << counter.total << ','
+        << counter.runs << '\n';
+  }
+}
+
+}  // namespace easis::profile

@@ -1,0 +1,69 @@
+// Campaign-level reduction of per-run profiles (DESIGN.md §15).
+//
+// CampaignRollup merges RunProfiles in the order add_run() is called — the
+// harness feeds it in run-index order, so the merged tree (paths, hit
+// counts, counter values, row order) is deterministic across --jobs. The
+// wall-clock statistics (min/mean/p99 across runs) are nondeterministic and
+// appear only in the full rollup CSV; write_shape_csv() emits the
+// deterministic projection the profile_jobs_determinism gate compares.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "profile/profiler.hpp"
+
+namespace easis::profile {
+
+class CampaignRollup {
+ public:
+  /// Folds one run's profile into the rollup. Runs must be added in
+  /// run-index order for deterministic output. Disabled/empty profiles
+  /// contribute nothing.
+  void add_run(const RunProfile& profile);
+
+  /// Full rollup CSV:
+  ///   kind,span,depth,hits,runs,self_us_min,self_us_mean,self_us_p99,
+  ///   total_us_min,total_us_mean,total_us_p99
+  /// Span rows carry per-run wall-time statistics (nondeterministic);
+  /// counter rows reuse the total_us_* columns for the per-run counter
+  /// value (unitless) and keep the self_us_* columns zero.
+  void write_csv(std::ostream& out) const;
+
+  /// Deterministic projection: kind,span,depth,hits,runs — byte-identical
+  /// across --jobs values (the ctest gate artifact).
+  void write_shape_csv(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t runs() const { return runs_; }
+  [[nodiscard]] bool empty() const {
+    return spans_.empty() && counters_.empty();
+  }
+  [[nodiscard]] std::uint64_t dropped_records() const { return dropped_; }
+
+ private:
+  struct SpanAggregate {
+    std::string path;
+    std::size_t depth = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t runs = 0;
+    std::vector<std::int64_t> self_ns;   // one sample per contributing run
+    std::vector<std::int64_t> total_ns;  // one sample per contributing run
+  };
+  struct CounterAggregate {
+    std::string name;
+    std::uint64_t total = 0;
+    std::uint64_t runs = 0;
+    std::vector<std::int64_t> values;  // one sample per contributing run
+  };
+
+  /// Spans in first-appearance order across the run sequence; linear index
+  /// lookup via the path map below.
+  std::vector<SpanAggregate> spans_;
+  std::vector<CounterAggregate> counters_;
+  std::size_t runs_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace easis::profile

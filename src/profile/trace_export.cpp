@@ -1,0 +1,90 @@
+#include "profile/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace easis::profile {
+
+std::string json_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': escaped += "\\\""; break;
+      case '\\': escaped += "\\\\"; break;
+      case '\b': escaped += "\\b"; break;
+      case '\f': escaped += "\\f"; break;
+      case '\n': escaped += "\\n"; break;
+      case '\r': escaped += "\\r"; break;
+      case '\t': escaped += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          escaped += buffer;
+        } else {
+          escaped += c;
+        }
+    }
+  }
+  return escaped;
+}
+
+void TraceWriter::begin() {
+  out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+}
+
+void TraceWriter::comma() {
+  if (events_ > 0) out_ << ",\n";
+  ++events_;
+}
+
+void TraceWriter::add_run(const RunProfile& profile, const std::string& label,
+                          std::int64_t epoch_ns) {
+  if (!profile.enabled || profile.records.empty()) return;
+  any_run_ = true;
+  max_worker_ = std::max(max_worker_, profile.worker);
+
+  // Run marker: an instant event at the run's first record, carrying the
+  // bench label (fault class / policy id) for viewer context.
+  const std::int64_t run_start = profile.records.front().start_ns - epoch_ns;
+  comma();
+  out_ << "{\"name\":\"run:" << json_escape(label)
+       << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+       << static_cast<double>(run_start) / 1e3 << ",\"pid\":0,\"tid\":"
+       << profile.worker << "}";
+
+  for (const RunProfile::SpanRecord& record : profile.records) {
+    comma();
+    const auto& name = profile.nodes[record.node].name;
+    out_ << "{\"name\":\"" << json_escape(name)
+         << "\",\"ph\":\"X\",\"ts\":"
+         << static_cast<double>(record.start_ns - epoch_ns) / 1e3
+         << ",\"dur\":" << static_cast<double>(record.dur_ns) / 1e3
+         << ",\"pid\":0,\"tid\":" << profile.worker << "}";
+  }
+  if (profile.dropped_records > 0) {
+    comma();
+    out_ << "{\"name\":\"ring dropped " << profile.dropped_records
+         << " span(s)\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+         << static_cast<double>(run_start) / 1e3 << ",\"pid\":0,\"tid\":"
+         << profile.worker << "}";
+  }
+}
+
+void TraceWriter::end() {
+  if (any_run_) {
+    for (unsigned w = 0; w <= max_worker_; ++w) {
+      comma();
+      out_ << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << w
+           << ",\"args\":{\"name\":\"worker-" << w << "\"}}";
+    }
+    comma();
+    out_ << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+            "\"args\":{\"name\":\"easis campaign\"}}";
+  }
+  out_ << "\n]}\n";
+}
+
+}  // namespace easis::profile

@@ -1,0 +1,58 @@
+// Chrome trace-event JSON export (DESIGN.md §15).
+//
+// Writes the raw span records of a campaign as a Chrome trace-event file —
+// the JSON array format Perfetto and chrome://tracing load directly. Every
+// span becomes one complete ("ph":"X") event; worker threads map to trace
+// tracks (pid 0, tid = worker ordinal), so the viewer shows the campaign's
+// real parallelism. Timestamps are wall-clock microseconds rebased onto the
+// campaign epoch; the file is a nondeterministic artifact by design and is
+// never compared across --jobs.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "profile/profiler.hpp"
+
+namespace easis::profile {
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters).
+[[nodiscard]] std::string json_escape(const std::string& text);
+
+/// Streams one campaign's trace. Usage:
+///   TraceWriter trace(out);
+///   trace.begin();
+///   for each run (in any order): trace.add_run(profile, label, epoch_ns);
+///   trace.end();
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::ostream& out) : out_(out) {}
+
+  /// Opens the traceEvents array.
+  void begin();
+
+  /// Emits the run's span records as complete events on the worker's
+  /// track. `epoch_ns` is the campaign start in steady_clock nanoseconds;
+  /// record timestamps are exported relative to it. The run's label is
+  /// attached as an args payload on each event's root via an instant
+  /// marker event at the run start.
+  void add_run(const RunProfile& profile, const std::string& label,
+               std::int64_t epoch_ns);
+
+  /// Emits the worker thread-name metadata and closes the JSON document.
+  void end();
+
+  [[nodiscard]] std::size_t events_written() const { return events_; }
+
+ private:
+  void comma();
+
+  std::ostream& out_;
+  std::size_t events_ = 0;
+  unsigned max_worker_ = 0;
+  bool any_run_ = false;
+};
+
+}  // namespace easis::profile

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "profile/profiler.hpp"
 #include "util/logging.hpp"
 
 namespace easis::rte {
@@ -132,6 +133,8 @@ os::Job Rte::build_job(TaskId task) {
 }
 
 void Rte::emit_heartbeat(RunnableId runnable, TaskId task) {
+  EASIS_PROFILE_SPAN("rte.heartbeat");
+  EASIS_PROFILE_COUNT("rte.heartbeats", 1);
   for (const auto& listener : listeners_) {
     listener(runnable, task, kernel_.now());
   }

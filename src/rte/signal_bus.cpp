@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "profile/profiler.hpp"
+
 namespace easis::rte {
 
 const char* to_string(SignalQualifier qualifier) {
@@ -15,6 +17,8 @@ const char* to_string(SignalQualifier qualifier) {
 
 void SignalBus::publish(const std::string& name, double value,
                         sim::SimTime at) {
+  EASIS_PROFILE_SPAN("rte.signal_publish");
+  EASIS_PROFILE_COUNT("rte.signals_published", 1);
   Entry& e = entries_[name];
   e.value = value;
   e.updated_at = at;
@@ -146,6 +150,7 @@ std::uint32_t SignalBus::drain(const std::string& name, std::uint32_t count) {
   const std::uint32_t drained = std::min(q.depth, count);
   q.depth -= drained;
   q.drained += drained;
+  EASIS_PROFILE_COUNT("rte.queue_drained", drained);
   return drained;
 }
 

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "profile/profiler.hpp"
+
 namespace easis::sim {
 
 EventId Engine::schedule_at(SimTime at, Action action, EventPriority priority) {
@@ -38,6 +40,7 @@ bool Engine::fire_next() {
     }
     now_ = ev.at;
     ++fired_;
+    EASIS_PROFILE_COUNT("sim.events_fired", 1);
     ev.action();
     return true;
   }
@@ -47,6 +50,7 @@ bool Engine::fire_next() {
 bool Engine::step() { return fire_next(); }
 
 void Engine::run_until(SimTime until) {
+  EASIS_PROFILE_SPAN("sim.run_until");
   while (!queue_.empty()) {
     // Peek past cancelled events without firing.
     if (cancelled_.contains(queue_.top().id)) {

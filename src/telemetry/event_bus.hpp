@@ -16,6 +16,7 @@
 #include <functional>
 #include <vector>
 
+#include "profile/profiler.hpp"
 #include "telemetry/event.hpp"
 
 namespace easis::telemetry {
@@ -31,6 +32,8 @@ class EventBus {
   /// recently applied injection when the emitter did not set one, and
   /// fans out to the sinks.
   void publish(Event event) {
+    EASIS_PROFILE_SPAN("telemetry.publish");
+    EASIS_PROFILE_COUNT("telemetry.events_published", 1);
     event.seq = seq_++;
     if (event.kind == EventKind::kFaultApplied) {
       active_injection_ = event.injection;

@@ -42,6 +42,8 @@ void Histogram::observe(double value) {
   std::size_t i = 0;
   while (i < bounds_.size() && value > bounds_[i]) ++i;
   ++buckets_[i];
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
   ++count_;
   sum_ += value;
 }
@@ -145,6 +147,12 @@ void MetricsRegistry::write_csv(std::ostream& out) const {
     row(key.first, key.second, "le_inf", std::to_string(metric.count()));
     row(key.first, key.second, "sum", render(metric.sum()));
     row(key.first, key.second, "count", std::to_string(metric.count()));
+    // One-line digest for humans scanning the CSV: the whole distribution
+    // summary without cross-referencing the bucket rows.
+    row(key.first, key.second, "summary",
+        "count=" + std::to_string(metric.count()) +
+            ";sum=" + render(metric.sum()) + ";min=" + render(metric.min()) +
+            ";max=" + render(metric.max()));
   }
 }
 

@@ -50,6 +50,9 @@ class Histogram {
   [[nodiscard]] std::uint64_t cumulative_count(std::size_t i) const;
   [[nodiscard]] std::uint64_t count() const { return count_; }
   [[nodiscard]] double sum() const { return sum_; }
+  /// Smallest/largest observation; 0 while the histogram is empty.
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
 
  private:
   std::vector<double> bounds_;
@@ -57,6 +60,8 @@ class Histogram {
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
 };
 
 class MetricsRegistry {

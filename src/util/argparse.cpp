@@ -165,6 +165,15 @@ void TelemetryFlags::register_flags(ArgParser& parser) {
              "(empty = skip)");
   parser.add("flight-prefix", &flight_prefix,
              "flight-recorder dump prefix (empty = derive from --csv)");
+  parser.add("trace-out", &trace_out,
+             "Chrome trace-event JSON path, Perfetto-loadable "
+             "(empty = skip; implies profiling)");
+  parser.add("profile-csv", &profile_csv,
+             "profile rollup CSV path, per-span min/mean/p99 across runs "
+             "(empty = skip; implies profiling)");
+  parser.add("profile-shape", &profile_shape,
+             "deterministic profile shape CSV path "
+             "(empty = skip; implies profiling)");
 }
 
 bool TelemetryFlags::apply_log_level(std::ostream& err) const {

@@ -81,6 +81,23 @@ struct TelemetryFlags {
   /// Prefix for per-run flight-recorder dumps; empty = derive from the
   /// result CSV path.
   std::string flight_prefix;
+  /// Chrome trace-event JSON path (Perfetto-loadable); empty = skip.
+  /// Wall-clock artifact, never byte-compared across --jobs.
+  std::string trace_out;
+  /// Profile rollup CSV path (per-span min/mean/p99 across runs); empty =
+  /// skip. Wall-clock artifact.
+  std::string profile_csv;
+  /// Deterministic profile shape CSV path (kind,span,depth,hits,runs);
+  /// empty = skip. Byte-identical across --jobs — the determinism-gate
+  /// artifact.
+  std::string profile_shape;
+
+  /// True when any profiling export was requested, i.e. the campaign must
+  /// run with the hot-path profiler installed.
+  [[nodiscard]] bool profiling_requested() const {
+    return !trace_out.empty() || !profile_csv.empty() ||
+           !profile_shape.empty();
+  }
 
   void register_flags(ArgParser& parser);
 

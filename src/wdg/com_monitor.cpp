@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "profile/profiler.hpp"
+
 namespace easis::wdg {
 
 CommunicationMonitoringUnit::CommunicationMonitoringUnit(
@@ -37,6 +39,7 @@ void CommunicationMonitoringUnit::add_channel(const ComChannel& channel,
 void CommunicationMonitoringUnit::on_check_result(RunnableId channel,
                                                   bus::E2EStatus status,
                                                   sim::SimTime now) {
+  EASIS_PROFILE_SPAN("wdg.cmu_check");
   auto it = channels_.find(channel);
   if (it == channels_.end()) {
     throw std::invalid_argument("CMU: unknown channel");

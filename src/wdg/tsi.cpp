@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "profile/profiler.hpp"
 #include "telemetry/event_bus.hpp"
 
 namespace easis::wdg {
@@ -29,6 +30,7 @@ void TaskStateIndicationUnit::add_runnable(RunnableId runnable, TaskId task,
 
 void TaskStateIndicationUnit::report_error(RunnableId runnable, ErrorType type,
                                            sim::SimTime now) {
+  EASIS_PROFILE_SPAN("wdg.tsi_report");
   auto it = elements_.find(runnable);
   if (it == elements_.end()) return;
   const std::uint32_t count =

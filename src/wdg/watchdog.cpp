@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "profile/profiler.hpp"
 #include "telemetry/event_bus.hpp"
 #include "util/logging.hpp"
 
@@ -84,25 +85,36 @@ std::size_t SoftwareWatchdog::add_deadline_pair(DeadlinePair pair) {
 
 void SoftwareWatchdog::indicate_aliveness(RunnableId runnable, TaskId task,
                                           sim::SimTime now) {
+  EASIS_PROFILE_SPAN("wdg.aliveness");
   hbm_.indicate(runnable);
   recovery_.on_heartbeat(runnable);
-  pfc_.on_execution(runnable, task, now,
-                    [this](RunnableId r, RunnableId pred, TaskId t,
-                           sim::SimTime t_now) {
-                      handle_pfc_error(r, pred, t, t_now);
-                    });
-  deadline_.on_execution(runnable, now,
-                         [this](std::size_t pair_index, sim::Duration measured,
-                                sim::SimTime t_now) {
-                           handle_deadline_error(pair_index, measured, t_now);
-                         });
+  {
+    EASIS_PROFILE_SPAN("wdg.pfc_check");
+    pfc_.on_execution(runnable, task, now,
+                      [this](RunnableId r, RunnableId pred, TaskId t,
+                             sim::SimTime t_now) {
+                        handle_pfc_error(r, pred, t, t_now);
+                      });
+  }
+  {
+    EASIS_PROFILE_SPAN("wdg.deadline_check");
+    deadline_.on_execution(runnable, now,
+                           [this](std::size_t pair_index,
+                                  sim::Duration measured, sim::SimTime t_now) {
+                             handle_deadline_error(pair_index, measured, t_now);
+                           });
+  }
 }
 
 void SoftwareWatchdog::main_function(sim::SimTime now) {
+  EASIS_PROFILE_SPAN("wdg.main_function");
   ++cycles_;
-  hbm_.tick(now, [this](RunnableId r, ErrorType type, sim::SimTime t_now) {
-    handle_hbm_error(r, type, t_now);
-  });
+  {
+    EASIS_PROFILE_SPAN("wdg.hbm_tick");
+    hbm_.tick(now, [this](RunnableId r, ErrorType type, sim::SimTime t_now) {
+      handle_hbm_error(r, type, t_now);
+    });
+  }
   recovery_.on_cycle(now);
 }
 

@@ -1,0 +1,64 @@
+// The compiled-out profiler path: with EASIS_PROFILING_DISABLED defined,
+// the instrumentation macros must expand to nothing — no name interning,
+// no span pushes, no counter adds — even with a profiler installed.
+//
+// The macro kill switch is per translation unit, so this TU defines the
+// symbol itself before including the header; building the whole tree with
+// -DEASIS_PROFILING=OFF applies the same definition globally (the CI
+// compile-check job builds that configuration).
+#ifndef EASIS_PROFILING_DISABLED  // may already come from -DEASIS_PROFILING=OFF
+#define EASIS_PROFILING_DISABLED 1
+#endif
+#include "profile/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace easis::profile {
+namespace {
+
+static_assert(EASIS_PROFILING_ENABLED == 0,
+              "EASIS_PROFILING_DISABLED must compile the macros out");
+
+TEST(ProfilingDisabled, SpanMacroRecordsNothingWithProfilerInstalled) {
+  Profiler profiler;
+  profiler.begin_run();
+  ProfileScope scope(profiler);
+  {
+    EASIS_PROFILE_SPAN("disabled.span");
+    EASIS_PROFILE_COUNT("disabled.count", 42);
+    EASIS_PROFILE_SPAN_BEGIN(phase, "disabled.phase");
+    EASIS_PROFILE_SPAN_END(phase);
+  }
+  EXPECT_EQ(profiler.open_spans(), 0u);
+  const RunProfile profile = profiler.harvest_run(0);
+  EXPECT_TRUE(profile.nodes.empty());
+  EXPECT_TRUE(profile.counters.empty());
+  EXPECT_TRUE(profile.records.empty());
+}
+
+TEST(ProfilingDisabled, MacrosAreValidStatementsInControlFlow) {
+  // The no-op expansion must still parse as a single statement (an
+  // unbraced if-body is the classic macro trap).
+  bool reached = false;
+  if (!reached) EASIS_PROFILE_SPAN("disabled.if_body");
+  if (!reached) EASIS_PROFILE_COUNT("disabled.if_count", 1);
+  for (int i = 0; i < 1; ++i) EASIS_PROFILE_SPAN("disabled.loop_body");
+  reached = true;
+  EXPECT_TRUE(reached);
+}
+
+TEST(ProfilingDisabled, DirectApiStillWorks) {
+  // Compiling the macros out must not break code that drives the profiler
+  // directly (the harness harvests unconditionally when configured).
+  Profiler profiler;
+  profiler.begin_run();
+  profiler.push_span(intern_name("disabled.direct"));
+  profiler.pop_span();
+  const RunProfile profile = profiler.harvest_run(1);
+  ASSERT_EQ(profile.nodes.size(), 1u);
+  EXPECT_EQ(profile.nodes[0].name, "disabled.direct");
+  EXPECT_EQ(profile.worker, 1u);
+}
+
+}  // namespace
+}  // namespace easis::profile

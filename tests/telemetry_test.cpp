@@ -230,7 +230,38 @@ TEST(Metrics, CsvExportMirrorsPrometheus) {
             "lat_ms,,le_2,1\n"
             "lat_ms,,le_inf,1\n"
             "lat_ms,,sum,1\n"
-            "lat_ms,,count,1\n");
+            "lat_ms,,count,1\n"
+            "lat_ms,,summary,count=1;sum=1;min=1;max=1\n");
+}
+
+TEST(Metrics, HistogramTracksMinAndMax) {
+  telemetry::Histogram hist({10.0});
+  EXPECT_DOUBLE_EQ(hist.min(), 0.0);  // empty histogram reads as zeros
+  EXPECT_DOUBLE_EQ(hist.max(), 0.0);
+  hist.observe(4.0);
+  EXPECT_DOUBLE_EQ(hist.min(), 4.0);
+  EXPECT_DOUBLE_EQ(hist.max(), 4.0);
+  hist.observe(-2.5);
+  hist.observe(100.0);
+  EXPECT_DOUBLE_EQ(hist.min(), -2.5);
+  EXPECT_DOUBLE_EQ(hist.max(), 100.0);
+}
+
+TEST(Metrics, CsvSummaryLineCoversTheDistribution) {
+  MetricsRegistry registry;
+  auto& hist = registry.histogram("step_us", "phase=\"run\"", {50.0});
+  hist.observe(12.0);
+  hist.observe(3.0);
+  hist.observe(47.0);
+  std::ostringstream out;
+  registry.write_csv(out);
+  EXPECT_NE(out.str().find(
+                "step_us,\"phase=\"\"run\"\"\",summary,count=3;sum=62;min=3;max=47\n"),
+            std::string::npos);
+  // Prometheus export stays untouched: no "summary" series leaks there.
+  std::ostringstream prom;
+  registry.write_prometheus(prom);
+  EXPECT_EQ(prom.str().find("summary"), std::string::npos);
 }
 
 // --- FlightRecorder ----------------------------------------------------------

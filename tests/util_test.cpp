@@ -559,6 +559,52 @@ TEST(ArgParser, RejectsMissingAndMalformedValues) {
   }
 }
 
+TEST(ArgParser, InlineValueEdgeCases) {
+  std::string csv = "default.csv";
+  std::string expr;
+  util::ArgParser parser("prog");
+  parser.add("csv", &csv, "output");
+  parser.add("expr", &expr, "filter");
+  // `--flag=` is an explicit empty value, not a missing one.
+  {
+    const char* argv[] = {"prog", "--csv="};
+    std::ostringstream err;
+    ASSERT_TRUE(parser.parse(2, argv, err)) << err.str();
+    EXPECT_EQ(csv, "");
+  }
+  // Only the first '=' splits: the value keeps any later ones.
+  {
+    const char* argv[] = {"prog", "--expr=depth=2"};
+    std::ostringstream err;
+    ASSERT_TRUE(parser.parse(2, argv, err)) << err.str();
+    EXPECT_EQ(expr, "depth=2");
+  }
+}
+
+TEST(ArgParser, BoolFlagRejectsInlineValue) {
+  bool verbose = false;
+  util::ArgParser parser("prog");
+  parser.add("verbose", &verbose, "chatty");
+  const char* argv[] = {"prog", "--verbose=true"};
+  std::ostringstream err;
+  EXPECT_FALSE(parser.parse(2, argv, err));
+  EXPECT_FALSE(verbose);
+  EXPECT_NE(err.str().find("takes no value"), std::string::npos);
+}
+
+TEST(ArgParser, InlineNumericValueRoundTrips) {
+  std::uint64_t seed = 0;
+  unsigned jobs = 1;
+  util::ArgParser parser("prog");
+  parser.add("seed", &seed, "campaign seed");
+  parser.add("jobs", &jobs, "workers");
+  const char* argv[] = {"prog", "--seed=18446744073709551615", "--jobs=8"};
+  std::ostringstream err;
+  ASSERT_TRUE(parser.parse(3, argv, err)) << err.str();
+  EXPECT_EQ(seed, 18446744073709551615ull);
+  EXPECT_EQ(jobs, 8u);
+}
+
 TEST(ArgParser, HelpPrintsUsageAndExits) {
   unsigned jobs = 1;
   util::ArgParser parser("prog", "a test program");
