@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "harness/run_spec.hpp"
+#include "policy/policy.hpp"
 
 namespace easis::bench {
 
@@ -91,5 +92,34 @@ namespace easis::bench {
 
 /// Header of the per-run verdict rows run_environment_fault() produces.
 [[nodiscard]] const std::string& environment_fault_csv_header();
+
+/// The six mode-aware fault classes of the duty-cycled sensor node, in
+/// campaign order: stuck-in-sleep (dead wake timer), sleep refusal,
+/// wake-storm overrun, heartbeat-during-silence (rogue wake interrupt),
+/// mode-transition hang and flash-write overrun.
+[[nodiscard]] const std::vector<std::string>& mode_fault_classes();
+
+/// The "railmon_duty" policy: the campaign's per-mode overlay set (run /
+/// idle / sleep / wakeburst / flashwrite) plus a rate-bounded journal
+/// check rule, on top of the baseline. Exposed so the tests can compile
+/// and round-trip the exact policy the campaign runs.
+[[nodiscard]] policy::PolicySet railmon_duty_policy();
+
+/// Executes one mode-coverage run: builds a fresh RailMon sensor node
+/// under the railmon_duty policy (round-tripped through the policy
+/// compiler), lets it duty-cycle through a full Run -> FlashWrite ->
+/// Sleep -> WakeBurst loop, injects `fault_class` at t=2s parameterized
+/// by `seed`, and reads the kPowerMode DTC plus the power-mode DIDs back
+/// over UDS-lite at t=6s. Four detectors contribute coverage:
+/// mode_report, fault_memory, treatment, diag_readout. Every watchdog
+/// error report before the injection counts as a false alarm and fails
+/// the run's verdict. When `ctx` is given, the run publishes the mode /
+/// overlay / journal snapshot as the flight note every 100 ms.
+[[nodiscard]] harness::RunResult run_mode_fault(
+    const std::string& fault_class, std::uint64_t seed,
+    const harness::RunContext* ctx = nullptr);
+
+/// Header of the per-run verdict rows run_mode_fault() produces.
+[[nodiscard]] const std::string& mode_fault_csv_header();
 
 }  // namespace easis::bench

@@ -1,0 +1,126 @@
+// Mode-coverage campaign (tentpole of the power-mode subsystem).
+//
+// The paper's watchdog assumes continuously alive supervised entities; a
+// duty-cycled sensor node is silent *by contract* for most of its life.
+// Every run builds a fresh RailMon node whose duty cycle (Run ->
+// FlashWrite -> Sleep -> WakeBurst -> Run) is supervised through the
+// railmon_duty policy's per-mode overlays, injects one of six mode-aware
+// fault classes, and watches the full chain in parallel:
+//
+//   mode_report  - the ModeSupervisionUnit's kPowerMode error report
+//                  (dwell overstay, hung transition, repeated refusals,
+//                  or a heartbeat violating the sleep silence contract)
+//   fault_memory - the DTC the FMF stores for the RailMon application
+//   treatment    - the FMF's reaction (restart / reset / safe state)
+//   diag_readout - the kPowerMode DTC plus the power-mode identifiers
+//                  (DID 0x010F / 0x0110) read back over UDS-lite at t=6s
+//
+// Expected shape: every class is caught by the mode unit and flows
+// end-to-end into a readable DTC — with ZERO false alarms during the
+// pre-injection window, which covers a full duty cycle including a
+// legitimate deep-sleep silence, a flash window and a wake storm.
+//
+// Harness-ported: runs shard across --jobs workers, per-run seed is
+// derive_seed(--seed, run_index), and both CSVs are byte-identical for
+// any --jobs value (the mode_jobs_determinism_* ctest gates).
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "campaign_scenarios.hpp"
+#include "harness/campaign_cli.hpp"
+#include "harness/campaign_report.hpp"
+#include "harness/campaign_runner.hpp"
+
+using namespace easis;
+
+int main(int argc, char** argv) {
+  harness::CampaignCli cli(
+      "exp_mode_coverage",
+      "mode-aware fault injection campaign on a duty-cycled sensor node "
+      "(6 fault classes x --runs injections, 4 detectors each)",
+      /*default_seed=*/0x30DE, /*default_runs=*/25,
+      "randomized injections per fault class", "exp_mode_coverage.csv");
+  if (!cli.parse(argc, argv)) return cli.exit_code();
+
+  const auto& classes = bench::mode_fault_classes();
+  const auto runs_per_class = static_cast<std::size_t>(cli.runs);
+  const std::size_t total = classes.size() * runs_per_class;
+
+  std::vector<harness::RunSpec> specs =
+      harness::CampaignRunner::make_specs(total, cli.seed);
+  for (std::size_t i = 0; i < total; ++i) {
+    specs[i].label = classes[i / runs_per_class];
+  }
+
+  harness::CampaignRunner runner(
+      cli.config(), [](const harness::RunContext& ctx) {
+        return bench::run_mode_fault(ctx.spec().label, ctx.spec().seed,
+                                     &ctx);
+      });
+  const harness::CampaignOutcome outcome = runner.run(specs);
+  const harness::CampaignReport report(specs, outcome);
+  const auto& table = report.coverage();
+
+  std::cout << "=== Power-mode detection coverage ===\n"
+            << report.completed_runs() << " randomized injections ("
+            << cli.jobs << " worker(s), seed 0x" << std::hex << cli.seed
+            << std::dec << "), 4 detectors each\n\n";
+  table.print(std::cout);
+  if (!report.quarantined().empty()) {
+    std::cout << '\n' << report.quarantine_summary();
+  }
+  if (outcome.skipped > 0) {
+    std::cout << '\n'
+              << outcome.skipped << " run(s) skipped by --fail-fast\n";
+  }
+
+  {
+    std::ofstream csv(cli.csv);
+    report.write_coverage_csv(csv);
+  }
+  std::cout << "\nper-class coverage written to " << cli.csv << '\n';
+  {
+    std::string rows_path = cli.csv;
+    if (rows_path.size() > 4 &&
+        rows_path.rfind(".csv") == rows_path.size() - 4) {
+      rows_path.resize(rows_path.size() - 4);
+    }
+    rows_path += ".runs.csv";
+    std::ofstream rows(rows_path);
+    report.write_rows_csv(rows, bench::mode_fault_csv_header());
+    std::cout << "per-run verdicts written to " << rows_path << '\n';
+  }
+  if (!cli.timing_csv.empty()) {
+    std::ofstream timing(cli.timing_csv);
+    report.write_timing_csv(timing, runner.config(), outcome);
+  }
+  cli.write_artifacts(report, outcome, std::cout);
+  std::cout << "campaign wall clock: " << outcome.wall_seconds << " s ("
+            << outcome.runs_per_second() << " runs/s)\n";
+
+  // Shape check: every mode fault class must be caught by the mode unit,
+  // stored and treated, and read back as a DTC — and a run with any false
+  // alarm during legitimate duty cycling fails its verdict, which
+  // quarantines it. With --fail-fast the sweep is partial, so the shape
+  // check is skipped.
+  bool shape_ok = true;
+  if (outcome.skipped == 0) {
+    for (const auto& fault_class : classes) {
+      shape_ok &= table.coverage(fault_class, "mode_report") > 0.99;
+      shape_ok &= table.coverage(fault_class, "fault_memory") > 0.99;
+      shape_ok &= table.coverage(fault_class, "treatment") > 0.99;
+      shape_ok &= table.coverage(fault_class, "diag_readout") > 0.99;
+    }
+    shape_ok &= report.quarantined().empty();
+    std::cout << "--- expected vs measured ---\n"
+              << "expected shape: every mode-aware class detected by the "
+                 "mode supervision unit and readable as a DTC, with zero "
+                 "false alarms during contractual deep-sleep silence\n"
+              << "shape check: " << (shape_ok ? "PASS" : "FAIL") << "\n";
+  } else {
+    std::cout << "shape check skipped (--fail-fast partial sweep)\n";
+  }
+  return shape_ok ? 0 : 1;
+}

@@ -1,19 +1,22 @@
 # End-to-end campaign determinism check (ctest: campaign_jobs_determinism).
 #
-# Runs a harness-ported campaign binary twice with the same --seed but
-# --jobs 1 vs --jobs 4 and requires the result CSVs to be byte-identical.
-# The binary's own exit code reflects its *shape* check, which a shrunk
-# --runs sweep may legitimately fail; only a crash (abnormal exit) or a
-# CSV mismatch fails this test.
+# Runs a harness-ported campaign binary once per worker count in JOBS
+# (default "1;4") with the same --seed and requires the result CSVs to be
+# byte-identical across all of them. The binary's own exit code reflects
+# its *shape* check, which a shrunk --runs sweep may legitimately fail;
+# only a crash (abnormal exit) or a CSV mismatch fails this test.
 #
 # Usage: cmake -DEXE=<binary> -DARGS=<common flags> -DOUT=<prefix>
-#              -P campaign_determinism.cmake
+#              [-DJOBS=<semicolon list>] -P campaign_determinism.cmake
 if(NOT DEFINED EXE OR NOT DEFINED OUT)
   message(FATAL_ERROR "EXE and OUT must be defined")
 endif()
+if(NOT DEFINED JOBS)
+  set(JOBS 1 4)
+endif()
 separate_arguments(common_args UNIX_COMMAND "${ARGS}")
 
-foreach(jobs 1 4)
+foreach(jobs IN LISTS JOBS)
   execute_process(
     COMMAND ${EXE} ${common_args} --jobs ${jobs} --csv ${OUT}_j${jobs}.csv
     RESULT_VARIABLE rc
@@ -23,13 +26,20 @@ foreach(jobs 1 4)
   endif()
 endforeach()
 
-execute_process(
-  COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT}_j1.csv ${OUT}_j4.csv
-  RESULT_VARIABLE same)
-if(NOT same EQUAL 0)
-  message(FATAL_ERROR
-      "campaign CSVs differ between --jobs 1 and --jobs 4 "
-      "(${OUT}_j1.csv vs ${OUT}_j4.csv): parallel execution broke "
-      "determinism")
-endif()
-message(STATUS "campaign CSVs byte-identical across --jobs 1 and --jobs 4")
+list(GET JOBS 0 base_jobs)
+foreach(jobs IN LISTS JOBS)
+  if(jobs EQUAL base_jobs)
+    continue()
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${OUT}_j${base_jobs}.csv ${OUT}_j${jobs}.csv
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+        "campaign CSVs differ between --jobs ${base_jobs} and --jobs "
+        "${jobs} (${OUT}_j${base_jobs}.csv vs ${OUT}_j${jobs}.csv): "
+        "parallel execution broke determinism")
+  endif()
+endforeach()
+message(STATUS "campaign CSVs byte-identical across --jobs ${JOBS}")

@@ -83,6 +83,12 @@ inline constexpr std::uint16_t kDidTransgressions = 0x010C;
 inline constexpr std::uint16_t kDidPolicyHash = 0x010D;
 /// Active dependability-policy version number.
 inline constexpr std::uint16_t kDidPolicyVersion = 0x010E;
+/// Active power mode of a duty-cycled node (PowerMode enum index).
+inline constexpr std::uint16_t kDidPowerMode = 0x010F;
+/// 24-bit hash of the `[mode.<name>]` overlay currently bound (0 = base
+/// policy, no overlay for the active mode) — the hash-verified activation
+/// witness of the mode-dependent supervision binding.
+inline constexpr std::uint16_t kDidModeOverlayHash = 0x0110;
 /// Base for telemetry metric snapshot identifiers (campaign wiring).
 inline constexpr std::uint16_t kDidMetricBase = 0x0200;
 /// Base for per-section transgression records: section i occupies three

@@ -466,6 +466,7 @@ void FaultManagementFramework::persist() {
   if (transgression_snapshot_) {
     image.transgressions = transgression_snapshot_();
   }
+  if (power_mode_snapshot_) image.power_mode = power_mode_snapshot_();
   std::uint32_t overflows_seen = nvm_->overflows();
   while (!nvm_->commit(image)) {
     const bool capacity = nvm_->overflows() > overflows_seen;
@@ -556,6 +557,9 @@ void FaultManagementFramework::boot_from_nvm(sim::SimTime now) {
     }
     if (transgression_restore_ && !image.transgressions.empty()) {
       transgression_restore_(image.transgressions);
+    }
+    if (power_mode_restore_ && !image.power_mode.empty()) {
+      power_mode_restore_(image.power_mode);
     }
     emit_fmf_event(telemetry::EventKind::kNvmRestore, now,
                    "restored " + std::to_string(image.reset_count) +

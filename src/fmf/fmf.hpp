@@ -155,6 +155,17 @@ class FaultManagementFramework {
     transgression_restore_ = std::move(restore);
   }
 
+  /// Connects a duty-cycled node's power-mode machine: `snapshot` is
+  /// written into every NVM commit, `restore` re-seeds the machine from
+  /// the persisted mode at boot (empty = no persisted mode). Keeps the
+  /// FMF decoupled from the mode subsystem like the transgression store.
+  void attach_power_mode_store(
+      std::function<std::string()> snapshot,
+      std::function<void(const std::string&)> restore) {
+    power_mode_snapshot_ = std::move(snapshot);
+    power_mode_restore_ = std::move(restore);
+  }
+
   /// Central ECU reset path: every reset request — ECU-faulty escalation,
   /// HW-watchdog expiry, failed recovery validation — funnels through here
   /// so the reset-cause record, the storm bookkeeping and the NVM commit
@@ -240,6 +251,8 @@ class FaultManagementFramework {
       transgression_snapshot_;
   std::function<void(const std::vector<wdg::TransgressionRecord>&)>
       transgression_restore_;
+  std::function<std::string()> power_mode_snapshot_;
+  std::function<void(const std::string&)> power_mode_restore_;
   std::function<void(const ResetCause&)> safe_state_hook_;
   std::vector<ResetCause> reset_history_;
   std::optional<ResetCause> last_reset_cause_;

@@ -135,6 +135,7 @@ void serialize_image(const NvmImage& image, Writer& w) {
     w.i64(record.worst.as_micros());
     w.i64(record.last_at.as_micros());
   }
+  w.str(image.power_mode);
 }
 
 TaskId read_task(std::uint32_t raw) {
@@ -192,6 +193,7 @@ std::optional<NvmImage> deserialize_image(const std::uint8_t* data,
     record.last_at = sim::SimTime(r.i64());
     image.transgressions.push_back(std::move(record));
   }
+  image.power_mode = r.str();
   if (!r.ok()) return std::nullopt;
   return image;
 }

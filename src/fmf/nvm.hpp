@@ -97,6 +97,11 @@ struct NvmImage {
   /// Deadline-transgression records of the supervised-process client API
   /// (never evicted: like the reset chain, they explain field behaviour).
   std::vector<wdg::TransgressionRecord> transgressions;
+  /// Last committed power mode of a duty-cycled node (empty = no mode
+  /// machine): a node resetting out of deep sleep re-seeds its mode
+  /// machine from this instead of defaulting into Run, so supervision
+  /// re-arms with the silence contract still in force.
+  std::string power_mode;
 };
 
 /// Reset events retained in the history ring.

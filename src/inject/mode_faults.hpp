@@ -1,0 +1,66 @@
+// Mode-aware fault factories (power-mode subsystem).
+//
+// The duty-cycled fault classes a sensor node actually dies from: a dead
+// wake timer stranding the node in deep sleep, a peripheral driver that
+// vetoes every sleep request, a wake storm that never ends, a flash
+// window that never closes, a mode machine hanging mid-transition, and a
+// rogue wake interrupt heartbeating through a contracted silence. Each
+// factory manipulates the workload's injection surface (controller flags,
+// manager hang/refuse switches, direct task activation) — detection
+// happens through the ModeSupervisionUnit's dwell/hang/refusal rules and
+// the sleep overlay's silence guard, never by the injector telling anyone.
+#pragma once
+
+#include <functional>
+
+#include "inject/injector.hpp"
+#include "mode/power_mode.hpp"
+#include "os/kernel.hpp"
+#include "sim/engine.hpp"
+#include "util/ids.hpp"
+
+namespace easis::inject {
+
+/// Dead wake timer: `suppress_wake(true)` while active — the controller
+/// never issues the Sleep -> WakeBurst request, so the node overstays the
+/// sleep overlay's max_dwell. Zero duration = permanent.
+[[nodiscard]] Injection make_stuck_in_sleep(
+    std::function<void(bool)> suppress_wake, sim::SimTime start,
+    sim::Duration duration);
+
+/// Sleep-refusing driver: every transition request is vetoed while
+/// active; the manager's consecutive-refusal counter crosses the
+/// supervision limit.
+[[nodiscard]] Injection make_sleep_refusal(mode::PowerModeManager& manager,
+                                           sim::SimTime start,
+                                           sim::Duration duration);
+
+/// Endless wake storm: `stick_burst(true)` while active — the WakeBurst
+/// -> Run request is never issued and the burst overstays its overlay's
+/// max_dwell.
+[[nodiscard]] Injection make_wake_storm_overrun(
+    std::function<void(bool)> stick_burst, sim::SimTime start,
+    sim::Duration duration);
+
+/// Flash window that never closes: `stick_flash(true)` while active — the
+/// FlashWrite -> Sleep request is never issued.
+[[nodiscard]] Injection make_flash_write_overrun(
+    std::function<void(bool)> stick_flash, sim::SimTime start,
+    sim::Duration duration);
+
+/// Mode machine hang: granted transitions never commit while active; the
+/// supervision unit flags the overdue in-flight transition.
+[[nodiscard]] Injection make_mode_transition_hang(
+    mode::PowerModeManager& manager, sim::SimTime start,
+    sim::Duration duration);
+
+/// Rogue wake interrupt: activates `task` every `period` — but only while
+/// the machine is in Sleep (a spurious peripheral interrupt is harmless
+/// when awake; during contracted silence its heartbeats violate the sleep
+/// overlay's silence guard).
+[[nodiscard]] Injection make_rogue_wake_heartbeat(
+    sim::Engine& engine, os::Kernel& kernel,
+    const mode::PowerModeManager& manager, TaskId task, sim::Duration period,
+    sim::SimTime start, sim::Duration duration);
+
+}  // namespace easis::inject

@@ -43,10 +43,19 @@ void CheckSupervisionUnit::add_rule(const CheckRule& rule) {
 }
 
 void CheckSupervisionUnit::cycle(sim::SimTime now) {
+  if (!enabled_) return;
   for (RuleState& state : rules_) {
     ++state.cycles;
     if (state.cycles % state.rule.period_cycles != 0) continue;
     evaluate(state, now);
+  }
+}
+
+void CheckSupervisionUnit::set_enabled(bool enabled) {
+  if (enabled == enabled_) return;
+  enabled_ = enabled;
+  if (!enabled) {
+    for (RuleState& state : rules_) state.has_prev = false;
   }
 }
 
@@ -62,13 +71,33 @@ void CheckSupervisionUnit::evaluate(RuleState& state, sim::SimTime now) {
 
   const double value = bus_.read_or(state.rule.signal, state.rule.fallback);
   ++evaluations_;
+  std::ostringstream detail;
+  bool failed = false;
   if (value < state.rule.min || value > state.rule.max) {
-    ++state.failures;
-    ++failures_;
-    std::ostringstream detail;
+    failed = true;
     detail << "check '" << state.rule.name << "': " << state.rule.signal
            << "=" << value << " outside [" << state.rule.min << ", "
            << state.rule.max << "]";
+  } else if (state.rule.rate_bounded && state.has_prev &&
+             now > state.prev_time) {
+    const double dt_s =
+        static_cast<double>((now - state.prev_time).as_micros()) / 1.0e6;
+    const double rate = (value - state.prev_value) / dt_s;
+    if (rate < state.rule.rate_min_per_s ||
+        rate > state.rule.rate_max_per_s) {
+      failed = true;
+      detail << "check '" << state.rule.name << "': " << state.rule.signal
+             << " rate " << rate << "/s outside ["
+             << state.rule.rate_min_per_s << ", "
+             << state.rule.rate_max_per_s << "]";
+    }
+  }
+  state.has_prev = true;
+  state.prev_value = value;
+  state.prev_time = now;
+  if (failed) {
+    ++state.failures;
+    ++failures_;
     wdg::ErrorReport report;
     report.runnable = state.id;
     report.task = task_;

@@ -53,6 +53,13 @@ class CheckSupervisionUnit {
   /// window stays open until the process-supervision cycle reports it.
   void set_stalled(std::string_view rule, bool stalled);
 
+  /// Mode gating: while disabled (deep sleep, per the active ModeOverlay)
+  /// no rule evaluates and no deadline window opens; rate-of-change
+  /// history is dropped so the first evaluation after re-enable re-seeds
+  /// instead of averaging the slope across the silent gap.
+  void set_enabled(bool enabled);
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
   // --- introspection ------------------------------------------------------
   [[nodiscard]] std::size_t rule_count() const { return rules_.size(); }
   [[nodiscard]] std::uint64_t evaluations() const { return evaluations_; }
@@ -69,6 +76,10 @@ class CheckSupervisionUnit {
     std::uint64_t failures = 0;
     bool stalled = false;
     bool section_open = false;
+    /// Previous sample for the rate-of-change predicate.
+    bool has_prev = false;
+    double prev_value = 0.0;
+    sim::SimTime prev_time;
   };
 
   wdg::SoftwareWatchdog& watchdog_;
@@ -79,6 +90,7 @@ class CheckSupervisionUnit {
   std::vector<RuleState> rules_;
   std::uint64_t evaluations_ = 0;
   std::uint64_t failures_ = 0;
+  bool enabled_ = true;
 
   void evaluate(RuleState& state, sim::SimTime now);
 };

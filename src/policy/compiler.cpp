@@ -1,5 +1,6 @@
 #include "policy/compiler.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdlib>
 #include <map>
@@ -114,6 +115,10 @@ class Compiler {
       open_check(trim(body.substr(5)), line_no);
       return;
     }
+    if (body.rfind("mode.", 0) == 0) {
+      open_mode(trim(body.substr(5)), line_no);
+      return;
+    }
     in_check_ = false;
     section_ = std::string(body);
     static const std::set<std::string> kSections{
@@ -155,6 +160,35 @@ class Compiler {
     CheckRule rule;
     rule.name = name;
     policy_.checks.push_back(std::move(rule));
+  }
+
+  void open_mode(std::string_view name_part, std::size_t line_no) {
+    in_check_ = false;
+    const std::string name{name_part};
+    bool well_formed = !name.empty();
+    for (char c : name) {
+      if (!(std::islower(static_cast<unsigned char>(c)) != 0 ||
+            std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '_')) {
+        well_formed = false;
+      }
+    }
+    if (!well_formed) {
+      error(line_no, "mode section needs a lower-case identifier: "
+                     "[mode.<name>], got [mode." +
+                         name + "]");
+      section_ = "?";
+      return;
+    }
+    for (const ModeOverlay& overlay : policy_.modes) {
+      if (overlay.mode == name) {
+        error(line_no, "conflicting mode overlays: duplicate [mode." + name +
+                           "] (first defined earlier)");
+      }
+    }
+    section_ = "mode";
+    ModeOverlay overlay;
+    overlay.mode = name;
+    policy_.modes.push_back(std::move(overlay));
   }
 
   // --- typed setters with range validation --------------------------------
@@ -219,6 +253,18 @@ class Compiler {
     }
   }
 
+  void set_bool(bool& dst, const std::string& key, const std::string& value,
+                std::size_t line) {
+    if (value == "true") {
+      dst = true;
+    } else if (value == "false") {
+      dst = false;
+    } else {
+      error(line,
+            "`" + key + "` expects true|false, got `" + value + "`");
+    }
+  }
+
   void set_treatment(TreatmentKind& dst, const std::string& key,
                      const std::string& value, std::size_t line) {
     if (value == "none") {
@@ -261,6 +307,8 @@ class Compiler {
       handle_treatment(key, value, line);
     } else if (section_ == "check") {
       handle_check(key, value, line);
+    } else if (section_ == "mode") {
+      handle_mode(key, value, line);
     }
   }
 
@@ -308,6 +356,8 @@ class Compiler {
       set_uint(wd.environment_threshold, key, value, line, 0, 1000);
     } else if (key == "check_rule_threshold") {
       set_uint(wd.check_rule_threshold, key, value, line, 0, 1000);
+    } else if (key == "power_mode_threshold") {
+      set_uint(wd.power_mode_threshold, key, value, line, 0, 1000);
     } else if (key == "ecu_faulty_task_limit") {
       set_uint(wd.ecu_faulty_task_limit, key, value, line, 1, 64);
     } else if (key == "hbm_scale") {
@@ -456,6 +506,39 @@ class Compiler {
       set_uint(rule.period_cycles, key, value, line, 1, 10000);
     } else if (key == "deadline_ms") {
       set_ms(rule.deadline, key, value, line, 1, 60000);
+    } else if (key == "rate_min_per_s") {
+      rule.rate_bounded = true;
+      set_f64(rule.rate_min_per_s, key, value, line, -1.0e12, 1.0e12);
+    } else if (key == "rate_max_per_s") {
+      rule.rate_bounded = true;
+      set_f64(rule.rate_max_per_s, key, value, line, -1.0e12, 1.0e12);
+    } else {
+      unknown_key(key, line);
+    }
+  }
+
+  void handle_mode(const std::string& key, const std::string& value,
+                   std::size_t line) {
+    if (policy_.modes.empty()) return;  // header was diagnosed
+    ModeOverlay& overlay = policy_.modes.back();
+    if (key == "hbm_scale") {
+      set_f64(overlay.hbm_scale, key, value, line, 0.01, 100.0);
+    } else if (key == "aliveness_tolerance") {
+      set_uint(overlay.aliveness_tolerance, key, value, line, 0, 100);
+    } else if (key == "arrival_tolerance") {
+      set_uint(overlay.arrival_tolerance, key, value, line, 0, 100);
+    } else if (key == "deadline_scale") {
+      set_f64(overlay.deadline_scale, key, value, line, 0.01, 100.0);
+    } else if (key == "aliveness_armed") {
+      set_bool(overlay.aliveness_armed, key, value, line);
+    } else if (key == "silent_max_arrivals") {
+      set_uint(overlay.silent_max_arrivals, key, value, line, 0, 1000);
+    } else if (key == "checks_enabled") {
+      set_bool(overlay.checks_enabled, key, value, line);
+    } else if (key == "max_dwell_ms") {
+      set_ms(overlay.max_dwell, key, value, line, 0, 86400000);
+    } else if (key == "transition_deadline_ms") {
+      set_ms(overlay.transition_deadline, key, value, line, 1, 60000);
     } else {
       unknown_key(key, line);
     }
@@ -508,6 +591,27 @@ class Compiler {
         os << "check \"" << rule.name << "\" has an empty band: min ("
            << rule.min << ") > max (" << rule.max << ")";
         error(0, os.str());
+      }
+      if (rule.rate_bounded && rule.rate_min_per_s > rule.rate_max_per_s) {
+        std::ostringstream os;
+        os << "check \"" << rule.name
+           << "\" has an empty rate band: rate_min_per_s ("
+           << rule.rate_min_per_s << ") > rate_max_per_s ("
+           << rule.rate_max_per_s << ")";
+        error(0, os.str());
+      }
+    }
+    for (const ModeOverlay& overlay : policy_.modes) {
+      if (!overlay.aliveness_armed && overlay.aliveness_tolerance > 0) {
+        error(0, "mode \"" + overlay.mode +
+                     "\" sets aliveness_tolerance while aliveness_armed = "
+                     "false: tolerance has no armed check to relax");
+      }
+      if (overlay.aliveness_armed && overlay.silent_max_arrivals > 0) {
+        error(0, "mode \"" + overlay.mode +
+                     "\" sets silent_max_arrivals while aliveness_armed = "
+                     "true: the silence guard only runs during contracted "
+                     "silence");
       }
     }
   }

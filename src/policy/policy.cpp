@@ -34,6 +34,11 @@ class Writer {
   void check_section(std::string_view name) {
     out_ << "\n[check \"" << name << "\"]\n";
   }
+  void mode_section(std::string_view name) {
+    if (!first_) out_ << '\n';
+    first_ = false;
+    out_ << "[mode." << name << "]\n";
+  }
   template <typename T,
             typename = std::enable_if_t<std::is_integral_v<T>>>
   void key(std::string_view k, T v) {
@@ -51,6 +56,34 @@ class Writer {
   std::ostringstream out_;
   bool first_ = true;
 };
+
+/// Canonical text fragment of one mode overlay — shared between to_text()
+/// and overlay_hash() so the activation hash covers exactly what the
+/// compiler round-trips.
+void append_mode(Writer& w, const ModeOverlay& overlay) {
+  w.mode_section(overlay.mode);
+  w.key("hbm_scale", overlay.hbm_scale);
+  w.key("aliveness_tolerance", overlay.aliveness_tolerance);
+  w.key("arrival_tolerance", overlay.arrival_tolerance);
+  w.key("deadline_scale", overlay.deadline_scale);
+  w.key("aliveness_armed", overlay.aliveness_armed ? "true" : "false");
+  w.key("silent_max_arrivals", overlay.silent_max_arrivals);
+  w.key("checks_enabled", overlay.checks_enabled ? "true" : "false");
+  w.key("max_dwell_ms",
+        static_cast<std::uint64_t>(overlay.max_dwell.as_micros() / 1000));
+  w.key("transition_deadline_ms",
+        static_cast<std::uint64_t>(overlay.transition_deadline.as_micros() /
+                                   1000));
+}
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
 
 }  // namespace
 
@@ -74,6 +107,7 @@ std::string to_text(const PolicySet& policy) {
   w.key("resource_threshold", wd.resource_threshold);
   w.key("environment_threshold", wd.environment_threshold);
   w.key("check_rule_threshold", wd.check_rule_threshold);
+  w.key("power_mode_threshold", wd.power_mode_threshold);
   w.key("ecu_faulty_task_limit", wd.ecu_faulty_task_limit);
   w.key("hbm_scale", policy.detection.hbm_scale);
   w.key("aliveness_tolerance", policy.detection.aliveness_tolerance);
@@ -132,6 +166,8 @@ std::string to_text(const PolicySet& policy) {
   w.key("qm", to_string(policy.treatment.qm.on_faulty));
   w.key("qm_max_restarts", policy.treatment.qm.max_restarts);
 
+  for (const ModeOverlay& overlay : policy.modes) append_mode(w, overlay);
+
   for (const CheckRule& check : policy.checks) {
     w.check_section(check.name);
     w.key("signal", check.signal);
@@ -141,23 +177,40 @@ std::string to_text(const PolicySet& policy) {
     w.key("period_cycles", check.period_cycles);
     w.key("deadline_ms",
           static_cast<std::uint64_t>(check.deadline.as_micros() / 1000));
+    if (check.rate_bounded) {
+      w.key("rate_min_per_s", check.rate_min_per_s);
+      w.key("rate_max_per_s", check.rate_max_per_s);
+    }
   }
   return w.str();
 }
 
 std::uint64_t version_hash(const PolicySet& policy) {
   // FNV-1a, 64-bit (offset basis / prime per the reference parameters).
-  std::uint64_t hash = 14695981039346656037ull;
-  for (char c : to_text(policy)) {
-    hash ^= static_cast<std::uint8_t>(c);
-    hash *= 1099511628211ull;
-  }
-  return hash;
+  return fnv1a(to_text(policy));
 }
 
 std::uint32_t version_hash24(const PolicySet& policy) {
   const std::uint64_t h = version_hash(policy);
   return static_cast<std::uint32_t>((h ^ (h >> 24) ^ (h >> 48)) & 0xFFFFFFu);
+}
+
+std::uint64_t overlay_hash(const ModeOverlay& overlay) {
+  Writer w;
+  append_mode(w, overlay);
+  return fnv1a(w.str());
+}
+
+std::uint32_t overlay_hash24(const ModeOverlay& overlay) {
+  const std::uint64_t h = overlay_hash(overlay);
+  return static_cast<std::uint32_t>((h ^ (h >> 24) ^ (h >> 48)) & 0xFFFFFFu);
+}
+
+const ModeOverlay* find_mode(const PolicySet& policy, std::string_view mode) {
+  for (const ModeOverlay& overlay : policy.modes) {
+    if (overlay.mode == mode) return &overlay;
+  }
+  return nullptr;
 }
 
 const PolicySet& baseline() {

@@ -100,6 +100,43 @@ struct CheckRule {
   std::uint32_t period_cycles = 10;
   /// Deadline of the supervised evaluation window.
   sim::Duration deadline = sim::Duration::millis(5);
+  /// Optional rate-of-change predicate: the signal's slope between two
+  /// consecutive evaluations, in units per second, must stay inside
+  /// [rate_min_per_s, rate_max_per_s]. Disabled until a rate bound is
+  /// given; the first evaluation only seeds the previous sample.
+  bool rate_bounded = false;
+  double rate_min_per_s = -1.0e12;
+  double rate_max_per_s = 1.0e12;
+};
+
+/// Per-power-mode supervision overlay (`[mode.<name>]` section): while the
+/// named mode is active the mode binder rescales every mode-bound
+/// runnable's fault hypothesis, flips aliveness supervision between armed
+/// and silence-guarding, and switches check rules on or off. A
+/// default-constructed overlay leaves the base policy untouched.
+struct ModeOverlay {
+  /// Power-mode name this overlay binds to (lower-case identifier).
+  std::string mode;
+  /// Per-mode analogues of the DetectionPolicy scale/tolerance knobs.
+  double hbm_scale = 1.0;
+  std::uint32_t aliveness_tolerance = 0;
+  std::uint32_t arrival_tolerance = 0;
+  double deadline_scale = 1.0;
+  /// Aliveness monitoring armed in this mode; false means heartbeats stop
+  /// *by contract* (deep sleep) and arrival-rate supervision inverts into
+  /// a silence guard instead of a flood guard.
+  bool aliveness_armed = true;
+  /// Heartbeats tolerated per arrival window while silence is contracted
+  /// (aliveness_armed = false); any excess is heartbeat-during-silence.
+  std::uint32_t silent_max_arrivals = 0;
+  /// Check rules evaluated while this mode is active.
+  bool checks_enabled = true;
+  /// Longest legitimate dwell in this mode; zero disables dwell
+  /// supervision (a mode the node may stay in forever, e.g. Run).
+  sim::Duration max_dwell = sim::Duration::zero();
+  /// Deadline for a commanded transition out of this mode to complete
+  /// before the mode machine is considered hung.
+  sim::Duration transition_deadline = sim::Duration::millis(50);
 };
 
 /// Detection-side tunables. WatchdogConfig carries the TSI thresholds and
@@ -149,7 +186,14 @@ struct PolicySet {
   EscalationPolicy escalation;
   TreatmentPolicy treatment;
   std::vector<CheckRule> checks;
+  /// Per-power-mode overlays, in declaration order.
+  std::vector<ModeOverlay> modes;
 };
+
+/// The overlay bound to `mode`, or nullptr when the policy declares none
+/// (the base policy then applies unchanged in that mode).
+[[nodiscard]] const ModeOverlay* find_mode(const PolicySet& policy,
+                                           std::string_view mode);
 
 /// Serialises the policy into its canonical text form — the same format
 /// compile_policy() consumes. Canonical means: fixed section/key order,
@@ -165,6 +209,14 @@ struct PolicySet {
 /// The version hash folded to 24 bits for transport in a single
 /// f32-encoded diagnostic data identifier (exact up to 2^24).
 [[nodiscard]] std::uint32_t version_hash24(const PolicySet& policy);
+
+/// FNV-1a (64-bit) over one mode overlay's canonical text fragment: the
+/// overlay *activation* hash. The mode manager latches it on every mode
+/// switch so diagnostics can verify which overlay is actually live.
+[[nodiscard]] std::uint64_t overlay_hash(const ModeOverlay& overlay);
+
+/// The overlay activation hash folded to 24 bits for f32 DID transport.
+[[nodiscard]] std::uint32_t overlay_hash24(const ModeOverlay& overlay);
 
 /// The built-in baseline policy (a default-constructed PolicySet).
 [[nodiscard]] const PolicySet& baseline();

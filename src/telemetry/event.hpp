@@ -50,9 +50,12 @@ enum class Component : std::uint8_t {
   /// Check Supervision Unit: user-defined policy check rules evaluated as
   /// supervised virtual runnables (watchdogd's script.c analogue).
   kCheckUnit,
+  /// Power-mode manager and mode supervision unit (duty-cycled
+  /// sensor-node extension).
+  kModeUnit,
 };
 
-inline constexpr std::size_t kComponentCount = 15;
+inline constexpr std::size_t kComponentCount = 16;
 
 [[nodiscard]] constexpr std::string_view to_string(Component c) {
   switch (c) {
@@ -71,6 +74,7 @@ inline constexpr std::size_t kComponentCount = 15;
     case Component::kResourceUnit: return "resource";
     case Component::kEnvironmentUnit: return "environment";
     case Component::kCheckUnit: return "check";
+    case Component::kModeUnit: return "mode";
   }
   return "?";
 }
@@ -118,9 +122,17 @@ enum class EventKind : std::uint8_t {
   /// The fleet health master read a node's active-policy hash and it did
   /// not match the expected fleet policy (detail carries both hashes).
   kPolicyMismatch,
+  /// The power-mode machine completed a guarded transition (detail
+  /// carries `<from>-><to> cause=<cause>`); refused requests emit
+  /// kModeTransitionRefused with the guard that vetoed them.
+  kModeTransition,
+  kModeTransitionRefused,
+  /// The mode binder re-bound the supervision hypotheses / policy overlay
+  /// for the just-entered mode (detail carries `overlay=<hash24>`).
+  kModeOverlayApplied,
 };
 
-inline constexpr std::size_t kEventKindCount = 27;
+inline constexpr std::size_t kEventKindCount = 30;
 
 [[nodiscard]] constexpr std::string_view to_string(EventKind k) {
   switch (k) {
@@ -151,6 +163,9 @@ inline constexpr std::size_t kEventKindCount = 27;
     case EventKind::kResourceSnapshot: return "resource_snapshot";
     case EventKind::kDerateStageChange: return "derate_stage_change";
     case EventKind::kPolicyMismatch: return "policy_mismatch";
+    case EventKind::kModeTransition: return "mode_transition";
+    case EventKind::kModeTransitionRefused: return "mode_transition_refused";
+    case EventKind::kModeOverlayApplied: return "mode_overlay_applied";
   }
   return "?";
 }

@@ -97,6 +97,45 @@ void ControlDesk::watch_environment(
   }
 }
 
+void ControlDesk::watch_power_mode(const mode::PowerModeManager& manager,
+                                   const std::string& prefix,
+                                   const mode::ModeSupervisionUnit* unit) {
+  watch(prefix + ".mode", [&manager] {
+    return static_cast<double>(static_cast<std::uint8_t>(manager.current()));
+  });
+  watch(prefix + ".dwell_ms", [this, &manager] {
+    return static_cast<double>(manager.dwell(engine_.now()).as_micros()) /
+           1000.0;
+  });
+  // Causes are strings; the trace is numeric. A 24-bit FNV-1a hash maps
+  // each distinct cause to a stable plotted level.
+  watch(prefix + ".cause", [&manager] {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : manager.last_cause()) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    return static_cast<double>((h ^ (h >> 24) ^ (h >> 48)) & 0xFFFFFFu);
+  });
+  watch(prefix + ".transitions", [&manager] {
+    return static_cast<double>(manager.transitions());
+  });
+  watch(prefix + ".refusals", [&manager] {
+    return static_cast<double>(manager.refusals());
+  });
+  if (unit != nullptr) {
+    watch(prefix + ".overlay", [unit] {
+      return static_cast<double>(unit->active_overlay_hash24());
+    });
+    watch(prefix + ".silence", [unit] {
+      return unit->silence_contracted() ? 1.0 : 0.0;
+    });
+    watch(prefix + ".mode_errors", [unit] {
+      return static_cast<double>(unit->errors_reported());
+    });
+  }
+}
+
 void ControlDesk::watch_health_master(const diag::HealthMonitorMaster& master,
                                       const std::string& prefix) {
   watch(prefix + ".silent",

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "diag/health_master.hpp"
+#include "mode/power_mode.hpp"
+#include "mode/supervision.hpp"
 #include "sim/engine.hpp"
 #include "telemetry/event_bus.hpp"
 #include "util/ids.hpp"
@@ -57,6 +59,18 @@ class ControlDesk {
   void watch_environment(const wdg::EnvironmentSupervisionUnit& environment,
                          const std::string& prefix,
                          const wdg::ProcessSupervisionUnit* process = nullptr);
+
+  /// Power-mode probes from a PowerModeManager: "<prefix>.mode" (enum
+  /// index), "<prefix>.dwell_ms" (time in the current mode),
+  /// "<prefix>.cause" (24-bit FNV-1a hash of the last transition cause —
+  /// distinct causes plot as distinct levels), "<prefix>.transitions" and
+  /// "<prefix>.refusals" (cumulative). When `unit` is non-null, also
+  /// "<prefix>.overlay" (hash of the bound overlay), "<prefix>.silence"
+  /// (1 while silence is contracted) and "<prefix>.mode_errors". Both
+  /// must outlive the ControlDesk.
+  void watch_power_mode(const mode::PowerModeManager& manager,
+                        const std::string& prefix,
+                        const mode::ModeSupervisionUnit* unit = nullptr);
 
   /// Begins sampling; stops after `horizon` from now.
   void start(sim::Duration horizon);

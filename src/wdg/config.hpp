@@ -60,6 +60,9 @@ inline constexpr std::array<Severity, kErrorTypeCount> kDefaultSeverities{
     /*thermal*/ Severity::kMinor,
     /*filesystem*/ Severity::kMajor,
     /*check_rule*/ Severity::kMajor,
+    // A broken mode machine strands the node (stuck asleep, never
+    // uplinking): restart-worthy like the other control-path classes.
+    /*power_mode*/ Severity::kMajor,
 };
 
 struct WatchdogConfig {
@@ -89,6 +92,10 @@ struct WatchdogConfig {
   /// Threshold for user-defined check rules (policy `check` clauses); the
   /// check engine re-reports a failing predicate every evaluation period.
   std::uint32_t check_rule_threshold = 3;
+  /// Threshold for power-mode supervision errors (overstayed dwell,
+  /// refused or hung transitions, heartbeat-during-silence); the mode
+  /// supervision unit re-reports a sustained condition every cycle.
+  std::uint32_t power_mode_threshold = 3;
   /// The global ECU state turns faulty when this many tasks are faulty.
   std::uint32_t ecu_faulty_task_limit = 2;
   /// Detection-class -> FMF-severity escalation mapping. The defaults

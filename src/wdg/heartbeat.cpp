@@ -124,6 +124,22 @@ void HeartbeatMonitoringUnit::update_hypothesis(
   s.ccar = 0;
 }
 
+void HeartbeatMonitoringUnit::rebind(const RunnableMonitor& config) {
+  if (config.aliveness_cycles == 0 || config.arrival_cycles == 0) {
+    throw std::invalid_argument("HBM: monitoring period must be >= 1 cycle");
+  }
+  State& s = state(config.runnable);
+  const bool active = s.active;  // rebinding does not touch activation
+  s.config = config;
+  s.active = active;
+  // Fresh periods under the new hypothesis — a rebind mid-window must
+  // never carry half-accumulated counters into the new contract.
+  s.ac = 0;
+  s.arc = 0;
+  s.cca = 0;
+  s.ccar = 0;
+}
+
 void HeartbeatMonitoringUnit::reset_runnable(RunnableId id) {
   State& s = state(id);
   s.ac = 0;

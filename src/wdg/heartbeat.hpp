@@ -49,6 +49,13 @@ class HeartbeatMonitoringUnit {
                          std::uint32_t arrival_cycles,
                          std::uint32_t max_arrivals);
 
+  /// Mode-dependent supervision binding: replaces the *entire* hypothesis
+  /// — including which checks are armed — and restarts the periods with
+  /// clean counters. Unlike update_hypothesis() this can flip aliveness
+  /// supervision off for a power mode whose contract is silence and turn
+  /// the arrival check into a silence guard (max_arrivals = 0).
+  void rebind(const RunnableMonitor& config);
+
   /// Clears the dynamic counters of one runnable (after fault treatment).
   void reset_runnable(RunnableId id);
   /// Clears all dynamic state (ECU reset).

@@ -177,6 +177,8 @@ SupervisionReport TaskStateIndicationUnit::report(RunnableId runnable) const {
       e.counts[static_cast<std::size_t>(ErrorType::kFilesystem)];
   r.check_rule_errors =
       e.counts[static_cast<std::size_t>(ErrorType::kCheckRule)];
+  r.power_mode_errors =
+      e.counts[static_cast<std::size_t>(ErrorType::kPowerMode)];
   return r;
 }
 

@@ -23,8 +23,8 @@ class TaskStateIndicationUnit {
  public:
   struct Thresholds {
     /// Per error class; a zero threshold disables that check entirely.
-    std::array<std::uint32_t, kErrorTypeCount> by_type{3, 3, 3, 3, 3, 3, 1,
-                                                       3, 3, 3, 3, 3, 3, 3};
+    std::array<std::uint32_t, kErrorTypeCount> by_type{
+        3, 3, 3, 3, 3, 3, 1, 3, 3, 3, 3, 3, 3, 3, 3};
     [[nodiscard]] std::uint32_t of(ErrorType t) const {
       return by_type[static_cast<std::size_t>(t)];
     }

@@ -59,9 +59,15 @@ enum class ErrorType : std::uint8_t {
   /// A user-defined check rule (policy `check` clause, watchdogd's
   /// script.c analogue) evaluated its signal predicate to false.
   kCheckRule = 13,
+  /// The power-mode machine misbehaved: a mode overstayed its declared
+  /// maximum dwell (stuck-in-sleep, wake-storm overrun), a commanded
+  /// transition was refused or hung, or a supervised entity heartbeat
+  /// during a mode that contracts silence (power-mode supervision,
+  /// duty-cycled sensor-node extension).
+  kPowerMode = 14,
 };
 
-inline constexpr std::size_t kErrorTypeCount = 14;
+inline constexpr std::size_t kErrorTypeCount = 15;
 
 [[nodiscard]] constexpr std::string_view to_string(ErrorType t) {
   switch (t) {
@@ -79,6 +85,7 @@ inline constexpr std::size_t kErrorTypeCount = 14;
     case ErrorType::kThermal: return "thermal";
     case ErrorType::kFilesystem: return "filesystem";
     case ErrorType::kCheckRule: return "check_rule";
+    case ErrorType::kPowerMode: return "power_mode";
   }
   return "?";
 }
@@ -134,6 +141,7 @@ struct SupervisionReport {
   std::uint32_t thermal_errors = 0;
   std::uint32_t filesystem_errors = 0;
   std::uint32_t check_rule_errors = 0;
+  std::uint32_t power_mode_errors = 0;
   bool activation_status = true;
 };
 

@@ -55,7 +55,8 @@ SoftwareWatchdog::SoftwareWatchdog(WatchdogConfig config)
                 config.nvm_corruption_threshold, config.resource_threshold,
                 config.resource_threshold, config.resource_threshold,
                 config.resource_threshold, config.environment_threshold,
-                config.environment_threshold, config.check_rule_threshold}},
+                config.environment_threshold, config.check_rule_threshold,
+                config.power_mode_threshold}},
            config.ecu_faulty_task_limit) {}
 
 void SoftwareWatchdog::add_runnable(const RunnableMonitor& monitor) {
@@ -287,6 +288,13 @@ void SoftwareWatchdog::update_hypothesis(RunnableId runnable,
   it->second.min_heartbeats = min_heartbeats;
   it->second.arrival_cycles = arrival_cycles;
   it->second.max_arrivals = max_arrivals;
+}
+
+void SoftwareWatchdog::rebind_hypothesis(const RunnableMonitor& monitor) {
+  hbm_.rebind(monitor);
+  auto it = monitors_.find(monitor.runnable);
+  assert(it != monitors_.end());
+  it->second = monitor;
 }
 
 void SoftwareWatchdog::clear_task_state(TaskId task, sim::SimTime now) {

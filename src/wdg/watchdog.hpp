@@ -83,6 +83,11 @@ class SoftwareWatchdog {
                          std::uint32_t min_heartbeats,
                          std::uint32_t arrival_cycles,
                          std::uint32_t max_arrivals);
+  /// Mode-dependent supervision binding: replaces the runnable's entire
+  /// monitoring hypothesis — armed checks included — with clean counters
+  /// (the per-power-mode binding path; see update_hypothesis for the
+  /// parameter-only variant). The runnable must already be registered.
+  void rebind_hypothesis(const RunnableMonitor& monitor);
   /// After an application restart: clear its runnables' counters and the
   /// error vectors of its tasks.
   void clear_task_state(TaskId task, sim::SimTime now);

@@ -395,5 +395,143 @@ TEST(PolicyDiag, DivergentFleetPolicyIsFlaggedByTheHealthMaster) {
   EXPECT_EQ(master.policy_mismatch_count(), 1u);
 }
 
+// --- rate-of-change predicate ------------------------------------------------
+
+std::shared_ptr<const PolicySet> rate_policy(double rate_min, double rate_max) {
+  auto policy = std::make_shared<PolicySet>();
+  policy->id = "rate_test";
+  CheckRule rule;
+  rule.name = "slope";
+  rule.signal = "test.signal";
+  rule.min = -1.0e6;
+  rule.max = 1.0e6;
+  rule.period_cycles = 1;
+  rule.rate_bounded = true;
+  rule.rate_min_per_s = rate_min;
+  rule.rate_max_per_s = rate_max;
+  policy->checks.push_back(rule);
+  return policy;
+}
+
+TEST(CheckSupervision, InBandSlopeSatisfiesTheRatePredicate) {
+  sim::Engine engine;
+  validator::CentralNodeConfig config;
+  validator::apply_policy(config, rate_policy(-100.0, 100.0));
+  validator::CentralNode node(engine, config);
+  ASSERT_NE(node.attach_check_supervision(), nullptr);
+
+  std::uint64_t check_errors = 0;
+  node.watchdog().add_error_listener([&](const wdg::ErrorReport& report) {
+    if (report.type == wdg::ErrorType::kCheckRule) ++check_errors;
+  });
+
+  // Ramp the signal at 50 units/s: well inside the +/-100/s band.
+  double value = 0.0;
+  std::function<void()> ramp = [&] {
+    value += 0.5;  // +0.5 per 10 ms = 50/s
+    node.signals().publish("test.signal", value, engine.now());
+    engine.schedule_in(Duration::millis(10), ramp);
+  };
+  engine.schedule_in(Duration::millis(10), ramp);
+
+  node.start();
+  engine.run_until(SimTime(2'000'000));
+  EXPECT_GT(node.check_supervision()->evaluations(), 0u);
+  EXPECT_EQ(node.check_supervision()->failures(), 0u);
+  EXPECT_EQ(check_errors, 0u);
+}
+
+TEST(CheckSupervision, RunawaySlopeFailsTheRatePredicate) {
+  sim::Engine engine;
+  validator::CentralNodeConfig config;
+  validator::apply_policy(config, rate_policy(-100.0, 100.0));
+  validator::CentralNode node(engine, config);
+  ASSERT_NE(node.attach_check_supervision(), nullptr);
+
+  std::uint64_t check_errors = 0;
+  node.watchdog().add_error_listener([&](const wdg::ErrorReport& report) {
+    if (report.type == wdg::ErrorType::kCheckRule) ++check_errors;
+  });
+
+  // Ramp at 500 units/s from t=1s: every absolute sample stays inside
+  // [min, max], so only the rate predicate can catch the runaway.
+  double value = 0.0;
+  std::function<void()> ramp = [&] {
+    value += 5.0;  // +5 per 10 ms = 500/s
+    node.signals().publish("test.signal", value, engine.now());
+    engine.schedule_in(Duration::millis(10), ramp);
+  };
+  engine.schedule_at(SimTime(1'000'000), ramp);
+
+  node.start();
+  engine.run_until(SimTime(999'000));
+  EXPECT_EQ(node.check_supervision()->failures(), 0u);
+  engine.run_until(SimTime(3'000'000));
+  EXPECT_GT(node.check_supervision()->failures(), 0u);
+  EXPECT_GT(check_errors, 0u);
+}
+
+// --- malformed-bounds diagnostics --------------------------------------------
+
+TEST(PolicyCompiler, EmptyCheckBandIsRejected) {
+  const CompileResult result = compile_policy(
+      "[check \"band\"]\nsignal = x\nmin = 10\nmax = 1\n");
+  ASSERT_FALSE(result.ok());
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_NE(result.diagnostics[0].message.find("empty band"),
+            std::string::npos);
+}
+
+TEST(PolicyCompiler, EmptyRateBandIsRejected) {
+  const CompileResult result = compile_policy(
+      "[check \"slope\"]\nsignal = x\nrate_min_per_s = 5\nrate_max_per_s = "
+      "-5\n");
+  ASSERT_FALSE(result.ok());
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_NE(result.diagnostics[0].message.find("empty rate band"),
+            std::string::npos);
+}
+
+TEST(PolicyCompiler, RateBoundRoundTripsAndChangesTheHash) {
+  PolicySet policy;
+  policy.id = "rate_rt";
+  CheckRule rule;
+  rule.name = "slope";
+  rule.signal = "test.signal";
+  rule.rate_bounded = true;
+  rule.rate_max_per_s = 2000.0;
+  policy.checks.push_back(rule);
+
+  const std::string text = to_text(policy);
+  const CompileResult result = compile_policy(text);
+  ASSERT_TRUE(result.ok()) << result.format();
+  EXPECT_EQ(to_text(*result.policy), text);
+  ASSERT_EQ(result.policy->checks.size(), 1u);
+  EXPECT_TRUE(result.policy->checks[0].rate_bounded);
+  EXPECT_EQ(result.policy->checks[0].rate_max_per_s, 2000.0);
+
+  PolicySet unbounded = policy;
+  unbounded.checks[0].rate_bounded = false;
+  EXPECT_NE(version_hash(policy), version_hash(unbounded));
+}
+
+TEST(PolicyCompiler, SilenceGuardOnArmedModeIsRejected) {
+  const CompileResult result = compile_policy(
+      "[mode.sleep]\naliveness_armed = true\nsilent_max_arrivals = 2\n");
+  ASSERT_FALSE(result.ok());
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_NE(result.diagnostics[0].message.find("silent_max_arrivals"),
+            std::string::npos);
+}
+
+TEST(PolicyCompiler, AlivenessToleranceOnDisarmedModeIsRejected) {
+  const CompileResult result = compile_policy(
+      "[mode.sleep]\naliveness_armed = false\naliveness_tolerance = 1\n");
+  ASSERT_FALSE(result.ok());
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_NE(result.diagnostics[0].message.find("aliveness_tolerance"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace easis::policy
